@@ -1,0 +1,58 @@
+// Command droidbench regenerates Table 1 of the paper: the DroidBench 1.0
+// comparison of FlowDroid against the AppScan-Source-like and
+// Fortify-SCA-like baselines, with per-app marks and the aggregate
+// precision/recall/F-measure rows.
+//
+// Usage:
+//
+//	droidbench            # full three-tool table
+//	droidbench -tool flowdroid
+//	droidbench -list      # list the suite's apps and ground truth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flowdroid/internal/baseline"
+	"flowdroid/internal/droidbench"
+)
+
+func main() {
+	var (
+		tool = flag.String("tool", "", "run a single tool: flowdroid, appscan or fortify")
+		list = flag.Bool("list", false, "list the benchmark apps and their ground truth")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range droidbench.Cases() {
+			fmt.Printf("%-30s %-32s expected leaks: %d\n    %s\n",
+				c.Name, "("+c.Category+")", c.ExpectedLeaks, c.Note)
+		}
+		fmt.Printf("\n%d apps, %d expected leaks in total\n",
+			len(droidbench.Cases()), droidbench.TotalExpectedLeaks())
+		return
+	}
+
+	if *tool != "" {
+		var a droidbench.Analyzer
+		switch *tool {
+		case "flowdroid":
+			a = droidbench.FlowDroid()
+		case "appscan":
+			a = baseline.AppScanLike()
+		case "fortify":
+			a = baseline.FortifyLike()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown tool %q\n", *tool)
+			os.Exit(2)
+		}
+		results := droidbench.RunSuite(a)
+		fmt.Print(droidbench.RenderTable([]string{a.Name}, [][]droidbench.CaseResult{results}))
+		return
+	}
+
+	fmt.Print(baseline.Table1())
+}

@@ -1,0 +1,119 @@
+// Command flowdroid analyzes an Android app package (a directory or zip
+// archive containing AndroidManifest.xml, res/layout/*.xml and .ir code
+// files) and reports data flows from sensitive sources to sinks.
+//
+// Usage:
+//
+//	flowdroid [flags] <app-dir-or-zip>
+//	flowdroid -insecurebank
+//
+// The default configuration matches the paper: access-path length 5, full
+// lifecycle model, on-demand alias analysis with activation statements,
+// taint wrapper enabled.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flowdroid/internal/core"
+	"flowdroid/internal/insecurebank"
+	"flowdroid/internal/lifecycle"
+)
+
+func main() {
+	var (
+		apLength    = flag.Int("ap-length", 5, "maximal access-path length")
+		noAlias     = flag.Bool("no-alias", false, "disable the on-demand alias analysis")
+		noAct       = flag.Bool("no-activation", false, "disable activation statements (Andromeda-style aliasing)")
+		noLifecycle = flag.Bool("no-lifecycle", false, "model only component creation, not the full lifecycle")
+		flat        = flag.Bool("flat-lifecycle", false, "single-pass lifecycle in canonical order")
+		useCHA      = flag.Bool("cha", false, "use the CHA call graph instead of points-to")
+		rulesFile   = flag.String("rules", "", "replace the built-in source/sink rules with this file")
+		showPaths   = flag.Bool("paths", false, "print the reconstructed statement path of each leak")
+		jsonOut     = flag.Bool("json", false, "emit the leak report as JSON")
+		showStats   = flag.Bool("stats", false, "print solver statistics and timings")
+		bank        = flag.Bool("insecurebank", false, "analyze the built-in InsecureBank app (RQ2)")
+	)
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.Taint.APLength = *apLength
+	opts.Taint.EnableAliasing = !*noAlias
+	opts.Taint.EnableActivation = !*noAct
+	opts.UseCHA = *useCHA
+	if *noLifecycle {
+		opts.Lifecycle.Mode = lifecycle.CreateOnly
+	}
+	if *flat {
+		opts.Lifecycle.Mode = lifecycle.FlatLifecycle
+	}
+	if *rulesFile != "" {
+		data, err := os.ReadFile(*rulesFile)
+		if err != nil {
+			fatal(err)
+		}
+		opts.SourceSinkRules = string(data)
+	}
+
+	var res *core.Result
+	var err error
+	switch {
+	case *bank:
+		res, err = core.AnalyzeFiles(insecurebank.Files, opts)
+	case flag.NArg() == 1:
+		path := flag.Arg(0)
+		if strings.HasSuffix(path, ".zip") || strings.HasSuffix(path, ".apk") {
+			res, err = core.AnalyzeZip(path, opts)
+		} else {
+			res, err = core.AnalyzeDir(path, opts)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: flowdroid [flags] <app-dir-or-zip>  (or -insecurebank)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Taint.Report()); err != nil {
+			fatal(err)
+		}
+		if len(res.Leaks()) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("analyzed %s: %d components, %d callbacks, %d call edges\n",
+		res.App.Package, len(res.App.Components()), res.Callbacks.Total(), res.CallGraph.NumEdges())
+	fmt.Print(res.Taint.Render())
+	if *showPaths {
+		for i, l := range res.Leaks() {
+			fmt.Printf("\npath of leak %d:\n", i+1)
+			for _, s := range l.Path() {
+				fmt.Printf("    %s  (in %s)\n", s, s.Method())
+			}
+		}
+	}
+	if *showStats {
+		st := res.Taint.Stats
+		fmt.Printf("\nsetup %v, taint analysis %v\n", res.SetupTime, res.TaintTime)
+		fmt.Printf("forward edges %d, backward edges %d, alias queries %d\n",
+			st.ForwardEdges, st.BackwardEdges, st.AliasQueries)
+	}
+	if len(res.Leaks()) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flowdroid:", err)
+	os.Exit(2)
+}

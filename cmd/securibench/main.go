@@ -1,0 +1,35 @@
+// Command securibench regenerates Table 2 of the paper: FlowDroid's
+// results on the evaluated SecuriBench Micro categories.
+//
+// Usage:
+//
+//	securibench          # print Table 2
+//	securibench -cases   # list cases with ground truth and expectations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flowdroid/internal/securibench"
+)
+
+func main() {
+	cases := flag.Bool("cases", false, "list the individual cases")
+	flag.Parse()
+
+	if *cases {
+		for _, c := range securibench.Cases() {
+			fmt.Printf("%-18s %-14s expected %d, FlowDroid finds %d\n    %s\n",
+				c.Name, "("+c.Category+")", c.ExpectedLeaks, c.FlowDroidFinds, c.Note)
+		}
+		return
+	}
+	results, err := securibench.RunSuite()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "securibench:", err)
+		os.Exit(2)
+	}
+	fmt.Print(securibench.RenderTable(results))
+}

@@ -1,0 +1,124 @@
+// Aliasing walkthrough: the paper's Listings 2 and 3 run directly against
+// the taint engine, demonstrating the two mechanisms that make the
+// on-demand alias analysis precise:
+//
+//  1. Context injection (Listing 2 / Figure 3): the alias found inside
+//     taintIt is tainted only under the calling context that passed
+//     tainted data, so the second, clean call to the same method does not
+//     produce a false positive.
+//  2. Activation statements (Listing 3): the alias p2 of p exists before
+//     p.f is tainted; the taint on p2.f only "activates" once execution
+//     passes the store, so the earlier sink stays clean (where
+//     Andromeda-style aliasing would report it).
+//
+// Run with: go run ./examples/aliasing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/core"
+	"flowdroid/internal/pta"
+	"flowdroid/internal/sourcesink"
+	"flowdroid/internal/taint"
+)
+
+const program = `
+class Src {
+  static method secret(): java.lang.String;
+}
+class Snk {
+  static method leak(x: java.lang.String): void;
+}
+class Data {
+  field f: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class Listing2 {
+  static method taintIt(in: java.lang.String, out: Data): void {
+    x = out
+    x.f = in
+    t = out.f
+    Snk.leak(t)                    // leaks only for the tainted call
+  }
+  static method main(): void {
+    p = new Data()
+    p2 = new Data()
+    s = Src.secret()
+    Listing2.taintIt(s, p)
+    t1 = p.f
+    Snk.leak(t1)                   // real leak
+    pub = "public"
+    Listing2.taintIt(pub, p2)
+    t2 = p2.f
+    Snk.leak(t2)                   // must stay clean
+  }
+}
+class Listing3 {
+  static method main(): void {
+    p = new Data()
+    p2 = p
+    t1 = p2.f
+    Snk.leak(t1)                   // before the store: clean
+    s = Src.secret()
+    p.f = s
+    t2 = p2.f
+    Snk.leak(t2)                   // after the store: leaks
+  }
+}
+`
+
+const rules = `
+source <Src: secret/0> -> return label secret
+sink <Snk: leak/1> -> arg0 label sink
+`
+
+func run(entryClass string, conf taint.Config) *taint.Results {
+	prog, err := core.ParseJava(program, "listings.ir")
+	if err != nil {
+		log.Fatal(err)
+	}
+	entry := prog.Class(entryClass).Method("main", 0)
+	res := pta.Build(prog, entry)
+	icfg := cfg.NewICFG(prog, res.Graph)
+	mgr, err := sourcesink.Parse(prog, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return taint.Analyze(icfg, mgr, conf, entry)
+}
+
+func report(title string, r *taint.Results) {
+	fmt.Printf("%s\n", title)
+	for _, l := range r.DistinctSourceSinkPairs() {
+		fmt.Printf("    line %3d: %s\n", l.Sink.Line(), l.Sink)
+	}
+	if len(r.Leaks) == 0 {
+		fmt.Println("    (no leaks)")
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("=== Listing 2: context injection ===")
+	report("FlowDroid (precise): leaks at the callee sink and p.f only —",
+		run("Listing2", taint.DefaultConfig()))
+
+	fmt.Println("=== Listing 3: activation statements ===")
+	report("FlowDroid (flow-sensitive): only the sink after the store —",
+		run("Listing3", taint.DefaultConfig()))
+
+	noAct := taint.DefaultConfig()
+	noAct.EnableActivation = false
+	report("Andromeda mode (no activation): the early sink becomes a false positive —",
+		run("Listing3", noAct))
+
+	noAlias := taint.DefaultConfig()
+	noAlias.EnableAliasing = false
+	report("No alias analysis at all: the aliased leak is missed —",
+		run("Listing3", noAlias))
+}

@@ -1,0 +1,54 @@
+// Quickstart: analyze the paper's running example (Listing 1) end to end.
+//
+// The app reads a password field in onRestart, stores it in a User object
+// held by the activity, and sends it via SMS from a button callback
+// declared in layout XML. Finding the leak requires every headline
+// feature at once: the lifecycle model (onRestart runs before the click),
+// XML callback wiring, layout-derived password sources, field sensitivity
+// (only User.pwd is sensitive, not User.name) and the on-demand alias
+// analysis.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowdroid/internal/core"
+	"flowdroid/internal/testapps"
+)
+
+func main() {
+	// Analyze an in-memory app package with the paper's default
+	// configuration (access-path length 5, full lifecycle, alias
+	// analysis with activation statements, taint wrapper on).
+	res, err := core.AnalyzeFiles(testapps.LeakageApp, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("app:        %s\n", res.App.Package)
+	fmt.Printf("components: %d enabled (disabled ones are filtered)\n", len(res.App.Components()))
+	fmt.Printf("callbacks:  %d discovered\n", res.Callbacks.Total())
+	fmt.Printf("call graph: %d edges\n\n", res.CallGraph.NumEdges())
+
+	leaks := res.Leaks()
+	fmt.Printf("%d leak(s) found:\n\n", len(leaks))
+	for i, l := range leaks {
+		fmt.Printf("[%d] %s data reaches the %s sink:\n", i+1,
+			l.Source().Source.Label, l.SinkSpec.Label)
+		fmt.Printf("    source: %s\n", l.Source().Stmt)
+		fmt.Printf("    sink:   %s\n", l.Sink)
+		fmt.Println("    path:")
+		for _, s := range l.Path() {
+			fmt.Printf("        %-46s (in %s)\n", s, s.Method())
+		}
+	}
+
+	// The username flows to the very same sink, but it is not sensitive:
+	// field sensitivity keeps User.name and User.pwd apart, so exactly
+	// one leak is reported.
+	fmt.Println("\nnote: the username reaches the same SMS call but is not reported —")
+	fmt.Println("only the password half of the User object is a source.")
+}

@@ -1,0 +1,3 @@
+module flowdroid
+
+go 1.22

@@ -1,0 +1,148 @@
+package apk
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"flowdroid/internal/framework"
+)
+
+// xmlManifest mirrors the AndroidManifest.xml structure we consume.
+type xmlManifest struct {
+	XMLName     xml.Name       `xml:"manifest"`
+	Package     string         `xml:"package,attr"`
+	Application xmlApplication `xml:"application"`
+}
+
+type xmlApplication struct {
+	Attrs      []xml.Attr     `xml:",any,attr"`
+	Activities []xmlComponent `xml:"activity"`
+	Services   []xmlComponent `xml:"service"`
+	Receivers  []xmlComponent `xml:"receiver"`
+	Providers  []xmlComponent `xml:"provider"`
+}
+
+type xmlComponent struct {
+	Attrs         []xml.Attr        `xml:",any,attr"`
+	IntentFilters []xmlIntentFilter `xml:"intent-filter"`
+}
+
+type xmlIntentFilter struct {
+	Actions []xmlAction `xml:"action"`
+}
+
+type xmlAction struct {
+	Attrs []xml.Attr `xml:",any,attr"`
+}
+
+// attr fetches an attribute by local name, ignoring the android: namespace
+// prefix (real manifests qualify attributes; we accept both).
+func attr(attrs []xml.Attr, local string) (string, bool) {
+	for _, a := range attrs {
+		if a.Name.Local == local {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// ParseManifest parses AndroidManifest.xml content into the manifest
+// model. Component names beginning with "." are resolved against the
+// package name, as on Android.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var xm xmlManifest
+	if err := xml.Unmarshal(data, &xm); err != nil {
+		return nil, fmt.Errorf("apk: parsing manifest: %w", err)
+	}
+	if xm.Package == "" {
+		return nil, fmt.Errorf("apk: manifest has no package attribute")
+	}
+	m := &Manifest{Package: xm.Package}
+	if name, ok := attr(xm.Application.Attrs, "name"); ok && name != "" {
+		if strings.HasPrefix(name, ".") {
+			name = xm.Package + name
+		}
+		m.Application = name
+	}
+	add := func(kind framework.ComponentKind, comps []xmlComponent) error {
+		for _, xc := range comps {
+			name, ok := attr(xc.Attrs, "name")
+			if !ok || name == "" {
+				return fmt.Errorf("apk: %s component without android:name", kind)
+			}
+			if strings.HasPrefix(name, ".") {
+				name = xm.Package + name
+			}
+			c := &Component{Kind: kind, Class: name, Enabled: true}
+			if v, ok := attr(xc.Attrs, "enabled"); ok {
+				c.Enabled = v != "false"
+			}
+			if v, ok := attr(xc.Attrs, "exported"); ok {
+				c.Exported = v == "true"
+			}
+			for _, f := range xc.IntentFilters {
+				for _, act := range f.Actions {
+					if v, ok := attr(act.Attrs, "name"); ok {
+						c.IntentActions = append(c.IntentActions, v)
+						if v == "android.intent.action.MAIN" {
+							c.Main = true
+						}
+					}
+				}
+			}
+			m.Components = append(m.Components, c)
+		}
+		return nil
+	}
+	if err := add(framework.Activity, xm.Application.Activities); err != nil {
+		return nil, err
+	}
+	if err := add(framework.Service, xm.Application.Services); err != nil {
+		return nil, err
+	}
+	if err := add(framework.Receiver, xm.Application.Receivers); err != nil {
+		return nil, err
+	}
+	if err := add(framework.Provider, xm.Application.Providers); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ParseLayout parses a res/layout XML file into the flat control model.
+// The element tree is walked generically: any element carrying android:id,
+// android:onClick or android:inputType contributes a control.
+func ParseLayout(name string, data []byte) (*Layout, error) {
+	l := &Layout{Name: name}
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("apk: parsing layout %s: %w", name, err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		ctl := &Control{Kind: se.Name.Local}
+		if v, ok := attr(se.Attr, "id"); ok {
+			ctl.ID = strings.TrimPrefix(strings.TrimPrefix(v, "@+id/"), "@id/")
+		}
+		if v, ok := attr(se.Attr, "onClick"); ok {
+			ctl.OnClick = v
+		}
+		if v, ok := attr(se.Attr, "inputType"); ok {
+			ctl.InputType = v
+		}
+		if ctl.ID != "" || ctl.OnClick != "" || ctl.InputType != "" {
+			l.Controls = append(l.Controls, ctl)
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,164 @@
+package apk
+
+import (
+	"archive/zip"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"flowdroid/internal/testapps"
+)
+
+// TestQuickResTableBijective: for any set of names, Lookup and NameOf are
+// inverse, ids are unique, and layout/widget namespaces never collide.
+func TestQuickResTableBijective(t *testing.T) {
+	f := func(rawIDs, rawLayouts []string) bool {
+		ids := sanitize(rawIDs)
+		layouts := sanitize(rawLayouts)
+		tb := NewResTable(ids, layouts)
+		seen := make(map[int64]bool)
+		check := func(kind string, names []string) bool {
+			for _, n := range names {
+				id, ok := tb.Lookup(kind + "/" + n)
+				if !ok {
+					return false
+				}
+				if seen[id] {
+					return false // collision
+				}
+				seen[id] = true
+				back, ok := tb.NameOf(id)
+				if !ok || back != kind+"/"+n {
+					return false
+				}
+			}
+			return true
+		}
+		return check("id", dedupe(ids)) && check("layout", dedupe(layouts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickResTableDeterministic: the same name sets in any order produce
+// the same table.
+func TestQuickResTableDeterministic(t *testing.T) {
+	f := func(raw []string, swap uint8) bool {
+		names := sanitize(raw)
+		if len(names) < 2 {
+			return true
+		}
+		shuffled := append([]string(nil), names...)
+		i := int(swap) % len(shuffled)
+		shuffled[0], shuffled[i] = shuffled[i], shuffled[0]
+		a := NewResTable(names, nil)
+		b := NewResTable(shuffled, nil)
+		for _, n := range names {
+			ida, _ := a.Lookup("id/" + n)
+			idb, _ := b.Lookup("id/" + n)
+			if ida != idb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(in []string) []string {
+	var out []string
+	for i, s := range in {
+		if s == "" {
+			s = fmt.Sprintf("n%d", i)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestLoadZip packages the Listing 1 app into a real zip archive (the
+// closest analogue of an .apk) and loads it through the zip path.
+func TestLoadZip(t *testing.T) {
+	dir := t.TempDir()
+	zipPath := filepath.Join(dir, "app.apk")
+	f, err := os.Create(zipPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := zip.NewWriter(f)
+	for p, content := range testapps.LeakageApp {
+		w, err := zw.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	app, err := LoadZip(zipPath)
+	if err != nil {
+		t.Fatalf("LoadZip: %v", err)
+	}
+	if app.Package != "com.example.leakage" {
+		t.Errorf("package = %q", app.Package)
+	}
+	if len(app.Components()) != 1 {
+		t.Errorf("components = %d", len(app.Components()))
+	}
+	if _, err := LoadZip(filepath.Join(dir, "missing.apk")); err == nil {
+		t.Error("missing zip should fail")
+	}
+}
+
+// TestMemFSContract: the in-memory FS behaves like a file system for the
+// operations Load depends on.
+func TestMemFSContract(t *testing.T) {
+	m := memFS{
+		"AndroidManifest.xml": "<manifest/>",
+		"res/layout/a.xml":    "<L/>",
+		"src/deep/c.ir":       "class A {}",
+	}
+	if _, err := m.Open("nope"); err == nil {
+		t.Error("missing file should fail to open")
+	}
+	dir, err := m.Open("res")
+	if err != nil {
+		t.Fatalf("opening an implicit directory: %v", err)
+	}
+	info, err := dir.Stat()
+	if err != nil || !info.IsDir() {
+		t.Error("res should stat as a directory")
+	}
+	file, err := m.Open("AndroidManifest.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := file.Stat()
+	if err != nil || st.IsDir() || st.Size() != int64(len("<manifest/>")) {
+		t.Errorf("file stat wrong: %v %v", st, err)
+	}
+}

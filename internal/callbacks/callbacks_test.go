@@ -1,0 +1,141 @@
+package callbacks
+
+import (
+	"testing"
+
+	"flowdroid/internal/apk"
+	"flowdroid/internal/testapps"
+)
+
+func TestXMLCallbacks(t *testing.T) {
+	app, err := apk.LoadFiles(testapps.LeakageApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Discover(app)
+	cbs := res.CallbacksOf("com.example.leakage.LeakageApp")
+	if len(cbs) != 1 {
+		t.Fatalf("callbacks = %v, want just sendMessage", cbs)
+	}
+	if cbs[0].Name != "sendMessage" {
+		t.Errorf("callback = %s", cbs[0])
+	}
+	// Disabled components are not analyzed at all.
+	if res.CallbacksOf("com.example.leakage.DisabledActivity") != nil {
+		t.Error("disabled activity should have no callback entry")
+	}
+	if res.Total() != 1 {
+		t.Errorf("total = %d", res.Total())
+	}
+}
+
+func TestImperativeCallbacks(t *testing.T) {
+	app, err := apk.LoadFiles(testapps.LocationApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Discover(app)
+	cbs := res.CallbacksOf("com.example.loc.LocActivity")
+	names := map[string]bool{}
+	for _, m := range cbs {
+		names[m.Name] = true
+	}
+	// The registration gives all four LocationListener callbacks, plus
+	// the XML click handler.
+	for _, want := range []string{"onLocationChanged", "onProviderEnabled",
+		"onProviderDisabled", "onStatusChanged", "leakIt"} {
+		if !names[want] {
+			t.Errorf("missing callback %s (have %v)", want, cbs)
+		}
+	}
+	if len(cbs) != 5 {
+		t.Errorf("callbacks = %d, want 5 (%v)", len(cbs), cbs)
+	}
+}
+
+const overrideApp = `
+class com.x.Main extends android.app.Activity {
+  field secret: java.lang.String
+  method onCreate(b: android.os.Bundle): void {
+    return
+  }
+  // Overridden framework method: called by the system without explicit
+  // registration (DroidBench MethodOverride1 pattern).
+  method onLowMemory(): void {
+    s = this.secret
+    android.util.Log.i("t", s)
+    return
+  }
+  // Plain helper: not a callback.
+  method helper(): void {
+    return
+  }
+}
+`
+
+func TestOverriddenFrameworkMethods(t *testing.T) {
+	app, err := apk.LoadFiles(map[string]string{
+		"AndroidManifest.xml": `<manifest package="com.x"><application>
+			<activity android:name=".Main"/></application></manifest>`,
+		"c.ir": overrideApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Discover(app)
+	cbs := res.CallbacksOf("com.x.Main")
+	if len(cbs) != 1 || cbs[0].Name != "onLowMemory" {
+		t.Errorf("callbacks = %v, want onLowMemory only", cbs)
+	}
+}
+
+const chainedApp = `
+class com.x.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    v = this.findViewById(@id/b1)
+    l1 = new com.x.First()
+    v.setOnClickListener(l1)
+  }
+}
+// The first handler registers a second one: discovery must iterate.
+class com.x.First implements android.view.View$OnClickListener {
+  method init(): void {
+    return
+  }
+  method onClick(v: android.view.View): void {
+    l2 = new com.x.Second()
+    v.setOnClickListener(l2)
+  }
+}
+class com.x.Second implements android.view.View$OnClickListener {
+  method init(): void {
+    return
+  }
+  method onClick(v: android.view.View): void {
+    return
+  }
+}
+`
+
+func TestChainedRegistrationFixedPoint(t *testing.T) {
+	app, err := apk.LoadFiles(map[string]string{
+		"AndroidManifest.xml": `<manifest package="com.x"><application>
+			<activity android:name=".Main"/></application></manifest>`,
+		"c.ir": chainedApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Discover(app)
+	cbs := res.CallbacksOf("com.x.Main")
+	classes := map[string]bool{}
+	for _, m := range cbs {
+		classes[m.Class.Name] = true
+	}
+	if !classes["com.x.First"] {
+		t.Error("First.onClick not discovered")
+	}
+	if !classes["com.x.Second"] {
+		t.Error("Second.onClick not discovered (fixed point failed)")
+	}
+}

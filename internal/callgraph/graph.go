@@ -1,0 +1,240 @@
+// Package callgraph builds and represents call graphs over the IR. Two
+// builders are provided: a fast class-hierarchy analysis (CHA) used during
+// callback discovery, and a points-to-refined builder (in internal/pta,
+// the stand-in for Soot's Spark) used for the final graph the taint
+// analysis runs on.
+package callgraph
+
+import (
+	"sort"
+
+	"flowdroid/internal/ir"
+)
+
+// Graph is a call graph: a set of entry methods, call edges from call
+// statements to target methods, and the derived reachable-method set.
+type Graph struct {
+	Entries []*ir.Method
+
+	calleesOf map[ir.Stmt][]*ir.Method
+	callersOf map[*ir.Method][]ir.Stmt
+	reachable []*ir.Method
+	reachSet  map[*ir.Method]bool
+}
+
+// NewGraph creates an empty graph with the given entry points.
+func NewGraph(entries ...*ir.Method) *Graph {
+	g := &Graph{
+		Entries:   entries,
+		calleesOf: make(map[ir.Stmt][]*ir.Method),
+		callersOf: make(map[*ir.Method][]ir.Stmt),
+		reachSet:  make(map[*ir.Method]bool),
+	}
+	for _, e := range entries {
+		g.markReachable(e)
+	}
+	return g
+}
+
+// AddEdge records that call site s may invoke target. Duplicate edges are
+// ignored. The target becomes reachable.
+func (g *Graph) AddEdge(s ir.Stmt, target *ir.Method) {
+	for _, t := range g.calleesOf[s] {
+		if t == target {
+			return
+		}
+	}
+	g.calleesOf[s] = append(g.calleesOf[s], target)
+	g.callersOf[target] = append(g.callersOf[target], s)
+	g.markReachable(target)
+}
+
+func (g *Graph) markReachable(m *ir.Method) {
+	if !g.reachSet[m] {
+		g.reachSet[m] = true
+		g.reachable = append(g.reachable, m)
+	}
+}
+
+// CalleesOf returns the possible targets of the call statement s.
+func (g *Graph) CalleesOf(s ir.Stmt) []*ir.Method { return g.calleesOf[s] }
+
+// CallersOf returns the call statements that may invoke m.
+func (g *Graph) CallersOf(m *ir.Method) []ir.Stmt { return g.callersOf[m] }
+
+// Reachable returns all reachable methods in discovery order.
+func (g *Graph) Reachable() []*ir.Method { return g.reachable }
+
+// IsReachable reports whether m is reachable from the entries.
+func (g *Graph) IsReachable(m *ir.Method) bool { return g.reachSet[m] }
+
+// NumEdges returns the total number of call edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, ts := range g.calleesOf {
+		n += len(ts)
+	}
+	return n
+}
+
+// ReachesTransitively reports whether any method of the call site s's
+// callee subtree is the method m, i.e. whether invoking s can transitively
+// execute m. The taint analysis uses this to decide whether a call site
+// can activate an inactive alias taint (activation statements represent
+// call trees).
+func (g *Graph) ReachesTransitively(s ir.Stmt, m *ir.Method) bool {
+	seen := make(map[*ir.Method]bool)
+	var stack []*ir.Method
+	for _, t := range g.calleesOf[s] {
+		if !seen[t] {
+			seen[t] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == m {
+			return true
+		}
+		for _, site := range callsIn(cur) {
+			for _, t := range g.calleesOf[site] {
+				if !seen[t] {
+					seen[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+	return false
+}
+
+func callsIn(m *ir.Method) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range m.Body() {
+		if ir.IsCall(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Resolver resolves the possible runtime targets of invocation
+// expressions against a program using declared types and the class
+// hierarchy (CHA). The PTA builder refines virtual calls; everything else
+// shares this logic.
+type Resolver struct {
+	prog *ir.Program
+	// nameIndex maps (name, nargs) to all concrete declarations, for the
+	// fallback when no declared type is available.
+	nameIndex map[nameKey][]*ir.Method
+}
+
+type nameKey struct {
+	name  string
+	nargs int
+}
+
+// NewResolver builds a resolver (and its name index) for prog.
+func NewResolver(prog *ir.Program) *Resolver {
+	r := &Resolver{prog: prog, nameIndex: make(map[nameKey][]*ir.Method)}
+	for _, c := range prog.Classes() {
+		for _, m := range c.Methods() {
+			k := nameKey{m.Name, len(m.Params)}
+			r.nameIndex[k] = append(r.nameIndex[k], m)
+		}
+	}
+	return r
+}
+
+// StaticTargets resolves non-virtual calls (static and special invokes)
+// and returns nil for virtual ones.
+func (r *Resolver) StaticTargets(e *ir.InvokeExpr) []*ir.Method {
+	switch e.Kind {
+	case ir.StaticInvoke, ir.SpecialInvoke:
+		if m := r.prog.ResolveMethod(e.Ref.Class, e.Ref.Name, e.Ref.NArgs); m != nil {
+			return []*ir.Method{m}
+		}
+	}
+	return nil
+}
+
+// VirtualTargets resolves a virtual call with CHA: every subtype of the
+// declared receiver class contributes the method it would dispatch to. If
+// the declared class is unknown or resolves nothing, it falls back to all
+// same-name declarations program-wide.
+func (r *Resolver) VirtualTargets(e *ir.InvokeExpr) []*ir.Method {
+	declared := e.Ref.Class
+	if e.Base != nil && e.Base.Type.IsRef() {
+		declared = e.Base.Type.Name
+	}
+	targets := make(map[*ir.Method]bool)
+	if declared != "" && r.prog.Class(declared) != nil {
+		for _, sub := range r.prog.SubtypesOf(declared) {
+			if c := r.prog.Class(sub); c != nil && c.Interface {
+				continue
+			}
+			if m := r.prog.ResolveMethod(sub, e.Ref.Name, e.Ref.NArgs); m != nil {
+				targets[m] = true
+			}
+		}
+	}
+	if len(targets) == 0 {
+		for _, m := range r.nameIndex[nameKey{e.Ref.Name, e.Ref.NArgs}] {
+			targets[m] = true
+		}
+	}
+	out := make([]*ir.Method, 0, len(targets))
+	for m := range targets {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// TargetsOf resolves all possible targets of an invocation with CHA.
+func (r *Resolver) TargetsOf(e *ir.InvokeExpr) []*ir.Method {
+	if ts := r.StaticTargets(e); ts != nil {
+		return ts
+	}
+	if e.Kind == ir.VirtualInvoke {
+		return r.VirtualTargets(e)
+	}
+	return nil
+}
+
+// DispatchOn resolves a virtual call for a single concrete receiver type,
+// as the points-to builder does per allocation site.
+func (r *Resolver) DispatchOn(runtimeClass string, e *ir.InvokeExpr) *ir.Method {
+	return r.prog.ResolveMethod(runtimeClass, e.Ref.Name, e.Ref.NArgs)
+}
+
+// BuildCHA constructs a call graph by class-hierarchy analysis from the
+// given entry points, exploring only methods with bodies.
+func BuildCHA(prog *ir.Program, entries ...*ir.Method) *Graph {
+	g := NewGraph(entries...)
+	r := NewResolver(prog)
+	seen := make(map[*ir.Method]bool)
+	work := append([]*ir.Method(nil), entries...)
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		for _, s := range m.Body() {
+			call := ir.CallOf(s)
+			if call == nil {
+				continue
+			}
+			for _, t := range r.TargetsOf(call) {
+				g.AddEdge(s, t)
+				if !seen[t] && !t.Abstract() {
+					work = append(work, t)
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,149 @@
+// Package cfg provides intraprocedural control-flow graphs over IR method
+// bodies and the interprocedural CFG (ICFG) the IFDS solvers traverse. The
+// ICFG combines per-method CFGs with a call graph, exposing the node
+// relations the Reps-Horwitz-Sagiv framework needs: successors,
+// predecessors, callees of call sites, callers of methods, start points
+// and exits.
+package cfg
+
+import (
+	"flowdroid/internal/callgraph"
+	"flowdroid/internal/ir"
+)
+
+// MethodCFG is the control-flow graph of one method body. Nodes are the
+// body's statements; edge structure follows fallthrough, gotos and the
+// both-ways branching of opaque conditionals.
+type MethodCFG struct {
+	Method *ir.Method
+	succs  [][]int
+	preds  [][]int
+}
+
+// New builds the CFG for a finalized method body.
+func New(m *ir.Method) *MethodCFG {
+	body := m.Body()
+	c := &MethodCFG{
+		Method: m,
+		succs:  make([][]int, len(body)),
+		preds:  make([][]int, len(body)),
+	}
+	addEdge := func(from, to int) {
+		if to >= len(body) {
+			return
+		}
+		c.succs[from] = append(c.succs[from], to)
+		c.preds[to] = append(c.preds[to], from)
+	}
+	for i, s := range body {
+		switch s := s.(type) {
+		case *ir.GotoStmt:
+			addEdge(i, s.TargetIndex)
+		case *ir.IfStmt:
+			// Opaque condition: both branches possible.
+			addEdge(i, i+1)
+			if s.TargetIndex != i+1 {
+				addEdge(i, s.TargetIndex)
+			}
+		case *ir.ReturnStmt:
+			// No successors.
+		default:
+			addEdge(i, i+1)
+		}
+	}
+	return c
+}
+
+// Succs returns the intraprocedural successors of s.
+func (c *MethodCFG) Succs(s ir.Stmt) []ir.Stmt { return c.stmtsAt(c.succs[s.Index()]) }
+
+// Preds returns the intraprocedural predecessors of s.
+func (c *MethodCFG) Preds(s ir.Stmt) []ir.Stmt { return c.stmtsAt(c.preds[s.Index()]) }
+
+func (c *MethodCFG) stmtsAt(idx []int) []ir.Stmt {
+	body := c.Method.Body()
+	out := make([]ir.Stmt, len(idx))
+	for i, j := range idx {
+		out[i] = body[j]
+	}
+	return out
+}
+
+// ICFG is the interprocedural control-flow graph: per-method CFGs stitched
+// together by a call graph. CFGs are built lazily and cached.
+type ICFG struct {
+	Prog  *ir.Program
+	Graph *callgraph.Graph
+
+	cfgs map[*ir.Method]*MethodCFG
+}
+
+// NewICFG wraps a program and call graph into an ICFG.
+func NewICFG(prog *ir.Program, g *callgraph.Graph) *ICFG {
+	return &ICFG{Prog: prog, Graph: g, cfgs: make(map[*ir.Method]*MethodCFG)}
+}
+
+// CFGOf returns the (cached) intraprocedural CFG of m.
+func (g *ICFG) CFGOf(m *ir.Method) *MethodCFG {
+	if c, ok := g.cfgs[m]; ok {
+		return c
+	}
+	c := New(m)
+	g.cfgs[m] = c
+	return c
+}
+
+// SuccsOf returns the intraprocedural successors of s (the return sites
+// when s is a call).
+func (g *ICFG) SuccsOf(s ir.Stmt) []ir.Stmt { return g.CFGOf(s.Method()).Succs(s) }
+
+// PredsOf returns the intraprocedural predecessors of s.
+func (g *ICFG) PredsOf(s ir.Stmt) []ir.Stmt { return g.CFGOf(s.Method()).Preds(s) }
+
+// IsCall reports whether s is a call statement.
+func (g *ICFG) IsCall(s ir.Stmt) bool { return ir.IsCall(s) }
+
+// CalleesOf returns the callees of call site s that have bodies the solver
+// can descend into; bodyless stubs are handled by call-to-return flow
+// functions instead.
+func (g *ICFG) CalleesOf(s ir.Stmt) []*ir.Method {
+	var out []*ir.Method
+	for _, m := range g.Graph.CalleesOf(s) {
+		if !m.Abstract() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// AllCalleesOf returns all call targets including stubs.
+func (g *ICFG) AllCalleesOf(s ir.Stmt) []*ir.Method { return g.Graph.CalleesOf(s) }
+
+// CallersOf returns the call sites that may invoke m.
+func (g *ICFG) CallersOf(m *ir.Method) []ir.Stmt { return g.Graph.CallersOf(m) }
+
+// StartPoint returns m's entry statement.
+func (g *ICFG) StartPoint(m *ir.Method) ir.Stmt { return m.EntryStmt() }
+
+// ExitStmts returns m's return statements.
+func (g *ICFG) ExitStmts(m *ir.Method) []ir.Stmt { return m.ExitStmts() }
+
+// IsExit reports whether s is a return statement.
+func (g *ICFG) IsExit(s ir.Stmt) bool {
+	_, ok := s.(*ir.ReturnStmt)
+	return ok
+}
+
+// IsStartPoint reports whether s is the first statement of its method.
+func (g *ICFG) IsStartPoint(s ir.Stmt) bool { return s.Index() == 0 }
+
+// CallsIn returns the call statements inside m.
+func (g *ICFG) CallsIn(m *ir.Method) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range m.Body() {
+		if ir.IsCall(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package cfg
+
+import (
+	"testing"
+
+	"flowdroid/internal/ir"
+	"flowdroid/internal/irtext"
+	"flowdroid/internal/pta"
+)
+
+const loopSrc = `
+class A {
+  static method m(): void {
+  top:
+    x = 1
+    if * goto done
+    y = 2
+    goto top
+  done:
+    return
+  }
+}
+`
+
+func TestBranchesAndLoops(t *testing.T) {
+	prog, err := irtext.ParseProgram(loopSrc, "l.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Class("A").Method("m", 0)
+	c := New(m)
+	body := m.Body()
+	// body: 0 x=1(top) 1 if 2 y=2 3 goto top 4 return(done)
+	ifStmt := body[1]
+	succ := c.Succs(ifStmt)
+	if len(succ) != 2 {
+		t.Fatalf("if should have 2 successors, got %d", len(succ))
+	}
+	if succ[0].Index() != 2 || succ[1].Index() != 4 {
+		t.Errorf("if successors = %d,%d, want 2,4", succ[0].Index(), succ[1].Index())
+	}
+	gotoStmt := body[3]
+	succ = c.Succs(gotoStmt)
+	if len(succ) != 1 || succ[0].Index() != 0 {
+		t.Errorf("goto should jump to index 0, got %v", succ)
+	}
+	// The loop head has two predecessors: method entry has none, but the
+	// back edge targets index 0.
+	preds := c.Preds(body[0])
+	if len(preds) != 1 || preds[0].Index() != 3 {
+		t.Errorf("loop head preds = %v, want the back edge only", preds)
+	}
+	ret := body[4]
+	if len(c.Succs(ret)) != 0 {
+		t.Error("return must have no successors")
+	}
+}
+
+const icfgSrc = `
+class A {
+  static method callee(x: java.lang.String): java.lang.String {
+    return x
+  }
+  static method main(): void {
+    s = "v"
+    r = A.callee(s)
+    t = r
+    return
+  }
+}
+`
+
+func TestICFG(t *testing.T) {
+	prog, err := irtext.ParseProgram(icfgSrc, "i.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Class("A").Method("main", 0)
+	callee := prog.Class("A").Method("callee", 1)
+	res := pta.Build(prog, main)
+	g := NewICFG(prog, res.Graph)
+
+	var callSite ir.Stmt
+	for _, s := range main.Body() {
+		if ir.IsCall(s) {
+			callSite = s
+		}
+	}
+	if callSite == nil {
+		t.Fatal("no call site found")
+	}
+	callees := g.CalleesOf(callSite)
+	if len(callees) != 1 || callees[0] != callee {
+		t.Fatalf("CalleesOf = %v, want [A.callee/1]", callees)
+	}
+	callers := g.CallersOf(callee)
+	if len(callers) != 1 || callers[0] != callSite {
+		t.Errorf("CallersOf = %v, want the call site", callers)
+	}
+	if sp := g.StartPoint(callee); sp == nil || sp.Index() != 0 {
+		t.Error("start point of callee should be its first statement")
+	}
+	exits := g.ExitStmts(callee)
+	if len(exits) != 1 || !g.IsExit(exits[0]) {
+		t.Errorf("exits = %v", exits)
+	}
+	// Return site of the call is the statement after it.
+	rs := g.SuccsOf(callSite)
+	if len(rs) != 1 || rs[0].Index() != callSite.Index()+1 {
+		t.Errorf("return site = %v", rs)
+	}
+	if !g.IsStartPoint(main.EntryStmt()) {
+		t.Error("entry should be a start point")
+	}
+	if len(g.CallsIn(main)) != 1 {
+		t.Error("main should contain exactly one call")
+	}
+}

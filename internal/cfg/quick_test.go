@@ -1,0 +1,99 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowdroid/internal/ir"
+)
+
+// randMethod builds a random structured body: straight-line assignments
+// interleaved with forward branches and occasional back edges.
+func randMethod(r *rand.Rand, n int) *ir.Method {
+	p := ir.NewProgram()
+	cb := ir.NewClassIn(p, "G", "")
+	mb := cb.StaticMethod("m", ir.Void)
+	x := mb.Local("x")
+	mb.Assign(x, ir.IntOf(0))
+	labels := 0
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			mb.Assign(x, ir.IntOf(int64(i)))
+		case 1: // forward skip
+			labels++
+			l := fmt.Sprintf("F%d", labels)
+			mb.If(l)
+			mb.Assign(x, ir.IntOf(int64(i)))
+			mb.Label(l).Nop()
+		case 2: // loop
+			labels++
+			head := fmt.Sprintf("H%d", labels)
+			out := fmt.Sprintf("O%d", labels)
+			mb.Label(head).If(out)
+			mb.Assign(x, ir.IntOf(int64(i)))
+			mb.Goto(head)
+			mb.Label(out).Nop()
+		case 3:
+			mb.Nop()
+		}
+	}
+	mb.Return(nil)
+	mb.Done()
+	if err := p.Link(); err != nil {
+		panic(err)
+	}
+	return p.Class("G").Method("m", 0)
+}
+
+// TestQuickCFGDuality: succs and preds are exact duals, returns have no
+// successors, and every statement except loop-unreachable tails is
+// forward-reachable from the entry.
+func TestQuickCFGDuality(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randMethod(r, int(size%25))
+		c := New(m)
+		body := m.Body()
+		for _, s := range body {
+			for _, succ := range c.Succs(s) {
+				found := false
+				for _, back := range c.Preds(succ) {
+					if back == s {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			if _, isRet := s.(*ir.ReturnStmt); isRet && len(c.Succs(s)) != 0 {
+				return false
+			}
+			if _, isRet := s.(*ir.ReturnStmt); !isRet && len(c.Succs(s)) == 0 {
+				return false // every non-return flows somewhere
+			}
+		}
+		// Forward reachability from the entry covers the whole body for
+		// programs from this generator (no dead tails are produced).
+		seen := make(map[int]bool)
+		stack := []ir.Stmt{body[0]}
+		seen[0] = true
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nxt := range c.Succs(s) {
+				if !seen[nxt.Index()] {
+					seen[nxt.Index()] = true
+					stack = append(stack, nxt)
+				}
+			}
+		}
+		return len(seen) == len(body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

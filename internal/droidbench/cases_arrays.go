@@ -1,0 +1,71 @@
+package droidbench
+
+func init() {
+	register(Case{
+		Name:          "ArrayAccess1",
+		Category:      "Arrays and Lists",
+		ExpectedLeaks: 0,
+		Note: "Taint stored at index 1, clean value read from index 0: no " +
+			"real leak. Analyses that taint whole arrays (including FlowDroid, " +
+			"per the paper) report a false positive here.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    arr = newarray java.lang.String
+    arr[0] = "no taint"
+    arr[1] = imei
+    t = arr[0]
+`+logIt("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "ArrayAccess2",
+		Category:      "Arrays and Lists",
+		ExpectedLeaks: 0,
+		Note: "Like ArrayAccess1 but with a computed index; requires index " +
+			"reasoning no evaluated tool performs.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    arr = newarray java.lang.String
+    i = 2 * 3
+    j = i - 6
+    arr[j] = "no taint"
+    k = j + 1
+    arr[k] = imei
+    t = arr[j]
+`+logIt("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "ListAccess1",
+		Category:      "Arrays and Lists",
+		ExpectedLeaks: 0,
+		Note: "Taint added to a list, but only the clean element is read " +
+			"back. Whole-collection tainting (the shortcut-rule model) " +
+			"produces a false positive.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    lst = new java.util.ArrayList()
+    clean = "plain"
+    lst.add(clean)
+    lst.add(imei)
+    o = lst.get(0)
+    local t: java.lang.String
+    t = (java.lang.String) o
+`+logIt("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+}

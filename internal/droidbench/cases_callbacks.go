@@ -1,0 +1,209 @@
+package droidbench
+
+func init() {
+	register(Case{
+		Name:          "AnonymousClass1",
+		Category:      "Callbacks",
+		ExpectedLeaks: 1,
+		Note: "A separate listener class (standing in for Java's anonymous " +
+			"class) is registered imperatively; the location passed to the " +
+			"callback parameter leaks inside the callback itself.",
+		Files: mkApp(`
+class de.ecspride.MyListener implements android.location.LocationListener {
+  method init(): void {
+    return
+  }
+  method onLocationChanged(loc: android.location.Location): void {
+    s = loc.toString()
+`+logIt("s")+`
+  }
+  method onProviderEnabled(p: java.lang.String): void {
+    return
+  }
+  method onProviderDisabled(p: java.lang.String): void {
+    return
+  }
+  method onStatusChanged(p: java.lang.String, st: int): void {
+    return
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    lmRaw = this.getSystemService("location")
+    local lm: android.location.LocationManager
+    lm = (android.location.LocationManager) lmRaw
+    l = new de.ecspride.MyListener()
+    lm.requestLocationUpdates("gps", 0, 0, l)
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "Button1",
+		Category:      "Callbacks",
+		ExpectedLeaks: 1,
+		Note: "The IMEI collected in onCreate is stored in an activity field " +
+			"and sent via SMS from an XML-declared button click handler.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  field imei: java.lang.String
+  method onCreate(b: android.os.Bundle): void {
+    this.setContentView(@layout/main)
+`+getIMEI+`
+    this.imei = imei
+  }
+  method sendMessage(v: android.view.View): void {
+    t = this.imei
+`+sendSMS("t")+`
+  }
+}
+`, `  <Button android:id="@+id/button1" android:onClick="sendMessage"/>`,
+			"activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "Button2",
+		Category:      "Callbacks",
+		ExpectedLeaks: 1,
+		Note: "Two button combinations: one really leaks; the other " +
+			"overwrites the field with a constant before leaking, which only " +
+			"a strong-update (must-alias) analysis can prove clean. FlowDroid " +
+			"reports a false positive here (no strong updates on fields).",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  field data: java.lang.String
+  method onCreate(b: android.os.Bundle): void {
+    this.setContentView(@layout/main)
+    this.data = "init"
+  }
+  // Button A: taint the field.
+  method clickTaint(v: android.view.View): void {
+`+getIMEI+`
+    this.data = imei
+  }
+  // Button B: leak the field (a real leak after A).
+  method clickLeak(v: android.view.View): void {
+    t = this.data
+`+sendSMS("t")+`
+  }
+  // Button C: always overwrites before logging; never leaks in any real
+  // ordering, but field stores are not strong updates.
+  method clickSafe(v: android.view.View): void {
+    this.data = "safe"
+    u = this.data
+`+logIt("u")+`
+  }
+}
+`, `  <Button android:id="@+id/b1" android:onClick="clickTaint"/>
+  <Button android:id="@+id/b2" android:onClick="clickLeak"/>
+  <Button android:id="@+id/b3" android:onClick="clickSafe"/>`,
+			"activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "LocationLeak1",
+		Category:      "Callbacks",
+		ExpectedLeaks: 2,
+		Note: "The activity implements LocationListener itself; latitude and " +
+			"longitude stored by the callback leak from onResume (2 leaks).",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity
+    implements android.location.LocationListener {
+  field lat: java.lang.String
+  field lon: java.lang.String
+  method onCreate(b: android.os.Bundle): void {
+    lmRaw = this.getSystemService("location")
+    local lm: android.location.LocationManager
+    lm = (android.location.LocationManager) lmRaw
+    lm.requestLocationUpdates("gps", 0, 0, this)
+  }
+  method onLocationChanged(loc: android.location.Location): void {
+    la = loc.getLatitude()
+    las = java.lang.String.valueOf(la)
+    this.lat = las
+    lo = loc.getLongitude()
+    los = java.lang.String.valueOf(lo)
+    this.lon = los
+  }
+  method onProviderEnabled(p: java.lang.String): void {
+    return
+  }
+  method onProviderDisabled(p: java.lang.String): void {
+    return
+  }
+  method onStatusChanged(p: java.lang.String, st: int): void {
+    return
+  }
+  method onResume(): void {
+    t1 = this.lat
+`+logIt("t1")+`
+    t2 = this.lon
+`+logIt("t2")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "LocationLeak2",
+		Category:      "Callbacks",
+		ExpectedLeaks: 2,
+		Note: "A dedicated listener object stores the location in its own " +
+			"field; two other callbacks of the same listener leak it (2 leaks).",
+		Files: mkApp(`
+class de.ecspride.Listener implements android.location.LocationListener {
+  field data: java.lang.String
+  method init(): void {
+    return
+  }
+  method onLocationChanged(loc: android.location.Location): void {
+    s = loc.toString()
+    this.data = s
+  }
+  method onProviderEnabled(p: java.lang.String): void {
+    t = this.data
+`+logIt("t")+`
+  }
+  method onProviderDisabled(p: java.lang.String): void {
+    t = this.data
+`+sendSMS("t")+`
+  }
+  method onStatusChanged(p: java.lang.String, st: int): void {
+    return
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    lmRaw = this.getSystemService("location")
+    local lm: android.location.LocationManager
+    lm = (android.location.LocationManager) lmRaw
+    l = new de.ecspride.Listener()
+    lm.requestLocationUpdates("gps", 0, 0, l)
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "MethodOverride1",
+		Category:      "Callbacks",
+		ExpectedLeaks: 1,
+		Note: "The activity overrides a framework method (onLowMemory) that " +
+			"the system may invoke without any registration — an " +
+			"'undocumented callback'.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  field secret: java.lang.String
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    this.secret = imei
+  }
+  method onLowMemory(): void {
+    t = this.secret
+`+logIt("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+}

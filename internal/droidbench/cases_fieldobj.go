@@ -1,0 +1,256 @@
+package droidbench
+
+func init() {
+	register(Case{
+		Name:          "FieldSensitivity1",
+		Category:      "Field and Object Sensitivity",
+		ExpectedLeaks: 0,
+		Note: "Taint stored in one field, a different field of the same " +
+			"object leaked: field-insensitive tools report a false positive.",
+		Files: mkApp(`
+class de.ecspride.Datacontainer {
+  field secret: java.lang.String
+  field description: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    d = new de.ecspride.Datacontainer()
+`+getIMEI+`
+    d.secret = imei
+    d.description = "hello"
+    t = d.description
+`+sendSMS("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "FieldSensitivity2",
+		Category:      "Field and Object Sensitivity",
+		ExpectedLeaks: 0,
+		Note:          "As FieldSensitivity1 but through setter and getter methods.",
+		Files: mkApp(`
+class de.ecspride.Datacontainer {
+  field secret: java.lang.String
+  field description: java.lang.String
+  method init(): void {
+    return
+  }
+  method setSecret(s: java.lang.String): void {
+    this.secret = s
+  }
+  method setDescription(s: java.lang.String): void {
+    this.description = s
+  }
+  method getDescription(): java.lang.String {
+    r = this.description
+    return r
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    d = new de.ecspride.Datacontainer()
+`+getIMEI+`
+    d.setSecret(imei)
+    desc = "public"
+    d.setDescription(desc)
+    t = d.getDescription()
+`+logIt("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "FieldSensitivity3",
+		Category:      "Field and Object Sensitivity",
+		ExpectedLeaks: 1,
+		Note:          "The tainted field itself is leaked through a getter.",
+		Files: mkApp(`
+class de.ecspride.Datacontainer {
+  field secret: java.lang.String
+  field description: java.lang.String
+  method init(): void {
+    return
+  }
+  method setSecret(s: java.lang.String): void {
+    this.secret = s
+  }
+  method getSecret(): java.lang.String {
+    r = this.secret
+    return r
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    d = new de.ecspride.Datacontainer()
+`+getIMEI+`
+    d.setSecret(imei)
+    t = d.getSecret()
+`+sendSMS("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "FieldSensitivity4",
+		Category:      "Field and Object Sensitivity",
+		ExpectedLeaks: 1,
+		Note: "A deep access path: the taint sits two fields down " +
+			"(holder.inner.secret) and is leaked from there.",
+		Files: mkApp(`
+class de.ecspride.Inner {
+  field secret: java.lang.String
+  field noise: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class de.ecspride.Holder {
+  field inner: de.ecspride.Inner
+  method init(): void {
+    i = new de.ecspride.Inner()
+    this.inner = i
+  }
+  method getInner(): de.ecspride.Inner {
+    r = this.inner
+    return r
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    h = new de.ecspride.Holder()
+`+getIMEI+`
+    i1 = h.getInner()
+    i1.secret = imei
+    i2 = h.getInner()
+    t = i2.secret
+`+sendSMS("t")+`
+    u = i2.noise
+`+logIt("u")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "InheritedObjects1",
+		Category:      "Field and Object Sensitivity",
+		ExpectedLeaks: 1,
+		Note: "A variable of a supertype holds one of two subclasses chosen " +
+			"by an opaque condition; only one implementation returns taint.",
+		Files: mkApp(`
+class de.ecspride.General {
+  method init(): void {
+    return
+  }
+  method getInfo(c: android.content.Context): java.lang.String {
+    r = "plain"
+    return r
+  }
+}
+class de.ecspride.VarA extends de.ecspride.General {
+  method init(): void {
+    return
+  }
+  method getInfo(c: android.content.Context): java.lang.String {
+    tmRaw = c.getSystemService("phone")
+    local tm: android.telephony.TelephonyManager
+    tm = (android.telephony.TelephonyManager) tmRaw
+    r = tm.getDeviceId()
+    return r
+  }
+}
+class de.ecspride.VarB extends de.ecspride.General {
+  method init(): void {
+    return
+  }
+  method getInfo(c: android.content.Context): java.lang.String {
+    r = "harmless"
+    return r
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    local g: de.ecspride.General
+    if * goto other
+    g = new de.ecspride.VarA()
+    goto use
+  other:
+    g = new de.ecspride.VarB()
+  use:
+    ctx = this.getApplicationContext()
+    t = g.getInfo(ctx)
+`+sendSMS("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "ObjectSensitivity1",
+		Category:      "Field and Object Sensitivity",
+		ExpectedLeaks: 0,
+		Note: "Two instances of the same class; the taint is stored in one " +
+			"and the other is leaked — object-insensitive analyses merge them.",
+		Files: mkApp(`
+class de.ecspride.DataStore {
+  field field1: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    d1 = new de.ecspride.DataStore()
+    d2 = new de.ecspride.DataStore()
+`+getIMEI+`
+    d1.field1 = imei
+    d2.field1 = "clean"
+    t = d2.field1
+`+sendSMS("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "ObjectSensitivity2",
+		Category:      "Field and Object Sensitivity",
+		ExpectedLeaks: 0,
+		Note: "As ObjectSensitivity1, but the stores go through a shared " +
+			"setter — requiring deep object sensitivity in the alias analysis.",
+		Files: mkApp(`
+class de.ecspride.DataStore {
+  field field1: java.lang.String
+  method init(): void {
+    return
+  }
+  method setField(s: java.lang.String): void {
+    this.field1 = s
+  }
+  method getField(): java.lang.String {
+    r = this.field1
+    return r
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    d1 = new de.ecspride.DataStore()
+    d2 = new de.ecspride.DataStore()
+`+getIMEI+`
+    d1.setField(imei)
+    clean = "clean"
+    d2.setField(clean)
+    t = d2.getField()
+`+sendSMS("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+}

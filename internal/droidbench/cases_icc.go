@@ -1,0 +1,70 @@
+package droidbench
+
+func init() {
+	register(Case{
+		Name:          "IntentSink1",
+		Category:      "Inter-App Communication",
+		ExpectedLeaks: 1,
+		Note: "The taint is stored in a result intent handed back to the " +
+			"calling activity by the framework (setResult). There is no " +
+			"explicit sink call, so FlowDroid misses this leak — setResult is " +
+			"deliberately not in the sink list (Section 6.1).",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    i = new android.content.Intent()
+    i.putExtra("deviceId", imei)
+    this.setResult(0, i)
+    this.finish()
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "IntentSink2",
+		Category:      "Inter-App Communication",
+		ExpectedLeaks: 1,
+		Note: "The tainted intent is broadcast to other apps — an explicit " +
+			"ICC sink under the over-approximation (sent intents are sinks).",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    i = new android.content.Intent()
+    i.setAction("de.ecspride.SECRET")
+    i.putExtra("deviceId", imei)
+    this.sendBroadcast(i)
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "ActivityCommunication1",
+		Category:      "Inter-App Communication",
+		ExpectedLeaks: 1,
+		Note: "Data flows from one activity to another through a start " +
+			"intent; starting an activity with a tainted intent is a sink.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    i = new android.content.Intent()
+    i.setClassName("de.ecspride", "de.ecspride.SecondActivity")
+    i.putExtra("secret", imei)
+    this.startActivity(i)
+  }
+}
+class de.ecspride.SecondActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    i = this.getIntent()
+    s = i.getStringExtra("secret")
+    r = s
+    return
+  }
+}
+`, "", "activity:MainActivity", "activity:SecondActivity"),
+	})
+}

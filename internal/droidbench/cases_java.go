@@ -1,0 +1,136 @@
+package droidbench
+
+func init() {
+	register(Case{
+		Name:          "Loop1",
+		Category:      "General Java",
+		ExpectedLeaks: 1,
+		Note: "The taint is obfuscated character by character inside a loop " +
+			"(the paper's Listing 1 'must track primitives' pattern).",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    chars = imei.toCharArray()
+    obf = ""
+    i = 0
+  loop:
+    if * goto done
+    c = chars[i]
+    cs = java.lang.String.valueOf(c)
+    obf = obf + cs
+    i = i + 1
+    goto loop
+  done:
+`+sendSMS("obf")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "Loop2",
+		Category:      "General Java",
+		ExpectedLeaks: 1,
+		Note: "The taint is shuffled through a chain of locals inside a " +
+			"loop with a data-dependent exit before leaking.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    a = imei
+    b2 = "seed"
+  loop:
+    if * goto done
+    tmp = b2
+    b2 = a
+    a = tmp
+    goto loop
+  done:
+    msg = a + b2
+`+logIt("msg")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "SourceCodeSpecific1",
+		Category:      "General Java",
+		ExpectedLeaks: 2,
+		Note: "Source-level constructs (conditional expressions, nested " +
+			"calls) guard two distinct leaks of the same datum.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    local msg: java.lang.String
+    if * goto alt
+    msg = imei
+    goto send
+  alt:
+    msg = imei.substring(1)
+  send:
+`+sendSMS("msg")+`
+    t = de.ecspride.MainActivity.viaHelper(msg)
+`+logIt("t")+`
+  }
+  static method viaHelper(s: java.lang.String): java.lang.String {
+    r = s.trim()
+    return r
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "StaticInitialization1",
+		Category:      "General Java",
+		ExpectedLeaks: 1,
+		Note: "A static initializer leaks a static field that is written " +
+			"before the class's first use at runtime. Soot-style analyses " +
+			"assume all static initializers run at program start — before the " +
+			"store — so FlowDroid misses this leak.",
+		Files: mkApp(`
+class de.ecspride.LeakerClass {
+  static field data: java.lang.String
+  method init(): void {
+    return
+  }
+  // Runs at first use of the class: in real executions this is after
+  // onCreate stored the IMEI into the static field.
+  static method clinit(): void {
+    t = de.ecspride.LeakerClass.data
+`+logIt("t")+`
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    de.ecspride.LeakerClass.data = imei
+    l = new de.ecspride.LeakerClass()
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "UnreachableCode",
+		Category:      "General Java",
+		ExpectedLeaks: 0,
+		Note: "The leaking method is never invoked; a reachability-aware " +
+			"analysis must stay silent.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    s = "nothing"
+`+logIt("s")+`
+  }
+  method neverCalled(): void {
+`+getIMEI+`
+`+sendSMS("imei")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+}

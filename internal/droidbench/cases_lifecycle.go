@@ -1,0 +1,127 @@
+package droidbench
+
+func init() {
+	register(Case{
+		Name:          "BroadcastReceiverLifecycle1",
+		Category:      "Lifecycle",
+		ExpectedLeaks: 1,
+		Note: "A broadcast receiver leaks data received through its intent " +
+			"parameter (received intents are sources).",
+		Files: mkApp(`
+class de.ecspride.MyReceiver extends android.content.BroadcastReceiver {
+  method onReceive(c: android.content.Context, i: android.content.Intent): void {
+    s = i.getStringExtra("data")
+`+sendSMS("s")+`
+  }
+}
+`, "", "receiver:MyReceiver"),
+	})
+
+	register(Case{
+		Name:          "ActivityLifecycle1",
+		Category:      "Lifecycle",
+		ExpectedLeaks: 1,
+		Note: "The taint is obtained in onCreate and leaked in onDestroy: " +
+			"the whole lifecycle chain must be modeled.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  field imei: java.lang.String
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    this.imei = imei
+  }
+  method onDestroy(): void {
+    t = this.imei
+`+logIt("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "ActivityLifecycle2",
+		Category:      "Lifecycle",
+		ExpectedLeaks: 1,
+		Note: "The taint travels through the saved-instance-state bundle: " +
+			"written in onSaveInstanceState, read back in " +
+			"onRestoreInstanceState after the activity is recreated.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onSaveInstanceState(b: android.os.Bundle): void {
+`+getIMEI+`
+    b.putString("imei", imei)
+  }
+  method onRestoreInstanceState(b: android.os.Bundle): void {
+    t = b.getString("imei")
+`+sendSMS("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "ActivityLifecycle3",
+		Category:      "Lifecycle",
+		ExpectedLeaks: 1,
+		Note: "Taint stored in onStop leaks in onRestart — the restart edge " +
+			"of the lifecycle automaton (Figure 1) must exist.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  field data: java.lang.String
+  method onStop(): void {
+`+getIMEI+`
+    this.data = imei
+  }
+  method onRestart(): void {
+    t = this.data
+`+logIt("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "ActivityLifecycle4",
+		Category:      "Lifecycle",
+		ExpectedLeaks: 1,
+		Note: "Taint stored in onPause leaks in onResume: requires the " +
+			"pause→resume back edge (a paused activity may resume).",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  field data: java.lang.String
+  method onPause(): void {
+`+getIMEI+`
+    this.data = imei
+  }
+  method onResume(): void {
+    t = this.data
+`+sendSMS("t")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "ServiceLifecycle1",
+		Category:      "Lifecycle",
+		ExpectedLeaks: 1,
+		Note: "A service stores the taint in onStartCommand and leaks it in " +
+			"onDestroy — the service lifecycle must be modeled.",
+		Files: mkApp(`
+class de.ecspride.MyService extends android.app.Service {
+  field secret: java.lang.String
+  method onStartCommand(i: android.content.Intent): void {
+    tmRaw = this.getSystemService("phone")
+    local tm: android.telephony.TelephonyManager
+    tm = (android.telephony.TelephonyManager) tmRaw
+    imei = tm.getDeviceId()
+    this.secret = imei
+  }
+  method onDestroy(): void {
+    t = this.secret
+`+logIt("t")+`
+  }
+}
+`, "", "service:MyService"),
+	})
+}

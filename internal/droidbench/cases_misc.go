@@ -1,0 +1,136 @@
+package droidbench
+
+func init() {
+	register(Case{
+		Name:          "PrivateDataLeak1",
+		Category:      "Miscellaneous Android-Specific",
+		ExpectedLeaks: 1,
+		Note: "The paper's running example (Listing 1): a password field " +
+			"read in onRestart is sent via SMS from an XML button callback. " +
+			"Needs lifecycle, layout sources, XML callbacks and field " +
+			"sensitivity together.",
+		Files: mkApp(`
+class de.ecspride.User {
+  field name: java.lang.String
+  field pwd: java.lang.String
+  method init(n: java.lang.String, p: java.lang.String): void {
+    this.name = n
+    this.pwd = p
+  }
+  method getName(): java.lang.String {
+    r = this.name
+    return r
+  }
+  method getpwd(): java.lang.String {
+    r = this.pwd
+    return r
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  field user: de.ecspride.User
+  method onCreate(b: android.os.Bundle): void {
+    this.setContentView(@layout/main)
+  }
+  method onRestart(): void {
+    ut = this.findViewById(@id/username)
+    local unameText: android.widget.EditText
+    unameText = (android.widget.EditText) ut
+    pt = this.findViewById(@id/pwdString)
+    local pwdText: android.widget.EditText
+    pwdText = (android.widget.EditText) pt
+    uname = unameText.getText()
+    pwd = pwdText.getText()
+    if * goto skip
+    u = new de.ecspride.User(uname, pwd)
+    this.user = u
+  skip:
+    return
+  }
+  method sendMessage(v: android.view.View): void {
+    u = this.user
+    if * goto out
+    pwd = u.getpwd()
+    obf = pwd + "_"
+    nm = u.getName()
+    msg = "User: " + nm
+    msg2 = msg + obf
+`+sendSMS("msg2")+`
+  out:
+    return
+  }
+}
+`, `  <EditText android:id="@+id/username"/>
+  <EditText android:id="@+id/pwdString" android:inputType="textPassword"/>
+  <Button android:id="@+id/button1" android:onClick="sendMessage"/>`,
+			"activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "PrivateDataLeak2",
+		Category:      "Miscellaneous Android-Specific",
+		ExpectedLeaks: 1,
+		Note:          "The IMEI is written to a file output stream.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    fos = this.openFileOutput("out.txt", 0)
+    fos.write(imei)
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "DirectLeak1",
+		Category:      "Miscellaneous Android-Specific",
+		ExpectedLeaks: 1,
+		Note:          "The simplest possible flow: source and sink in one method.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+`+sendSMS("imei")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	register(Case{
+		Name:          "InactiveActivity",
+		Category:      "Miscellaneous Android-Specific",
+		ExpectedLeaks: 0,
+		Note: "The leaking activity is disabled in the manifest and can " +
+			"never run; tools ignoring the manifest report a false positive.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    s = "all quiet"
+`+logIt("s")+`
+  }
+}
+class de.ecspride.InactiveActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+`+sendSMS("imei")+`
+  }
+}
+`, "", "activity:MainActivity", "activity!:InactiveActivity"),
+	})
+
+	register(Case{
+		Name:          "LogNoLeak",
+		Category:      "Miscellaneous Android-Specific",
+		ExpectedLeaks: 0,
+		Note:          "Only non-sensitive data reaches the log sink.",
+		Files: mkApp(`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    msg = "started"
+    full = msg + "!"
+`+logIt("full")+`
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+}

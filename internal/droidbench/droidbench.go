@@ -1,0 +1,148 @@
+// Package droidbench re-implements the DROIDBENCH 1.0 micro-benchmark
+// suite (Section 6.1, Table 1 of the paper) on top of the IR app model:
+// 35 hand-crafted apps across seven categories, each reproducing one
+// specific analysis challenge — array index handling, callback wiring,
+// field and object sensitivity, inter-app communication, the Android
+// lifecycle, general Java constructs and Android-specific leaks — with
+// the original ground truth.
+//
+// The suite is analyzer-agnostic: the runner scores any function from an
+// app package to a leak count, which is how FlowDroid is compared against
+// the commercial-tool baselines in internal/baseline.
+package droidbench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Case is one benchmark app with its ground truth.
+type Case struct {
+	// Name is the app's name as it appears in Table 1.
+	Name string
+	// Category groups cases as in Table 1.
+	Category string
+	// ExpectedLeaks is the ground-truth number of leaks.
+	ExpectedLeaks int
+	// Files is the app package.
+	Files map[string]string
+	// Note documents what the case tests and any expected analyzer
+	// behaviour from the paper.
+	Note string
+}
+
+// categories in Table 1 order.
+var categoryOrder = []string{
+	"Arrays and Lists",
+	"Callbacks",
+	"Field and Object Sensitivity",
+	"Inter-App Communication",
+	"Lifecycle",
+	"General Java",
+	"Miscellaneous Android-Specific",
+}
+
+var registry []Case
+
+func register(c Case) {
+	registry = append(registry, c)
+}
+
+// Cases returns all benchmark cases in Table 1 order (by category, then
+// registration order within the category).
+func Cases() []Case {
+	out := append([]Case(nil), registry...)
+	rank := make(map[string]int, len(categoryOrder))
+	for i, c := range categoryOrder {
+		rank[c] = i
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return rank[out[i].Category] < rank[out[j].Category]
+	})
+	return out
+}
+
+// CaseByName finds a case.
+func CaseByName(name string) (Case, bool) {
+	for _, c := range registry {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// TotalExpectedLeaks sums the ground truth over the suite.
+func TotalExpectedLeaks() int {
+	n := 0
+	for _, c := range registry {
+		n += c.ExpectedLeaks
+	}
+	return n
+}
+
+// ---------------------------------------------------------------- builders
+
+// pkg is the package name all suite apps share (each app loads into its
+// own program, so there is no interference).
+const pkg = "de.ecspride"
+
+// mkApp assembles an app package. Component descriptors take the form
+// "activity:Name", "service:Name", "receiver:Name", "provider:Name"; a
+// "!" suffix on the kind disables the component ("activity!:Name"). The
+// layout (if non-empty) becomes res/layout/main.xml.
+func mkApp(code, layoutXML string, comps ...string) map[string]string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<?xml version="1.0"?>
+<manifest xmlns:android="http://schemas.android.com/apk/res/android" package=%q>
+  <application>
+`, pkg)
+	for _, c := range comps {
+		kind, name, ok := strings.Cut(c, ":")
+		if !ok {
+			panic("droidbench: bad component descriptor " + c)
+		}
+		enabled := ""
+		if strings.HasSuffix(kind, "!") {
+			kind = strings.TrimSuffix(kind, "!")
+			enabled = ` android:enabled="false"`
+		}
+		fmt.Fprintf(&b, `    <%s android:name=".%s"%s/>
+`, kind, name, enabled)
+	}
+	b.WriteString("  </application>\n</manifest>\n")
+	files := map[string]string{
+		"AndroidManifest.xml": b.String(),
+		"classes.ir":          code,
+	}
+	if layoutXML != "" {
+		files["res/layout/main.xml"] = `<?xml version="1.0"?>
+<LinearLayout xmlns:android="http://schemas.android.com/apk/res/android">
+` + layoutXML + `
+</LinearLayout>`
+	}
+	return files
+}
+
+// getIMEI is the canonical snippet obtaining the device ID (a source);
+// it defines locals tmRaw, tm and imei.
+const getIMEI = `
+    tmRaw = this.getSystemService("phone")
+    local tm: android.telephony.TelephonyManager
+    tm = (android.telephony.TelephonyManager) tmRaw
+    imei = tm.getDeviceId()
+`
+
+// sendSMS leaks the given local via SMS; defines local sms.
+func sendSMS(local string) string {
+	return fmt.Sprintf(`
+    sms = android.telephony.SmsManager.getDefault()
+    sms.sendTextMessage("+49 1234", null, %s, null, null)
+`, local)
+}
+
+// logIt leaks the given local via the log sink.
+func logIt(local string) string {
+	return fmt.Sprintf("    android.util.Log.i(\"DroidBench\", %s)\n", local)
+}

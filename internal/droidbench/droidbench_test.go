@@ -1,0 +1,177 @@
+package droidbench
+
+import (
+	"testing"
+)
+
+func TestSuiteShape(t *testing.T) {
+	cases := Cases()
+	if len(cases) != 35 {
+		t.Errorf("suite has %d cases, want the 35 Table 1 rows", len(cases))
+	}
+	if got := TotalExpectedLeaks(); got != 28 {
+		t.Errorf("total expected leaks = %d, want 28 (recall denominators of Table 1)", got)
+	}
+	perCat := map[string]int{}
+	for _, c := range cases {
+		perCat[c.Category]++
+		if c.Note == "" {
+			t.Errorf("%s: missing note", c.Name)
+		}
+		if len(c.Files) == 0 {
+			t.Errorf("%s: no files", c.Name)
+		}
+	}
+	want := map[string]int{
+		"Arrays and Lists":               3,
+		"Callbacks":                      6,
+		"Field and Object Sensitivity":   7,
+		"Inter-App Communication":        3,
+		"Lifecycle":                      6,
+		"General Java":                   5,
+		"Miscellaneous Android-Specific": 5,
+	}
+	for cat, n := range want {
+		if perCat[cat] != n {
+			t.Errorf("category %q has %d cases, want %d", cat, perCat[cat], n)
+		}
+	}
+}
+
+// perCaseExpectation is FlowDroid's documented Table 1 behaviour: the
+// number of leaks it reports per app (TPs plus its four known false
+// positives, minus its two known misses).
+var flowDroidExpected = map[string]int{
+	"ArrayAccess1": 1, // FP: whole-array tainting
+	"ArrayAccess2": 1, // FP: whole-array tainting
+	"ListAccess1":  1, // FP: whole-collection tainting
+
+	"AnonymousClass1": 1,
+	"Button1":         1,
+	"Button2":         2, // 1 TP + 1 FP: no strong updates on fields
+	"LocationLeak1":   2,
+	"LocationLeak2":   2,
+	"MethodOverride1": 1,
+
+	"FieldSensitivity1":  0,
+	"FieldSensitivity2":  0,
+	"FieldSensitivity3":  1,
+	"FieldSensitivity4":  1,
+	"InheritedObjects1":  1,
+	"ObjectSensitivity1": 0,
+	"ObjectSensitivity2": 0,
+
+	"IntentSink1":            0, // miss: result intent has no sink call
+	"IntentSink2":            1,
+	"ActivityCommunication1": 1,
+
+	"BroadcastReceiverLifecycle1": 1,
+	"ActivityLifecycle1":          1,
+	"ActivityLifecycle2":          1,
+	"ActivityLifecycle3":          1,
+	"ActivityLifecycle4":          1,
+	"ServiceLifecycle1":           1,
+
+	"Loop1":                 1,
+	"Loop2":                 1,
+	"SourceCodeSpecific1":   2,
+	"StaticInitialization1": 0, // miss: clinit assumed to run at start
+	"UnreachableCode":       0,
+
+	"PrivateDataLeak1": 1,
+	"PrivateDataLeak2": 1,
+	"DirectLeak1":      1,
+	"InactiveActivity": 0,
+	"LogNoLeak":        0,
+}
+
+// TestFlowDroidTable1 reproduces FlowDroid's column of Table 1 exactly:
+// 26 true positives, 4 false positives, 2 missed leaks — 86% precision,
+// 93% recall, F-measure 0.89.
+func TestFlowDroidTable1(t *testing.T) {
+	fd := FlowDroid()
+	results := RunSuite(fd)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: analysis error: %v", r.Case.Name, r.Err)
+			continue
+		}
+		want, ok := flowDroidExpected[r.Case.Name]
+		if !ok {
+			t.Errorf("%s: no expectation recorded", r.Case.Name)
+			continue
+		}
+		if r.Found != want {
+			t.Errorf("%s: reported %d leaks, want %d (%s)", r.Case.Name, r.Found, want, r.Case.Note)
+		}
+	}
+	s := Score(results)
+	if s.TP != 26 || s.FP != 4 || s.Missed != 2 {
+		t.Errorf("totals TP/FP/missed = %d/%d/%d, want 26/4/2", s.TP, s.FP, s.Missed)
+	}
+	if s.Recall < 0.92 || s.Recall > 0.94 {
+		t.Errorf("recall = %.3f, want ≈0.93", s.Recall)
+	}
+	if s.Precision < 0.85 || s.Precision > 0.88 {
+		t.Errorf("precision = %.3f, want ≈0.86", s.Precision)
+	}
+	if s.F < 0.88 || s.F > 0.91 {
+		t.Errorf("F-measure = %.3f, want ≈0.89", s.F)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	fd := FlowDroid()
+	results := RunSuite(fd)
+	out := RenderTable([]string{"FlowDroid"}, [][]CaseResult{results})
+	for _, want := range []string{"DirectLeak1", "Precision", "Recall", "F-measure", "Lifecycle"} {
+		if !contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// flowDroidExtraExpected documents the extension suite's expected results.
+var flowDroidExtraExpected = map[string]int{
+	"ThreadLeak1":                 1,
+	"ApplicationLifecycle1":       1,
+	"MultiComponent1":             1,
+	"UnregisteredComponent1":      0,
+	"Obfuscation1":                1,
+	"SharedPreferencesRoundTrip1": 2,
+	"DeepCallChain1":              1,
+}
+
+func TestFlowDroidExtensions(t *testing.T) {
+	fd := FlowDroid()
+	for _, c := range ExtraCases() {
+		want, ok := flowDroidExtraExpected[c.Name]
+		if !ok {
+			t.Errorf("%s: no expectation recorded", c.Name)
+			continue
+		}
+		found, err := fd.Run(c.Files)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		if found != want {
+			t.Errorf("%s: reported %d leaks, want %d (%s)", c.Name, found, want, c.Note)
+		}
+	}
+	// Extension cases must not pollute the Table 1 registry.
+	if len(Cases()) != 35 {
+		t.Errorf("Table 1 registry grew to %d cases", len(Cases()))
+	}
+}

@@ -1,0 +1,112 @@
+package framework
+
+import (
+	"testing"
+
+	"flowdroid/internal/ir"
+)
+
+func TestFrameworkLoads(t *testing.T) {
+	prog := NewProgram()
+	if err := prog.Link(); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	for _, cls := range []string{
+		"java.lang.Object", "java.lang.String", "java.util.ArrayList",
+		ActivityClass, ServiceClass, ReceiverClass, ProviderClass,
+		"android.telephony.SmsManager", "android.view.View$OnClickListener",
+	} {
+		if prog.Class(cls) == nil {
+			t.Errorf("framework class %s missing", cls)
+		}
+	}
+}
+
+func TestSubtyping(t *testing.T) {
+	prog := NewProgram()
+	if err := prog.Link(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"android.widget.EditText", "android.view.View", true},
+		{"android.widget.EditText", "java.lang.Object", true},
+		{"java.util.ArrayList", "java.util.List", true},
+		{"java.util.ArrayList", "java.util.Collection", true},
+		{"java.util.HashSet", "java.util.Collection", true},
+		{"android.app.Activity", "android.content.Context", true},
+		{"android.app.Activity", "android.app.Service", false},
+		{"java.lang.String", "java.util.List", false},
+	}
+	for _, c := range cases {
+		if got := prog.SubtypeOf(c.sub, c.super); got != c.want {
+			t.Errorf("SubtypeOf(%s, %s) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	prog := NewProgram()
+	// An app activity subclass.
+	ir.NewClassIn(prog, "com.app.Main", ActivityClass)
+	ir.NewClassIn(prog, "com.app.Helper", "")
+	if err := prog.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if k := KindOf(prog, "com.app.Main"); k != Activity {
+		t.Errorf("KindOf(Main) = %v, want Activity", k)
+	}
+	if k := KindOf(prog, "com.app.Helper"); k != NotAComponent {
+		t.Errorf("KindOf(Helper) = %v, want NotAComponent", k)
+	}
+	if k := KindOf(prog, ReceiverClass); k != Receiver {
+		t.Errorf("KindOf(receiver base) = %v, want Receiver", k)
+	}
+}
+
+func TestMethodResolution(t *testing.T) {
+	prog := NewProgram()
+	if err := prog.Link(); err != nil {
+		t.Fatal(err)
+	}
+	// EditText inherits getText from TextView.
+	m := prog.ResolveMethod("android.widget.EditText", "getText", 0)
+	if m == nil {
+		t.Fatal("getText not resolved on EditText")
+	}
+	if m.Class.Name != "android.widget.TextView" {
+		t.Errorf("getText resolved in %s, want android.widget.TextView", m.Class.Name)
+	}
+	// Interface method resolution through extends chain.
+	if m := prog.ResolveMethod("java.util.Set", "add", 1); m == nil {
+		t.Error("Set.add not resolved via Collection")
+	}
+}
+
+func TestLifecycleMetadata(t *testing.T) {
+	if !IsLifecycleMethod(Activity, "onCreate", 1) {
+		t.Error("onCreate/1 should be an activity lifecycle method")
+	}
+	if IsLifecycleMethod(Activity, "onCreate", 0) {
+		t.Error("onCreate/0 should not match (arity)")
+	}
+	if !IsLifecycleMethod(Receiver, "onReceive", 2) {
+		t.Error("onReceive/2 should be a receiver lifecycle method")
+	}
+	if !IsCallbackInterface("android.view.View$OnClickListener") {
+		t.Error("OnClickListener should be a callback interface")
+	}
+	if !IsOverridableMethod("onLowMemory", 0) {
+		t.Error("onLowMemory should be overridable")
+	}
+	for _, k := range []ComponentKind{Activity, Service, Receiver, Provider} {
+		if BaseClass(k) == "" {
+			t.Errorf("no base class for %v", k)
+		}
+		if len(LifecycleOf(k)) == 0 {
+			t.Errorf("no lifecycle for %v", k)
+		}
+	}
+}

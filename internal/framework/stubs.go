@@ -1,0 +1,445 @@
+package framework
+
+// stubSource is the framework library model in IR text form: the subset of
+// java.lang, java.util, java.io, java.net and android.* the benchmark
+// programs and analyses need. All methods are bodyless stubs.
+const stubSource = `
+// ---------------------------------------------------------------- java.lang
+
+class java.lang.Object {
+  method init(): void;
+  method toString(): java.lang.String;
+  method equals(o: java.lang.Object): boolean;
+  method hashCode(): int;
+  method getClass(): java.lang.Class;
+}
+
+class java.lang.Class {
+  method getName(): java.lang.String;
+  method newInstance(): java.lang.Object;
+}
+
+class java.lang.String {
+  method init(s: java.lang.String): void;
+  method concat(s: java.lang.String): java.lang.String;
+  method substring(b: int): java.lang.String;
+  method toCharArray(): char[];
+  method getBytes(): byte[];
+  method isEmpty(): boolean;
+  method length(): int;
+  method charAt(i: int): char;
+  method toUpperCase(): java.lang.String;
+  method toLowerCase(): java.lang.String;
+  method trim(): java.lang.String;
+  method split(sep: java.lang.String): java.lang.String[];
+  method indexOf(s: java.lang.String): int;
+  method replace(a: java.lang.String, b: java.lang.String): java.lang.String;
+  method contains(s: java.lang.String): boolean;
+  method compareTo(s: java.lang.String): int;
+  method startsWith(s: java.lang.String): boolean;
+  static method valueOf(o: java.lang.Object): java.lang.String;
+  static method format(f: java.lang.String, a: java.lang.Object): java.lang.String;
+}
+
+class java.lang.StringBuilder {
+  method init(): void;
+  method append(s: java.lang.String): java.lang.StringBuilder;
+  method insert(i: int, s: java.lang.String): java.lang.StringBuilder;
+  method reverse(): java.lang.StringBuilder;
+  method deleteCharAt(i: int): java.lang.StringBuilder;
+}
+
+class java.lang.StringBuffer {
+  method init(): void;
+  method append(s: java.lang.String): java.lang.StringBuffer;
+}
+
+class java.lang.Integer {
+  static method parseInt(s: java.lang.String): int;
+  static method valueOf(i: int): java.lang.Integer;
+  method intValue(): int;
+}
+
+class java.lang.System {
+  static method arraycopy(src: java.lang.Object, sp: int, dst: java.lang.Object, dp: int, n: int): void;
+  static method currentTimeMillis(): long;
+  static method getProperty(k: java.lang.String): java.lang.String;
+}
+
+interface java.lang.Runnable {
+  method run(): void;
+}
+
+class java.lang.Thread {
+  method init(r: java.lang.Runnable): void;
+  method start(): void;
+  method join(): void;
+}
+
+class java.lang.Exception {
+  method init(msg: java.lang.String): void;
+  method getMessage(): java.lang.String;
+}
+
+// ---------------------------------------------------------------- java.util
+
+interface java.util.Iterator {
+  method hasNext(): boolean;
+  method next(): java.lang.Object;
+}
+
+interface java.util.Collection {
+  method add(e: java.lang.Object): boolean;
+  method size(): int;
+  method iterator(): java.util.Iterator;
+  method clear(): void;
+  method contains(e: java.lang.Object): boolean;
+}
+
+interface java.util.List extends java.util.Collection {
+  method get(i: int): java.lang.Object;
+  method set(i: int, e: java.lang.Object): java.lang.Object;
+  method remove(i: int): java.lang.Object;
+}
+
+class java.util.ArrayList implements java.util.List {
+  method init(): void;
+  method add(e: java.lang.Object): boolean;
+  method get(i: int): java.lang.Object;
+  method set(i: int, e: java.lang.Object): java.lang.Object;
+  method remove(i: int): java.lang.Object;
+  method size(): int;
+  method iterator(): java.util.Iterator;
+  method clear(): void;
+  method contains(e: java.lang.Object): boolean;
+}
+
+class java.util.LinkedList implements java.util.List {
+  method init(): void;
+  method add(e: java.lang.Object): boolean;
+  method addFirst(e: java.lang.Object): void;
+  method addLast(e: java.lang.Object): void;
+  method get(i: int): java.lang.Object;
+  method getFirst(): java.lang.Object;
+  method set(i: int, e: java.lang.Object): java.lang.Object;
+  method remove(i: int): java.lang.Object;
+  method size(): int;
+  method iterator(): java.util.Iterator;
+  method clear(): void;
+  method contains(e: java.lang.Object): boolean;
+}
+
+interface java.util.Map {
+  method put(k: java.lang.Object, v: java.lang.Object): java.lang.Object;
+  method get(k: java.lang.Object): java.lang.Object;
+  method remove(k: java.lang.Object): java.lang.Object;
+  method containsKey(k: java.lang.Object): boolean;
+  method keySet(): java.util.Set;
+  method values(): java.util.Collection;
+}
+
+class java.util.HashMap implements java.util.Map {
+  method init(): void;
+  method put(k: java.lang.Object, v: java.lang.Object): java.lang.Object;
+  method get(k: java.lang.Object): java.lang.Object;
+  method remove(k: java.lang.Object): java.lang.Object;
+  method containsKey(k: java.lang.Object): boolean;
+  method keySet(): java.util.Set;
+  method values(): java.util.Collection;
+}
+
+class java.util.Hashtable implements java.util.Map {
+  method init(): void;
+  method put(k: java.lang.Object, v: java.lang.Object): java.lang.Object;
+  method get(k: java.lang.Object): java.lang.Object;
+  method remove(k: java.lang.Object): java.lang.Object;
+  method containsKey(k: java.lang.Object): boolean;
+  method keySet(): java.util.Set;
+  method values(): java.util.Collection;
+  method elements(): java.util.Iterator;
+}
+
+interface java.util.Set extends java.util.Collection {
+}
+
+class java.util.HashSet implements java.util.Set {
+  method init(): void;
+  method add(e: java.lang.Object): boolean;
+  method size(): int;
+  method iterator(): java.util.Iterator;
+  method clear(): void;
+  method contains(e: java.lang.Object): boolean;
+}
+
+class java.util.Vector implements java.util.List {
+  method init(): void;
+  method add(e: java.lang.Object): boolean;
+  method addElement(e: java.lang.Object): void;
+  method get(i: int): java.lang.Object;
+  method elementAt(i: int): java.lang.Object;
+  method set(i: int, e: java.lang.Object): java.lang.Object;
+  method remove(i: int): java.lang.Object;
+  method size(): int;
+  method iterator(): java.util.Iterator;
+  method clear(): void;
+  method contains(e: java.lang.Object): boolean;
+}
+
+class java.util.StringTokenizer {
+  method init(s: java.lang.String): void;
+  method hasMoreTokens(): boolean;
+  method nextToken(): java.lang.String;
+}
+
+// ------------------------------------------------------- java.io / java.net
+
+class java.io.OutputStream {
+  method write(b: java.lang.String): void;
+  method close(): void;
+}
+
+class java.io.FileOutputStream extends java.io.OutputStream {
+  method init(name: java.lang.String): void;
+}
+
+class java.io.Writer {
+  method write(s: java.lang.String): void;
+  method close(): void;
+}
+
+class java.io.PrintWriter extends java.io.Writer {
+  method init(w: java.io.Writer): void;
+  method println(s: java.lang.String): void;
+  method print(s: java.lang.String): void;
+}
+
+class java.io.BufferedReader {
+  method init(r: java.lang.Object): void;
+  method readLine(): java.lang.String;
+}
+
+class java.io.File {
+  method init(name: java.lang.String): void;
+  method getPath(): java.lang.String;
+}
+
+class java.net.URL {
+  method init(spec: java.lang.String): void;
+  method openConnection(): java.net.URLConnection;
+}
+
+class java.net.URLConnection {
+  method getOutputStream(): java.io.OutputStream;
+  method getInputStream(): java.lang.Object;
+  method setRequestProperty(k: java.lang.String, v: java.lang.String): void;
+}
+
+class java.net.Socket {
+  method init(host: java.lang.String, port: int): void;
+  method getOutputStream(): java.io.OutputStream;
+}
+
+// ------------------------------------------------------------- android.os
+
+class android.os.Bundle {
+  method init(): void;
+  method putString(k: java.lang.String, v: java.lang.String): void;
+  method getString(k: java.lang.String): java.lang.String;
+}
+
+// -------------------------------------------------------- android.content
+
+class android.content.Context {
+  method getSystemService(name: java.lang.String): java.lang.Object;
+  method sendBroadcast(i: android.content.Intent): void;
+  method registerReceiver(r: android.content.BroadcastReceiver, f: android.content.IntentFilter): android.content.Intent;
+  method getSharedPreferences(name: java.lang.String, mode: int): android.content.SharedPreferences;
+  method startService(i: android.content.Intent): void;
+  method startActivity(i: android.content.Intent): void;
+  method openFileOutput(name: java.lang.String, mode: int): java.io.FileOutputStream;
+  method getApplicationContext(): android.content.Context;
+}
+
+class android.content.Intent {
+  method init(): void;
+  method setAction(a: java.lang.String): android.content.Intent;
+  method getAction(): java.lang.String;
+  method putExtra(k: java.lang.String, v: java.lang.String): android.content.Intent;
+  method getStringExtra(k: java.lang.String): java.lang.String;
+  method getExtras(): android.os.Bundle;
+  method setClassName(pkg: java.lang.String, cls: java.lang.String): android.content.Intent;
+}
+
+class android.content.IntentFilter {
+  method init(action: java.lang.String): void;
+}
+
+class android.content.SharedPreferences {
+  method edit(): android.content.SharedPreferences$Editor;
+  method getString(k: java.lang.String, dflt: java.lang.String): java.lang.String;
+}
+
+class android.content.SharedPreferences$Editor {
+  method putString(k: java.lang.String, v: java.lang.String): android.content.SharedPreferences$Editor;
+  method commit(): boolean;
+}
+
+class android.content.ContentValues {
+  method init(): void;
+  method put(k: java.lang.String, v: java.lang.String): void;
+}
+
+class android.net.Uri {
+  static method parse(s: java.lang.String): android.net.Uri;
+}
+
+interface android.content.DialogInterface$OnClickListener {
+  method onClick(d: java.lang.Object, which: int): void;
+}
+
+// ------------------------------------------------------------ components
+
+class android.app.Activity extends android.content.Context {
+  method init(): void;
+  method onCreate(b: android.os.Bundle): void;
+  method onStart(): void;
+  method onRestoreInstanceState(b: android.os.Bundle): void;
+  method onResume(): void;
+  method onPause(): void;
+  method onSaveInstanceState(b: android.os.Bundle): void;
+  method onStop(): void;
+  method onRestart(): void;
+  method onDestroy(): void;
+  method onLowMemory(): void;
+  method onTrimMemory(level: int): void;
+  method onConfigurationChanged(c: java.lang.Object): void;
+  method onActivityResult(data: android.content.Intent): void;
+  method onNewIntent(i: android.content.Intent): void;
+  method onUserLeaveHint(): void;
+  method onBackPressed(): void;
+  method findViewById(id: int): android.view.View;
+  method setContentView(id: int): void;
+  method getIntent(): android.content.Intent;
+  method setIntent(i: android.content.Intent): void;
+  method setResult(code: int, data: android.content.Intent): void;
+  method startActivityForResult(i: android.content.Intent, code: int): void;
+  method runOnUiThread(r: java.lang.Runnable): void;
+  method finish(): void;
+}
+
+class android.app.Service extends android.content.Context {
+  method init(): void;
+  method onCreate(): void;
+  method onStartCommand(i: android.content.Intent): void;
+  method onBind(i: android.content.Intent): void;
+  method onUnbind(i: android.content.Intent): void;
+  method onDestroy(): void;
+  method onLowMemory(): void;
+}
+
+class android.content.BroadcastReceiver {
+  method init(): void;
+  method onReceive(c: android.content.Context, i: android.content.Intent): void;
+}
+
+class android.content.ContentProvider {
+  method init(): void;
+  method onCreate(): void;
+  method query(uri: android.net.Uri, sel: java.lang.String): java.lang.Object;
+  method insert(uri: android.net.Uri, vals: android.content.ContentValues): android.net.Uri;
+  method update(uri: android.net.Uri, vals: android.content.ContentValues): int;
+  method delete(uri: android.net.Uri, sel: java.lang.String): int;
+}
+
+class android.app.Application extends android.content.Context {
+  method init(): void;
+  method onCreate(): void;
+}
+
+// --------------------------------------------------------- views / widgets
+
+class android.view.View {
+  method init(c: android.content.Context): void;
+  method setOnClickListener(l: android.view.View$OnClickListener): void;
+  method setOnLongClickListener(l: android.view.View$OnLongClickListener): void;
+  method setOnTouchListener(l: android.view.View$OnTouchListener): void;
+  method findViewById(id: int): android.view.View;
+  method getId(): int;
+  method setEnabled(b: boolean): void;
+}
+
+interface android.view.View$OnClickListener {
+  method onClick(v: android.view.View): void;
+}
+
+interface android.view.View$OnLongClickListener {
+  method onLongClick(v: android.view.View): boolean;
+}
+
+interface android.view.View$OnTouchListener {
+  method onTouch(v: android.view.View, e: java.lang.Object): boolean;
+}
+
+class android.widget.TextView extends android.view.View {
+  method getText(): java.lang.String;
+  method setText(s: java.lang.String): void;
+  method addTextChangedListener(w: android.widget.TextWatcher): void;
+}
+
+interface android.widget.TextWatcher {
+  method beforeTextChanged(s: java.lang.String, n: int): void;
+  method onTextChanged(s: java.lang.String, n: int): void;
+  method afterTextChanged(s: java.lang.String): void;
+}
+
+class android.widget.EditText extends android.widget.TextView {
+}
+
+class android.widget.Button extends android.widget.TextView {
+}
+
+// ----------------------------------------------- telephony / location / log
+
+class android.telephony.TelephonyManager {
+  method getDeviceId(): java.lang.String;
+  method getSimSerialNumber(): java.lang.String;
+  method getSubscriberId(): java.lang.String;
+  method getLine1Number(): java.lang.String;
+}
+
+class android.telephony.SmsManager {
+  static method getDefault(): android.telephony.SmsManager;
+  method sendTextMessage(dest: java.lang.String, sc: java.lang.String, text: java.lang.String, si: java.lang.Object, di: java.lang.Object): void;
+}
+
+class android.location.Location {
+  method getLatitude(): long;
+  method getLongitude(): long;
+  method toString(): java.lang.String;
+}
+
+class android.location.LocationManager {
+  method getLastKnownLocation(provider: java.lang.String): android.location.Location;
+  method requestLocationUpdates(provider: java.lang.String, minTime: long, minDist: long, l: android.location.LocationListener): void;
+}
+
+interface android.location.LocationListener {
+  method onLocationChanged(l: android.location.Location): void;
+  method onProviderEnabled(p: java.lang.String): void;
+  method onProviderDisabled(p: java.lang.String): void;
+  method onStatusChanged(p: java.lang.String, status: int): void;
+}
+
+class android.util.Log {
+  static method v(tag: java.lang.String, msg: java.lang.String): int;
+  static method d(tag: java.lang.String, msg: java.lang.String): int;
+  static method i(tag: java.lang.String, msg: java.lang.String): int;
+  static method w(tag: java.lang.String, msg: java.lang.String): int;
+  static method e(tag: java.lang.String, msg: java.lang.String): int;
+}
+
+class android.accounts.AccountManager {
+  static method get(c: android.content.Context): android.accounts.AccountManager;
+  method getPassword(account: java.lang.Object): java.lang.String;
+}
+`

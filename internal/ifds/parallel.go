@@ -1,0 +1,185 @@
+package ifds
+
+import (
+	"runtime"
+	"sync"
+
+	"flowdroid/internal/ir"
+)
+
+// SolveParallel runs the problem with a pool of worker goroutines, the
+// way Heros parallelizes IFDS: path-edge processing is independent work;
+// the jump table, incoming sets and summaries are shared state. Flow
+// functions are evaluated outside the solver lock and must therefore be
+// safe for concurrent use (pure functions of their inputs; problems that
+// record results, e.g. leaks, must synchronize their own writes).
+//
+// The computed fact sets are identical to Solve's — the exploded-graph
+// reachability is confluent — only the discovery order differs.
+func (s *Solver[D]) SolveParallel(workers int) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 {
+		s.Solve()
+		return
+	}
+	p := &parallelRun[D]{s: s}
+	p.cond = sync.NewCond(&p.mu)
+
+	zero := s.Problem.Zero()
+	for _, seed := range s.Problem.Seeds() {
+		p.propagate(zero, seed, zero)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.worker()
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelRun wraps the solver state with a lock and a condition-variable
+// work queue. pending counts queued plus in-flight items; the run is done
+// when it reaches zero with an empty queue.
+type parallelRun[D comparable] struct {
+	s       *Solver[D]
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []workItem[D]
+	pending int
+	done    bool
+}
+
+// propagate inserts a path edge under the lock and enqueues it if new.
+func (p *parallelRun[D]) propagate(d1 D, n ir.Stmt, d2 D) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	edges := p.s.jump[n]
+	if edges == nil {
+		edges = make(map[pair[D]]bool)
+		p.s.jump[n] = edges
+	}
+	pe := pair[D]{d1, d2}
+	if edges[pe] {
+		return
+	}
+	edges[pe] = true
+	p.s.PropagateCount++
+	p.queue = append(p.queue, workItem[D]{n, d1, d2})
+	p.pending++
+	p.cond.Signal()
+}
+
+func (p *parallelRun[D]) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.done {
+			if p.pending == 0 {
+				p.done = true
+				p.cond.Broadcast()
+				break
+			}
+			p.cond.Wait()
+		}
+		if p.done && len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		it := p.queue[len(p.queue)-1]
+		p.queue = p.queue[:len(p.queue)-1]
+		p.mu.Unlock()
+
+		p.process(it)
+
+		p.mu.Lock()
+		p.pending--
+		if p.pending == 0 {
+			p.done = true
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// process mirrors Solver.drain's dispatch but funnels every propagation
+// through the locked queue. Flow functions run unlocked.
+func (p *parallelRun[D]) process(it workItem[D]) {
+	s := p.s
+	switch {
+	case s.ICFG.IsCall(it.n):
+		for _, callee := range s.ICFG.CalleesOf(it.n) {
+			sp := s.ICFG.StartPoint(callee)
+			if sp == nil {
+				continue
+			}
+			for _, d3 := range s.Problem.Call(it.n, callee, it.d2) {
+				p.registerIncoming(callee, d3, it)
+				p.propagate(d3, sp, d3)
+			}
+		}
+		for _, retSite := range s.ICFG.SuccsOf(it.n) {
+			for _, d3 := range s.Problem.CallToReturn(it.n, retSite, it.d2) {
+				p.propagate(it.d1, retSite, d3)
+			}
+		}
+
+	case s.ICFG.IsExit(it.n):
+		m := it.n.Method()
+		key := methodCtx[D]{m, it.d1}
+		ep := exitPair[D]{it.n, it.d2}
+		p.mu.Lock()
+		s.endSum[key] = append(s.endSum[key], ep)
+		callers := make([]callerCtx[D], 0, len(s.incoming[key]))
+		for cc := range s.incoming[key] {
+			callers = append(callers, cc)
+		}
+		p.mu.Unlock()
+		for _, cc := range callers {
+			p.applyReturn(cc, m, ep)
+		}
+
+	default:
+		for _, succ := range s.ICFG.SuccsOf(it.n) {
+			for _, d3 := range s.Problem.Normal(it.n, succ, it.d2) {
+				p.propagate(it.d1, succ, d3)
+			}
+		}
+	}
+}
+
+// registerIncoming records the caller context and applies the summaries
+// already installed for this callee context.
+func (p *parallelRun[D]) registerIncoming(callee *ir.Method, d3 D, it workItem[D]) {
+	s := p.s
+	key := methodCtx[D]{callee, d3}
+	cc := callerCtx[D]{it.n, it.d2, it.d1}
+	p.mu.Lock()
+	inc := s.incoming[key]
+	if inc == nil {
+		inc = make(map[callerCtx[D]]bool)
+		s.incoming[key] = inc
+	}
+	if inc[cc] {
+		p.mu.Unlock()
+		return
+	}
+	inc[cc] = true
+	sums := append([]exitPair[D](nil), s.endSum[key]...)
+	p.mu.Unlock()
+	for _, ep := range sums {
+		p.applyReturn(cc, callee, ep)
+	}
+}
+
+func (p *parallelRun[D]) applyReturn(cc callerCtx[D], callee *ir.Method, ep exitPair[D]) {
+	for _, retSite := range p.s.ICFG.SuccsOf(cc.site) {
+		for _, d5 := range p.s.Problem.Return(cc.site, callee, ep.exit, retSite, ep.d2) {
+			p.propagate(cc.d1, retSite, d5)
+		}
+	}
+}

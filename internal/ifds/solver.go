@@ -1,0 +1,220 @@
+// Package ifds implements the IFDS framework of Reps, Horwitz and Sagiv
+// ("Precise interprocedural dataflow analysis via graph reachability",
+// POPL '95) with the practical extensions of Naeem, Lhoták and Rodriguez
+// (CC '10): the exploded supergraph is built on the fly, so only facts
+// that actually arise are ever materialized, and summaries are reused
+// across calling contexts.
+//
+// This package is the stand-in for the Heros solver FlowDroid builds on.
+// The generic solver here drives the baseline analyzers and the example
+// problems; the core taint analysis in internal/taint uses two customized
+// solver loops (Algorithms 1 and 2 of the paper) that share this design.
+package ifds
+
+import (
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/ir"
+)
+
+// Problem defines an IFDS dataflow problem over facts of type D. Flow
+// functions are distributive: they are applied to one fact at a time, and
+// the solver takes unions implicitly. Every flow function must handle the
+// zero fact (typically mapping it to itself, plus any facts generated at
+// the statement, e.g. taints at sources).
+type Problem[D comparable] interface {
+	// Zero returns the tautological fact that holds everywhere.
+	Zero() D
+
+	// Seeds returns the statements at which the zero fact is planted;
+	// conventionally the entry points' first statements.
+	Seeds() []ir.Stmt
+
+	// Normal maps a fact across a non-call statement onto its successor.
+	Normal(curr, succ ir.Stmt, d D) []D
+
+	// Call maps a fact at a call site into the callee's entry context
+	// (actual-to-formal translation).
+	Call(site ir.Stmt, callee *ir.Method, d D) []D
+
+	// Return maps a fact at a callee exit back to the caller's return
+	// site (formal-to-actual translation, including the return value).
+	Return(site ir.Stmt, callee *ir.Method, exit, retSite ir.Stmt, d D) []D
+
+	// CallToReturn maps a fact across a call site on the caller's side,
+	// bypassing the callee.
+	CallToReturn(site, retSite ir.Stmt, d D) []D
+}
+
+type pair[D comparable] struct{ d1, d2 D }
+
+type methodCtx[D comparable] struct {
+	m  *ir.Method
+	d1 D
+}
+
+type callerCtx[D comparable] struct {
+	site ir.Stmt
+	d2   D // fact at the call site that entered the callee
+	d1   D // source fact of the caller's path edge
+}
+
+type exitPair[D comparable] struct {
+	exit ir.Stmt
+	d2   D
+}
+
+type workItem[D comparable] struct {
+	n      ir.Stmt
+	d1, d2 D
+}
+
+// Solver runs an IFDS problem over an ICFG and records the reachable
+// exploded-graph facts.
+type Solver[D comparable] struct {
+	ICFG    *cfg.ICFG
+	Problem Problem[D]
+
+	jump     map[ir.Stmt]map[pair[D]]bool
+	incoming map[methodCtx[D]]map[callerCtx[D]]bool
+	endSum   map[methodCtx[D]][]exitPair[D]
+	work     []workItem[D]
+
+	// PropagateCount counts path-edge insertions, exposed for the
+	// benchmark harness.
+	PropagateCount int
+}
+
+// NewSolver creates a solver for the given problem.
+func NewSolver[D comparable](icfg *cfg.ICFG, p Problem[D]) *Solver[D] {
+	return &Solver[D]{
+		ICFG:     icfg,
+		Problem:  p,
+		jump:     make(map[ir.Stmt]map[pair[D]]bool),
+		incoming: make(map[methodCtx[D]]map[callerCtx[D]]bool),
+		endSum:   make(map[methodCtx[D]][]exitPair[D]),
+	}
+}
+
+// Solve plants the seeds and runs the worklist to exhaustion.
+func (s *Solver[D]) Solve() {
+	zero := s.Problem.Zero()
+	for _, seed := range s.Problem.Seeds() {
+		s.propagate(zero, seed, zero)
+	}
+	s.drain()
+}
+
+func (s *Solver[D]) drain() {
+	for len(s.work) > 0 {
+		it := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		switch {
+		case s.ICFG.IsCall(it.n):
+			s.processCall(it)
+		case s.ICFG.IsExit(it.n):
+			s.processExit(it)
+		default:
+			s.processNormal(it)
+		}
+	}
+}
+
+// propagate inserts the path edge ⟨sp(method(n)), d1⟩ → ⟨n, d2⟩ if new.
+func (s *Solver[D]) propagate(d1 D, n ir.Stmt, d2 D) {
+	edges := s.jump[n]
+	if edges == nil {
+		edges = make(map[pair[D]]bool)
+		s.jump[n] = edges
+	}
+	pe := pair[D]{d1, d2}
+	if edges[pe] {
+		return
+	}
+	edges[pe] = true
+	s.PropagateCount++
+	s.work = append(s.work, workItem[D]{n, d1, d2})
+}
+
+func (s *Solver[D]) processNormal(it workItem[D]) {
+	for _, succ := range s.ICFG.SuccsOf(it.n) {
+		for _, d3 := range s.Problem.Normal(it.n, succ, it.d2) {
+			s.propagate(it.d1, succ, d3)
+		}
+	}
+}
+
+func (s *Solver[D]) processCall(it workItem[D]) {
+	// Descend into callees with bodies.
+	for _, callee := range s.ICFG.CalleesOf(it.n) {
+		sp := s.ICFG.StartPoint(callee)
+		if sp == nil {
+			continue
+		}
+		for _, d3 := range s.Problem.Call(it.n, callee, it.d2) {
+			key := methodCtx[D]{callee, d3}
+			inc := s.incoming[key]
+			if inc == nil {
+				inc = make(map[callerCtx[D]]bool)
+				s.incoming[key] = inc
+			}
+			cc := callerCtx[D]{it.n, it.d2, it.d1}
+			if !inc[cc] {
+				inc[cc] = true
+				// Apply existing summaries for this context.
+				for _, ep := range s.endSum[key] {
+					s.applyReturn(cc, callee, ep)
+				}
+			}
+			s.propagate(d3, sp, d3)
+		}
+	}
+	// Call-to-return on the caller's side.
+	for _, retSite := range s.ICFG.SuccsOf(it.n) {
+		for _, d3 := range s.Problem.CallToReturn(it.n, retSite, it.d2) {
+			s.propagate(it.d1, retSite, d3)
+		}
+	}
+}
+
+func (s *Solver[D]) processExit(it workItem[D]) {
+	m := it.n.Method()
+	key := methodCtx[D]{m, it.d1}
+	ep := exitPair[D]{it.n, it.d2}
+	s.endSum[key] = append(s.endSum[key], ep)
+	for cc := range s.incoming[key] {
+		s.applyReturn(cc, m, ep)
+	}
+}
+
+func (s *Solver[D]) applyReturn(cc callerCtx[D], callee *ir.Method, ep exitPair[D]) {
+	for _, retSite := range s.ICFG.SuccsOf(cc.site) {
+		for _, d5 := range s.Problem.Return(cc.site, callee, ep.exit, retSite, ep.d2) {
+			s.propagate(cc.d1, retSite, d5)
+		}
+	}
+}
+
+// FactsAt returns the non-zero facts that may hold on entry to n,
+// deduplicated but in nondeterministic order.
+func (s *Solver[D]) FactsAt(n ir.Stmt) []D {
+	zero := s.Problem.Zero()
+	seen := make(map[D]bool)
+	var out []D
+	for pe := range s.jump[n] {
+		if pe.d2 != zero && !seen[pe.d2] {
+			seen[pe.d2] = true
+			out = append(out, pe.d2)
+		}
+	}
+	return out
+}
+
+// HasFactAt reports whether fact d may hold on entry to n.
+func (s *Solver[D]) HasFactAt(n ir.Stmt, d D) bool {
+	for pe := range s.jump[n] {
+		if pe.d2 == d {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+// Package insecurebank provides the RQ2 subject: a deliberately
+// vulnerable multi-component banking app in the spirit of Paladion's
+// InsecureBank, with exactly seven planted data leaks. The paper reports
+// FlowDroid finding all seven with no false positives or negatives in
+// about 31 seconds on 2010 laptop hardware; the test suite and benchmark
+// harness check the same 7/7 result here.
+package insecurebank
+
+import "flowdroid/internal/apk"
+
+// ExpectedLeaks is the planted ground truth.
+const ExpectedLeaks = 7
+
+// Leaks documents the seven planted flows.
+var Leaks = []string{
+	"1: login password field -> debug log (LoginActivity.onClickLogin)",
+	"2: login password field -> shared preferences (LoginActivity.onClickLogin)",
+	"3: device id -> HTTP header (LoginActivity.onClickRegister)",
+	"4: incoming account intent -> info log (AccountActivity.onCreate)",
+	"5: last known location -> SMS (BranchFinderService.onStartCommand)",
+	"6: SIM serial -> world-readable file (BackupService.onStartCommand)",
+	"7: transfer PIN field -> broadcast intent (TransferActivity.onClickTransfer)",
+}
+
+// Files is the app package.
+var Files = map[string]string{
+	"AndroidManifest.xml": `<?xml version="1.0"?>
+<manifest xmlns:android="http://schemas.android.com/apk/res/android"
+          package="com.insecurebank">
+  <application>
+    <activity android:name=".LoginActivity">
+      <intent-filter>
+        <action android:name="android.intent.action.MAIN"/>
+      </intent-filter>
+    </activity>
+    <activity android:name=".AccountActivity"/>
+    <activity android:name=".TransferActivity"/>
+    <service android:name=".BranchFinderService"/>
+    <service android:name=".BackupService"/>
+  </application>
+</manifest>`,
+
+	"res/layout/login.xml": `<?xml version="1.0"?>
+<LinearLayout xmlns:android="http://schemas.android.com/apk/res/android">
+  <EditText android:id="@+id/username"/>
+  <EditText android:id="@+id/password" android:inputType="textPassword"/>
+  <Button android:id="@+id/loginBtn" android:onClick="onClickLogin"/>
+  <Button android:id="@+id/registerBtn" android:onClick="onClickRegister"/>
+</LinearLayout>`,
+
+	"res/layout/transfer.xml": `<?xml version="1.0"?>
+<LinearLayout xmlns:android="http://schemas.android.com/apk/res/android">
+  <EditText android:id="@+id/amount"/>
+  <EditText android:id="@+id/pin" android:inputType="numberPassword"/>
+  <Button android:id="@+id/transferBtn" android:onClick="onClickTransfer"/>
+</LinearLayout>`,
+
+	"classes.ir": `
+// LoginActivity: reads the credentials; leaks the password to the debug
+// log (leak 1) and to the preferences file (leak 2); registration leaks
+// the device id in an HTTP header (leak 3).
+class com.insecurebank.LoginActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    this.setContentView(@layout/login)
+  }
+
+  method onClickLogin(v: android.view.View): void {
+    uw = this.findViewById(@id/username)
+    local ut: android.widget.EditText
+    ut = (android.widget.EditText) uw
+    uname = ut.getText()
+    pworig = this.findViewById(@id/password)
+    local pt: android.widget.EditText
+    pt = (android.widget.EditText) pworig
+    pwd = pt.getText()
+    android.util.Log.d("login", pwd)
+    prefs = this.getSharedPreferences("cred", 0)
+    ed = prefs.edit()
+    ed.putString("pwd", pwd)
+    ed.commit()
+    return
+  }
+
+  method onClickRegister(v: android.view.View): void {
+    tmRaw = this.getSystemService("phone")
+    local tm: android.telephony.TelephonyManager
+    tm = (android.telephony.TelephonyManager) tmRaw
+    imei = tm.getDeviceId()
+    url = new java.net.URL("http://bank.example/register")
+    conn = url.openConnection()
+    conn.setRequestProperty("X-Device-Id", imei)
+    return
+  }
+}
+
+// AccountActivity: the account number arrives in the launch intent (a
+// source under the ICC over-approximation) and is logged (leak 4).
+class com.insecurebank.AccountActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    i = this.getIntent()
+    acct = i.getStringExtra("account")
+    android.util.Log.i("account", acct)
+  }
+}
+
+// TransferActivity: the PIN field is broadcast to all apps (leak 7).
+class com.insecurebank.TransferActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    this.setContentView(@layout/transfer)
+  }
+
+  method onClickTransfer(v: android.view.View): void {
+    pv = this.findViewById(@id/pin)
+    local pf: android.widget.EditText
+    pf = (android.widget.EditText) pv
+    pin = pf.getText()
+    i = new android.content.Intent()
+    i.setAction("com.insecurebank.TRANSFER")
+    i.putExtra("pin", pin)
+    this.sendBroadcast(i)
+    return
+  }
+}
+
+// BranchFinderService: texts the user's location to a helpline (leak 5).
+class com.insecurebank.BranchFinderService extends android.app.Service {
+  method onStartCommand(i: android.content.Intent): void {
+    lmRaw = this.getSystemService("location")
+    local lm: android.location.LocationManager
+    lm = (android.location.LocationManager) lmRaw
+    loc = lm.getLastKnownLocation("gps")
+    s = loc.toString()
+    sms = android.telephony.SmsManager.getDefault()
+    sms.sendTextMessage("+1 555 0100", null, s, null, null)
+    return
+  }
+}
+
+// BackupService: copies the SIM serial into a world-readable file (leak 6).
+class com.insecurebank.BackupService extends android.app.Service {
+  method onStartCommand(i: android.content.Intent): void {
+    tmRaw = this.getSystemService("phone")
+    local tm: android.telephony.TelephonyManager
+    tm = (android.telephony.TelephonyManager) tmRaw
+    sim = tm.getSimSerialNumber()
+    fos = this.openFileOutput("backup.txt", 1)
+    fos.write(sim)
+    return
+  }
+}
+`,
+}
+
+// App loads the package.
+func App() (*apk.App, error) { return apk.LoadFiles(Files) }

@@ -1,0 +1,72 @@
+package insecurebank
+
+import (
+	"testing"
+
+	"flowdroid/internal/core"
+)
+
+// TestRQ2AllSevenLeaks reproduces RQ2: FlowDroid finds all seven planted
+// leaks in InsecureBank with no false positives and no false negatives.
+func TestRQ2AllSevenLeaks(t *testing.T) {
+	res, err := core.AnalyzeFiles(Files, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaks := res.Leaks()
+	if len(leaks) != ExpectedLeaks {
+		for _, l := range leaks {
+			t.Logf("leak: %v", l)
+		}
+		t.Fatalf("found %d leaks, want exactly %d", len(leaks), ExpectedLeaks)
+	}
+	// Each planted flow pairs a distinct source label with a distinct
+	// sink label; check the pairing is complete.
+	wantPairs := map[[2]string]bool{
+		{"password-field", "log"}:         true, // leak 1
+		{"password-field", "preferences"}: true, // leak 2
+		{"device-id", "http-header"}:      true, // leak 3
+		{"incoming-intent", "log"}:        true, // leak 4
+		{"location", "sms"}:               true, // leak 5
+		{"sim-serial", "network-write"}:   true, // leak 6
+		{"password-field", "broadcast"}:   true, // leak 7
+	}
+	for _, l := range leaks {
+		pair := [2]string{l.Source().Source.Label, l.SinkSpec.Label}
+		if !wantPairs[pair] {
+			t.Errorf("unexpected leak pairing %v: %v", pair, l)
+		}
+		delete(wantPairs, pair)
+	}
+	for pair := range wantPairs {
+		t.Errorf("missing leak pairing %v", pair)
+	}
+}
+
+// TestCoarseToolsMissLeaks shows the baselines' blind spots on the same
+// app: without the full lifecycle and imperative callback handling, some
+// of the seven flows disappear.
+func TestCoarseToolsMissLeaks(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Lifecycle.InvokeCallbacks = false
+	res, err := core.AnalyzeFiles(Files, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Leaks()) >= ExpectedLeaks {
+		t.Errorf("without callbacks the button-handler leaks should disappear, got %d", len(res.Leaks()))
+	}
+}
+
+func TestDocumentation(t *testing.T) {
+	if len(Leaks) != ExpectedLeaks {
+		t.Errorf("documented leak list has %d entries, want %d", len(Leaks), ExpectedLeaks)
+	}
+	app, err := App()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(app.Components()); got != 5 {
+		t.Errorf("components = %d, want 5", got)
+	}
+}

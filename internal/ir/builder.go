@@ -1,0 +1,238 @@
+package ir
+
+// Builder provides a fluent API for constructing classes and method bodies
+// programmatically. The lifecycle package uses it to synthesize the dummy
+// main method; tests use it for small hand-built programs. All errors are
+// deferred: they surface from Program.Link (or MethodBuilder.Err).
+
+// ClassBuilder accumulates a class under construction.
+type ClassBuilder struct {
+	prog *Program
+	cls  *Class
+	err  error
+}
+
+// NewClassIn creates a class in prog and returns its builder. An empty
+// super means java.lang.Object (except for java.lang.Object itself, which
+// is a root).
+func NewClassIn(prog *Program, name, super string) *ClassBuilder {
+	if super == "" && name != "java.lang.Object" {
+		super = "java.lang.Object"
+	}
+	c := NewClass(name, super)
+	b := &ClassBuilder{prog: prog, cls: c}
+	b.err = prog.AddClass(c)
+	return b
+}
+
+// Class returns the class under construction.
+func (b *ClassBuilder) Class() *Class { return b.cls }
+
+// Err returns the first construction error, if any.
+func (b *ClassBuilder) Err() error { return b.err }
+
+// Implements adds interface names.
+func (b *ClassBuilder) Implements(names ...string) *ClassBuilder {
+	b.cls.Interfaces = append(b.cls.Interfaces, names...)
+	return b
+}
+
+// AsInterface marks the class as an interface.
+func (b *ClassBuilder) AsInterface() *ClassBuilder {
+	b.cls.Interface = true
+	return b
+}
+
+// Field declares an instance field.
+func (b *ClassBuilder) Field(name string, typ Type) *ClassBuilder {
+	if _, err := b.cls.AddField(name, typ, false); err != nil && b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// StaticField declares a static field.
+func (b *ClassBuilder) StaticField(name string, typ Type) *ClassBuilder {
+	if _, err := b.cls.AddField(name, typ, true); err != nil && b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// Method starts a method on the class and returns its body builder. The
+// method is registered on the class when Done is called, once its full
+// arity is known.
+func (b *ClassBuilder) Method(name string, ret Type) *MethodBuilder {
+	m := NewMethod(name, ret, false)
+	m.Class = b.cls
+	if m.This != nil {
+		m.This.Type = Ref(b.cls.Name)
+	}
+	return &MethodBuilder{cls: b, m: m}
+}
+
+// StaticMethod starts a static method on the class.
+func (b *ClassBuilder) StaticMethod(name string, ret Type) *MethodBuilder {
+	m := NewMethod(name, ret, true)
+	m.Class = b.cls
+	return &MethodBuilder{cls: b, m: m}
+}
+
+// AbstractMethod declares a bodyless method (framework stub / interface
+// method) with the given parameter types.
+func (b *ClassBuilder) AbstractMethod(name string, ret Type, params ...Type) *ClassBuilder {
+	mb := b.Method(name, ret)
+	for i, t := range params {
+		mb.Param(paramName(i), t)
+	}
+	return mb.Done()
+}
+
+func paramName(i int) string { return "p" + string(rune('0'+i)) }
+
+// MethodBuilder accumulates a method body. Statements are appended in
+// order; Done() installs the body.
+type MethodBuilder struct {
+	cls   *ClassBuilder
+	m     *Method
+	body  []Stmt
+	label string // pending label for the next statement
+}
+
+// Method returns the method under construction.
+func (b *MethodBuilder) Method() *Method { return b.m }
+
+// Param declares a parameter and returns the local.
+func (b *MethodBuilder) Param(name string, typ Type) *Local {
+	l, err := b.m.AddParam(name, typ)
+	if err != nil {
+		if b.cls.err == nil {
+			b.cls.err = err
+		}
+		return b.m.Local(name)
+	}
+	return l
+}
+
+// This returns the receiver local.
+func (b *MethodBuilder) This() *Local { return b.m.This }
+
+// Local returns (creating if needed) the named local.
+func (b *MethodBuilder) Local(name string) *Local { return b.m.Local(name) }
+
+// Label attaches a label to the next appended statement.
+func (b *MethodBuilder) Label(name string) *MethodBuilder {
+	b.label = name
+	return b
+}
+
+func (b *MethodBuilder) add(s Stmt) *MethodBuilder {
+	if b.label != "" {
+		switch s := s.(type) {
+		case *AssignStmt:
+			s.SetLabel(b.label)
+		case *InvokeStmt:
+			s.SetLabel(b.label)
+		case *IfStmt:
+			s.SetLabel(b.label)
+		case *GotoStmt:
+			s.SetLabel(b.label)
+		case *ReturnStmt:
+			s.SetLabel(b.label)
+		case *NopStmt:
+			s.SetLabel(b.label)
+		}
+		b.label = ""
+	}
+	b.body = append(b.body, s)
+	return b
+}
+
+// Assign appends "lhs = rhs".
+func (b *MethodBuilder) Assign(lhs, rhs Value) *MethodBuilder {
+	return b.add(&AssignStmt{LHS: lhs, RHS: rhs})
+}
+
+// New appends "dst = new C".
+func (b *MethodBuilder) New(dst *Local, class string) *MethodBuilder {
+	return b.Assign(dst, &New{Type: Ref(class)})
+}
+
+// VCall appends a virtual call "recv.name(args)" discarding the result.
+func (b *MethodBuilder) VCall(recv *Local, name string, args ...Value) *MethodBuilder {
+	return b.add(&InvokeStmt{Call: b.vexpr(recv, name, args)})
+}
+
+// VCallTo appends "dst = recv.name(args)".
+func (b *MethodBuilder) VCallTo(dst *Local, recv *Local, name string, args ...Value) *MethodBuilder {
+	return b.Assign(dst, b.vexpr(recv, name, args))
+}
+
+func (b *MethodBuilder) vexpr(recv *Local, name string, args []Value) *InvokeExpr {
+	cls := ""
+	if recv.Type.IsRef() {
+		cls = recv.Type.Name
+	}
+	return &InvokeExpr{
+		Kind: VirtualInvoke,
+		Base: recv,
+		Ref:  MethodRef{Class: cls, Name: name, NArgs: len(args)},
+		Args: args,
+	}
+}
+
+// SCall appends a static call "C.name(args)" discarding the result.
+func (b *MethodBuilder) SCall(class, name string, args ...Value) *MethodBuilder {
+	return b.add(&InvokeStmt{Call: &InvokeExpr{
+		Kind: StaticInvoke,
+		Ref:  MethodRef{Class: class, Name: name, NArgs: len(args)},
+		Args: args,
+	}})
+}
+
+// SCallTo appends "dst = C.name(args)".
+func (b *MethodBuilder) SCallTo(dst *Local, class, name string, args ...Value) *MethodBuilder {
+	return b.Assign(dst, &InvokeExpr{
+		Kind: StaticInvoke,
+		Ref:  MethodRef{Class: class, Name: name, NArgs: len(args)},
+		Args: args,
+	})
+}
+
+// SpecialCall appends a special (exact-target) call such as a constructor.
+func (b *MethodBuilder) SpecialCall(recv *Local, class, name string, args ...Value) *MethodBuilder {
+	return b.add(&InvokeStmt{Call: &InvokeExpr{
+		Kind: SpecialInvoke,
+		Base: recv,
+		Ref:  MethodRef{Class: class, Name: name, NArgs: len(args)},
+		Args: args,
+	}})
+}
+
+// If appends an opaque conditional branch to the label.
+func (b *MethodBuilder) If(target string) *MethodBuilder {
+	return b.add(&IfStmt{Target: target})
+}
+
+// Goto appends an unconditional jump to the label.
+func (b *MethodBuilder) Goto(target string) *MethodBuilder {
+	return b.add(&GotoStmt{Target: target})
+}
+
+// Return appends "return v" (v may be nil).
+func (b *MethodBuilder) Return(v Value) *MethodBuilder {
+	return b.add(&ReturnStmt{Value: v})
+}
+
+// Nop appends a no-op (useful as a label carrier).
+func (b *MethodBuilder) Nop() *MethodBuilder { return b.add(&NopStmt{}) }
+
+// Done installs the accumulated body, registers the method on its class,
+// and returns the class builder for chaining.
+func (b *MethodBuilder) Done() *ClassBuilder {
+	b.m.SetBody(b.body)
+	if err := b.cls.cls.AddMethod(b.m); err != nil && b.cls.err == nil {
+		b.cls.err = err
+	}
+	return b.cls
+}

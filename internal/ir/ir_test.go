@@ -1,0 +1,266 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypes(t *testing.T) {
+	cases := []struct {
+		name string
+		want Type
+	}{
+		{"int", Int},
+		{"boolean", Boolean},
+		{"void", Void},
+		{"java.lang.String", Ref("java.lang.String")},
+		{"int[]", ArrayOf(Int)},
+		{"java.lang.String[]", ArrayOf(Ref("java.lang.String"))},
+	}
+	for _, c := range cases {
+		got := TypeFromName(c.name)
+		if !got.Equal(c.want) {
+			t.Errorf("TypeFromName(%q) = %v, want %v", c.name, got, c.want)
+		}
+		if got.String() != c.name {
+			t.Errorf("TypeFromName(%q).String() = %q", c.name, got.String())
+		}
+	}
+	if !ArrayOf(Int).IsArray() || ArrayOf(Int).IsRef() {
+		t.Error("array type predicates wrong")
+	}
+	if !Ref("A").IsRef() || Ref("A").IsPrim() {
+		t.Error("ref type predicates wrong")
+	}
+	if !Unknown.IsUnknown() {
+		t.Error("unknown predicate wrong")
+	}
+	if ArrayOf(Int).Equal(ArrayOf(Long)) {
+		t.Error("distinct array types must differ")
+	}
+}
+
+func TestClassAPI(t *testing.T) {
+	c := NewClass("A", "java.lang.Object")
+	f, err := c.AddField("x", Int, false)
+	if err != nil || f.Class != c {
+		t.Fatalf("AddField: %v", err)
+	}
+	if _, err := c.AddField("x", Int, false); err == nil {
+		t.Error("duplicate field should fail")
+	}
+	if c.Field("x") != f || c.Field("y") != nil {
+		t.Error("Field lookup wrong")
+	}
+	m1 := NewMethod("m", Void, false)
+	if err := c.AddMethod(m1); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMethod("m", Void, false)
+	if _, err := m2.AddParam("p", Int); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddMethod(m2); err != nil {
+		t.Fatal("same name different arity should be fine:", err)
+	}
+	m3 := NewMethod("m", Void, false)
+	if err := c.AddMethod(m3); err == nil {
+		t.Error("duplicate (name, arity) should fail")
+	}
+	if got := len(c.MethodsNamed("m")); got != 2 {
+		t.Errorf("MethodsNamed = %d, want 2", got)
+	}
+	if c.Method("m", 1) != m2 {
+		t.Error("arity lookup wrong")
+	}
+}
+
+func TestMethodFinalize(t *testing.T) {
+	c := NewClass("A", "")
+	m := NewMethod("m", Void, true)
+	if err := c.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	x := m.Local("x")
+	body := []Stmt{
+		&AssignStmt{LHS: x, RHS: IntOf(1)},
+		&IfStmt{Target: "end"},
+		&GotoStmt{Target: "end"},
+	}
+	end := &NopStmt{}
+	end.SetLabel("end")
+	body = append(body, end)
+	m.SetBody(body)
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Finalize appends a trailing return.
+	got := m.Body()
+	if _, ok := got[len(got)-1].(*ReturnStmt); !ok {
+		t.Error("missing synthesized trailing return")
+	}
+	if got[1].(*IfStmt).TargetIndex != 3 {
+		t.Errorf("if target = %d, want 3", got[1].(*IfStmt).TargetIndex)
+	}
+	for i, s := range got {
+		if s.Index() != i || s.Method() != m {
+			t.Errorf("stmt %d has index %d / method %v", i, s.Index(), s.Method())
+		}
+	}
+	// Idempotent.
+	if err := m.Finalize(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFinalizeErrors(t *testing.T) {
+	c := NewClass("A", "")
+	m := NewMethod("m", Void, true)
+	if err := c.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	m.SetBody([]Stmt{&GotoStmt{Target: "nowhere"}})
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("want undefined label error, got %v", err)
+	}
+
+	m2 := NewMethod("m2", Void, true)
+	if err := c.AddMethod(m2); err != nil {
+		t.Fatal(err)
+	}
+	a := &NopStmt{}
+	a.SetLabel("L")
+	b := &NopStmt{}
+	b.SetLabel("L")
+	m2.SetBody([]Stmt{a, b})
+	if err := m2.Finalize(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("want duplicate label error, got %v", err)
+	}
+}
+
+func TestProgramResolution(t *testing.T) {
+	p := NewProgram()
+	obj := NewClassIn(p, "java.lang.Object", "")
+	obj.Method("toString", Ref("java.lang.String")).Done()
+	base := NewClassIn(p, "Base", "")
+	base.Field("f", Int)
+	base.Method("m", Void).Done()
+	sub := NewClassIn(p, "Sub", "Base")
+	sub.Method("m", Void).Done()
+	NewClassIn(p, "Other", "")
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := p.ResolveMethod("Sub", "m", 0); got == nil || got.Class.Name != "Sub" {
+		t.Errorf("override resolution: %v", got)
+	}
+	if got := p.ResolveMethod("Sub", "toString", 0); got == nil || got.Class.Name != "java.lang.Object" {
+		t.Errorf("inherited resolution: %v", got)
+	}
+	if got := p.ResolveField("Sub", "f"); got == nil || got.Class.Name != "Base" {
+		t.Errorf("field resolution through super: %v", got)
+	}
+	if !p.SubtypeOf("Sub", "java.lang.Object") {
+		t.Error("transitive subtyping failed")
+	}
+	subs := p.SubtypesOf("Base")
+	if len(subs) != 2 {
+		t.Errorf("SubtypesOf(Base) = %v", subs)
+	}
+	if p.Class("Missing") != nil {
+		t.Error("missing class should be nil")
+	}
+	if err := p.AddClass(NewClass("Base", "")); err == nil {
+		t.Error("duplicate class should fail")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	l := &Local{Name: "x"}
+	c := IntOf(5)
+	call := &InvokeExpr{Kind: StaticInvoke, Ref: MethodRef{Class: "C", Name: "m", NArgs: 1}, Args: []Value{c}}
+	if !IsSimple(l) || !IsSimple(c) || IsSimple(call) {
+		t.Error("IsSimple misclassifies")
+	}
+	assign := &AssignStmt{LHS: l, RHS: call}
+	if CallOf(assign) != call || !IsCall(assign) {
+		t.Error("CallOf through assignment failed")
+	}
+	if CallResult(assign) != l {
+		t.Error("CallResult failed")
+	}
+	inv := &InvokeStmt{Call: call}
+	if CallOf(inv) != call || CallResult(inv) != nil {
+		t.Error("CallOf/CallResult on invoke stmt failed")
+	}
+	plain := &AssignStmt{LHS: l, RHS: c}
+	if IsCall(plain) {
+		t.Error("plain assignment is not a call")
+	}
+	if StringOf("a").Kind != StringConst || NullOf().Kind != NullConst || ResOf("id/x").Kind != ResConst {
+		t.Error("constant constructors wrong")
+	}
+}
+
+func TestBuilderProducesLinkedClass(t *testing.T) {
+	p := NewProgram()
+	cb := NewClassIn(p, "B", "")
+	cb.Field("data", Ref("java.lang.String"))
+	mb := cb.Method("run", Void)
+	v := mb.Local("v")
+	mb.Assign(v, StringOf("hi"))
+	mb.Assign(&FieldRef{Base: mb.This(), Name: "data"}, v)
+	mb.Label("out").Return(nil)
+	mb.Done()
+	if err := cb.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Class("B").Method("run", 0)
+	if m == nil {
+		t.Fatal("method not registered")
+	}
+	// Field reference resolved by Link.
+	fr := m.Body()[1].(*AssignStmt).LHS.(*FieldRef)
+	if fr.Field == nil || fr.Field.Name != "data" {
+		t.Errorf("field not resolved: %+v", fr)
+	}
+	if m.Body()[2].Label() != "out" {
+		t.Error("label lost")
+	}
+	// Printing must mention the class parts.
+	out := PrintClass(p.Class("B"))
+	for _, want := range []string{"class B", "field data", "method run", "this.data = v"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintClass output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExitAndEntry(t *testing.T) {
+	p := NewProgram()
+	cb := NewClassIn(p, "C", "")
+	mb := cb.StaticMethod("m", Int)
+	x := mb.Local("x")
+	mb.Assign(x, IntOf(1))
+	mb.If("alt")
+	mb.Return(x)
+	mb.Label("alt").Return(IntOf(2))
+	mb.Done()
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Class("C").Method("m", 0)
+	if m.EntryStmt().Index() != 0 {
+		t.Error("entry stmt wrong")
+	}
+	if got := len(m.ExitStmts()); got != 2 {
+		t.Errorf("exits = %d, want 2", got)
+	}
+	if m.Abstract() {
+		t.Error("method with body is not abstract")
+	}
+}

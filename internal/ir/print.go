@@ -1,0 +1,57 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintMethod renders a method body in the textual IR syntax, with
+// statement indices in a comment column. It is used by the cmd/dummymain
+// tool and by debugging output.
+func PrintMethod(m *Method) string {
+	var sb strings.Builder
+	kind := "method"
+	if m.Static {
+		kind = "static method"
+	}
+	params := make([]string, len(m.Params))
+	for i, p := range m.Params {
+		params[i] = fmt.Sprintf("%s: %s", p.Name, p.Type)
+	}
+	fmt.Fprintf(&sb, "%s %s(%s): %s {\n", kind, m.Name, strings.Join(params, ", "), m.Return)
+	for i, s := range m.Body() {
+		if l := s.Label(); l != "" {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "    %-50s // %d\n", s.String(), i)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// PrintClass renders a class declaration and all its method bodies.
+func PrintClass(c *Class) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "class %s", c.Name)
+	if c.Super != "" {
+		fmt.Fprintf(&sb, " extends %s", c.Super)
+	}
+	if len(c.Interfaces) > 0 {
+		fmt.Fprintf(&sb, " implements %s", strings.Join(c.Interfaces, ", "))
+	}
+	sb.WriteString(" {\n")
+	for _, f := range c.Fields() {
+		mod := ""
+		if f.Static {
+			mod = "static "
+		}
+		fmt.Fprintf(&sb, "  %sfield %s: %s\n", mod, f.Name, f.Type)
+	}
+	for _, m := range c.Methods() {
+		for _, line := range strings.Split(strings.TrimRight(PrintMethod(m), "\n"), "\n") {
+			fmt.Fprintf(&sb, "  %s\n", line)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

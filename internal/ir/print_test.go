@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValueStrings locks the rendering of every value form, which the
+// printer, reports and error messages all rely on.
+func TestValueStrings(t *testing.T) {
+	x := &Local{Name: "x", Type: Ref("A")}
+	y := &Local{Name: "y"}
+	cls := NewClass("C", "")
+	fld, _ := cls.AddField("f", Int, false)
+	sfld, _ := cls.AddField("s", Int, true)
+
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{x, "x"},
+		{IntOf(42), "42"},
+		{StringOf("hi"), `"hi"`},
+		{NullOf(), "null"},
+		{ResOf("id/pwd"), "@id/pwd"},
+		{&FieldRef{Base: x, Name: "f", Field: fld}, "x.f"},
+		{&FieldRef{Base: x, Name: "g"}, "x.g"},
+		{&StaticFieldRef{Class: "C", Name: "s", Field: sfld}, "C.s"},
+		{&StaticFieldRef{Class: "D", Name: "t"}, "D.t"},
+		{&ArrayRef{Base: x, Index: IntOf(3)}, "x[3]"},
+		{&ArrayRef{Base: x, Index: y}, "x[y]"},
+		{&New{Type: Ref("A")}, "new A"},
+		{&NewArray{Elem: Int}, "newarray int"},
+		{&NewArray{Elem: Int, Len: IntOf(4)}, "newarray int[4]"},
+		{&Binop{Op: "+", L: x, R: y}, "x + y"},
+		{&Cast{To: Ref("B"), X: x}, "(B) x"},
+		{&InvokeExpr{Kind: VirtualInvoke, Base: x,
+			Ref: MethodRef{Class: "A", Name: "m", NArgs: 1}, Args: []Value{y}}, "x.m(y)"},
+		{&InvokeExpr{Kind: StaticInvoke,
+			Ref: MethodRef{Class: "A", Name: "m", NArgs: 0}}, "A.m()"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if InvokeKind(99).String() != "?" {
+		t.Error("unknown invoke kind should render as ?")
+	}
+	for k, want := range map[InvokeKind]string{
+		VirtualInvoke: "virtual", StaticInvoke: "static", SpecialInvoke: "special",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q", k, k.String())
+		}
+	}
+}
+
+func TestStmtStrings(t *testing.T) {
+	x := &Local{Name: "x"}
+	cases := []struct {
+		s    Stmt
+		want string
+	}{
+		{&AssignStmt{LHS: x, RHS: IntOf(1)}, "x = 1"},
+		{&IfStmt{Target: "L"}, "if * goto L"},
+		{&GotoStmt{Target: "L"}, "goto L"},
+		{&ReturnStmt{}, "return"},
+		{&ReturnStmt{Value: x}, "return x"},
+		{&NopStmt{}, "nop"},
+		{&InvokeStmt{Call: &InvokeExpr{Kind: StaticInvoke,
+			Ref: MethodRef{Class: "A", Name: "m", NArgs: 0}}}, "A.m()"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPrintMethodFormats(t *testing.T) {
+	p := NewProgram()
+	cb := NewClassIn(p, "P", "").Implements("I")
+	cb.StaticField("sf", Int)
+	mb := cb.StaticMethod("run", Void)
+	mb.Param("n", Int)
+	mb.Label("top").Nop()
+	mb.If("top")
+	mb.Return(nil)
+	mb.Done()
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	out := PrintMethod(p.Class("P").Method("run", 1))
+	for _, want := range []string{"static method run(n: int): void", "top:", "if * goto top"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintMethod missing %q:\n%s", want, out)
+		}
+	}
+	cls := PrintClass(p.Class("P"))
+	for _, want := range []string{"implements I", "static field sf: int"} {
+		if !strings.Contains(cls, want) {
+			t.Errorf("PrintClass missing %q:\n%s", want, cls)
+		}
+	}
+}
+
+func TestMethodRefAndString(t *testing.T) {
+	r := MethodRef{Class: "a.B", Name: "m", NArgs: 2}
+	if r.String() != "a.B.m/2" {
+		t.Errorf("MethodRef.String = %q", r.String())
+	}
+	m := NewMethod("x", Void, true)
+	if !strings.Contains(m.String(), "?") {
+		t.Error("unattached method should render an unknown class")
+	}
+}

@@ -1,0 +1,171 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randProgram builds a random but well-formed single-class program from a
+// rand source: a pool of locals manipulated by randomly chosen statement
+// shapes. It is the generator behind the print/parse round-trip and CFG
+// properties.
+func randProgram(r *rand.Rand, nStmts int) (*Program, *Method) {
+	p := NewProgram()
+	cb := NewClassIn(p, "R", "")
+	cb.Field("f", Ref("java.lang.String"))
+	cb.StaticField("s", Ref("java.lang.String"))
+	mb := cb.StaticMethod("m", Void)
+
+	locals := []*Local{mb.Local("a"), mb.Local("b"), mb.Local("c")}
+	obj := mb.Local("o")
+	mb.Assign(locals[0], StringOf("seed"))
+	mb.Assign(locals[1], StringOf("seed2"))
+	mb.Assign(locals[2], StringOf("seed3"))
+	mb.New(obj, "R")
+
+	nLabels := 0
+	for i := 0; i < nStmts; i++ {
+		dst := locals[r.Intn(len(locals))]
+		src := locals[r.Intn(len(locals))]
+		switch r.Intn(7) {
+		case 0:
+			mb.Assign(dst, src)
+		case 1:
+			mb.Assign(dst, StringOf(fmt.Sprintf("c%d", i)))
+		case 2:
+			mb.Assign(dst, &Binop{Op: "+", L: src, R: StringOf("x")})
+		case 3:
+			mb.Assign(&FieldRef{Base: obj, Name: "f"}, src)
+		case 4:
+			mb.Assign(dst, &FieldRef{Base: obj, Name: "f"})
+		case 5:
+			nLabels++
+			lbl := fmt.Sprintf("L%d", nLabels)
+			mb.If(lbl)
+			mb.Assign(dst, src)
+			mb.Label(lbl).Nop()
+		case 6:
+			mb.Assign(&StaticFieldRef{Class: "R", Name: "s"}, src)
+		}
+	}
+	mb.Return(nil)
+	mb.Done()
+	if err := p.Link(); err != nil {
+		panic(err)
+	}
+	return p, p.Class("R").Method("m", 0)
+}
+
+// TestQuickFinalizeInvariants: for any generated program, finalization
+// numbers statements densely, resolves every branch target into range,
+// and the body ends with a return.
+func TestQuickFinalizeInvariants(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		_, m := randProgram(r, int(size%40))
+		body := m.Body()
+		if len(body) == 0 {
+			return false
+		}
+		for i, s := range body {
+			if s.Index() != i || s.Method() != m {
+				return false
+			}
+			if ifs, ok := s.(*IfStmt); ok {
+				if ifs.TargetIndex < 0 || ifs.TargetIndex >= len(body) {
+					return false
+				}
+				if body[ifs.TargetIndex].Label() != ifs.Target {
+					return false
+				}
+			}
+		}
+		_, isRet := body[len(body)-1].(*ReturnStmt)
+		return isRet
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTypeEquality: Equal is reflexive and symmetric over the type
+// constructors reachable from random names.
+func TestQuickTypeEquality(t *testing.T) {
+	names := []string{"int", "long", "void", "A", "b.C", "int[]", "A[]", "A[][]"}
+	f := func(i, j uint8) bool {
+		a := TypeFromName(names[int(i)%len(names)])
+		b := TypeFromName(names[int(j)%len(names)])
+		if !a.Equal(a) || !b.Equal(b) {
+			return false
+		}
+		return a.Equal(b) == b.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubtypeReflexiveTransitive: SubtypeOf is reflexive on declared
+// classes, and transitive along randomly generated linear hierarchies.
+func TestQuickSubtypeReflexiveTransitive(t *testing.T) {
+	f := func(depth uint8) bool {
+		p := NewProgram()
+		n := int(depth%10) + 2
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = fmt.Sprintf("C%d", i)
+			super := ""
+			if i > 0 {
+				super = names[i-1]
+			}
+			cls := NewClass(names[i], super)
+			if err := p.AddClass(cls); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !p.SubtypeOf(names[i], names[i]) {
+				return false
+			}
+			for j := 0; j <= i; j++ {
+				if !p.SubtypeOf(names[i], names[j]) {
+					return false
+				}
+			}
+			for j := i + 1; j < n; j++ {
+				if p.SubtypeOf(names[i], names[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubtypeCycleSafe: malformed cyclic hierarchies terminate.
+func TestQuickSubtypeCycleSafe(t *testing.T) {
+	f := func(n uint8) bool {
+		p := NewProgram()
+		k := int(n%5) + 2
+		for i := 0; i < k; i++ {
+			cls := NewClass(fmt.Sprintf("X%d", i), fmt.Sprintf("X%d", (i+1)%k))
+			if err := p.AddClass(cls); err != nil {
+				return false
+			}
+		}
+		// Must terminate; the answer for unrelated names is false.
+		return !p.SubtypeOf("X0", "unrelated")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genValue makes reflect-based quick generation available for seeds.
+var _ = reflect.TypeOf

@@ -1,0 +1,143 @@
+package ir
+
+import "fmt"
+
+// Stmt is a single three-address statement in a method body. Statement
+// identity is pointer identity; after Method.Finalize every statement knows
+// its owning method and its index in the body, which the CFG and the IFDS
+// solvers use as the node identity.
+type Stmt interface {
+	stmtNode()
+	// Method returns the method owning this statement (after Finalize).
+	Method() *Method
+	// Index returns the position of this statement in its method body.
+	Index() int
+	// Label returns the label attached to this statement, or "".
+	Label() string
+	// Line returns the source line the statement came from (0 if built
+	// programmatically).
+	Line() int
+	String() string
+}
+
+// StmtBase carries the bookkeeping shared by all statement kinds. Embed it
+// in each concrete statement.
+type StmtBase struct {
+	method *Method
+	index  int
+	label  string
+	line   int
+}
+
+func (*StmtBase) stmtNode() {}
+
+// Method returns the owning method.
+func (s *StmtBase) Method() *Method { return s.method }
+
+// Index returns the statement's index within its method body.
+func (s *StmtBase) Index() int { return s.index }
+
+// Label returns the statement's label, or "".
+func (s *StmtBase) Label() string { return s.label }
+
+// Line returns the statement's source line (0 for synthetic statements).
+func (s *StmtBase) Line() int { return s.line }
+
+// SetLabel attaches a label; used by builders and the parser.
+func (s *StmtBase) SetLabel(l string) { s.label = l }
+
+// SetLine records the source line; used by the parser.
+func (s *StmtBase) SetLine(n int) { s.line = n }
+
+// AssignStmt is "lhs = rhs". The LHS is a *Local, *FieldRef,
+// *StaticFieldRef or *ArrayRef; the RHS is any Value. A heap write (LHS is
+// a field or array reference) is the trigger point for the on-demand
+// backward alias analysis.
+type AssignStmt struct {
+	StmtBase
+	LHS Value
+	RHS Value
+}
+
+func (s *AssignStmt) String() string { return fmt.Sprintf("%s = %s", s.LHS, s.RHS) }
+
+// InvokeStmt is a stand-alone invocation whose result, if any, is unused.
+type InvokeStmt struct {
+	StmtBase
+	Call *InvokeExpr
+}
+
+func (s *InvokeStmt) String() string { return s.Call.String() }
+
+// IfStmt is an opaque conditional branch: "if * goto Target". The analysis
+// treats both outcomes as possible, matching the paper's opaque predicate p.
+type IfStmt struct {
+	StmtBase
+	Target string
+	// TargetIndex is the resolved body index of Target (set by Finalize).
+	TargetIndex int
+}
+
+func (s *IfStmt) String() string { return "if * goto " + s.Target }
+
+// GotoStmt is an unconditional jump.
+type GotoStmt struct {
+	StmtBase
+	Target      string
+	TargetIndex int
+}
+
+func (s *GotoStmt) String() string { return "goto " + s.Target }
+
+// ReturnStmt leaves the method, optionally yielding a value (a *Local or
+// *Const by three-address form).
+type ReturnStmt struct {
+	StmtBase
+	Value Value // nil for "return"
+}
+
+func (s *ReturnStmt) String() string {
+	if s.Value == nil {
+		return "return"
+	}
+	return "return " + s.Value.String()
+}
+
+// NopStmt does nothing; it exists to carry labels and as a placeholder in
+// generated code.
+type NopStmt struct {
+	StmtBase
+}
+
+func (s *NopStmt) String() string { return "nop" }
+
+// CallOf returns the invocation expression contained in s, whether s is an
+// InvokeStmt or an AssignStmt with an invocation RHS, or nil if s is not a
+// call statement.
+func CallOf(s Stmt) *InvokeExpr {
+	switch s := s.(type) {
+	case *InvokeStmt:
+		return s.Call
+	case *AssignStmt:
+		if e, ok := s.RHS.(*InvokeExpr); ok {
+			return e
+		}
+	}
+	return nil
+}
+
+// IsCall reports whether s contains an invocation.
+func IsCall(s Stmt) bool { return CallOf(s) != nil }
+
+// CallResult returns the local the call's result is assigned to, or nil if
+// the statement is not a call or the result is discarded.
+func CallResult(s Stmt) *Local {
+	if a, ok := s.(*AssignStmt); ok {
+		if _, isCall := a.RHS.(*InvokeExpr); isCall {
+			if l, ok := a.LHS.(*Local); ok {
+				return l
+			}
+		}
+	}
+	return nil
+}

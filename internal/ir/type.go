@@ -1,0 +1,136 @@
+// Package ir defines a typed three-address intermediate representation in
+// the style of Soot's Jimple. It is the substrate every other analysis in
+// this repository is built on: programs are collections of classes holding
+// fields and methods, and method bodies are flat statement lists over
+// locals, field references, array references and constants.
+//
+// The representation deliberately mirrors the statement algebra the
+// FlowDroid paper's transfer functions are defined over: simple
+// assignments, heap loads and stores, array loads and stores, allocation,
+// invocations, opaque branches and returns. Conditions are always opaque
+// ("if *"), matching the paper's observation that the analysis is not path
+// sensitive and joins at every control-flow merge point.
+package ir
+
+import "strings"
+
+// TypeKind discriminates the small fixed set of type shapes the IR knows.
+type TypeKind int
+
+const (
+	// UnknownType is the zero type; it is used for locals whose type
+	// inference has not (or cannot) determine a more precise type.
+	UnknownType TypeKind = iota
+	// VoidType is the return type of methods that return nothing.
+	VoidType
+	// PrimType is a primitive such as int, char or boolean.
+	PrimType
+	// RefType is a class or interface reference type.
+	RefType
+	// ArrayType is an array of an element type.
+	ArrayType
+	// NullType is the type of the null constant.
+	NullType
+)
+
+// Type describes the static type of a value. Types are small values and are
+// compared structurally with Equal. The zero Type is the unknown type.
+type Type struct {
+	Kind TypeKind
+	// Name holds the class name for RefType and the primitive name
+	// ("int", "char", ...) for PrimType.
+	Name string
+	// Elem is the element type for ArrayType.
+	Elem *Type
+}
+
+// Common primitive and special types.
+var (
+	Unknown = Type{Kind: UnknownType}
+	Void    = Type{Kind: VoidType}
+	Int     = Type{Kind: PrimType, Name: "int"}
+	Long    = Type{Kind: PrimType, Name: "long"}
+	Char    = Type{Kind: PrimType, Name: "char"}
+	Boolean = Type{Kind: PrimType, Name: "boolean"}
+	Null    = Type{Kind: NullType}
+)
+
+// primitiveNames lists the identifiers that the front end treats as
+// primitive type names rather than class names.
+var primitiveNames = map[string]Type{
+	"int":     Int,
+	"long":    Long,
+	"char":    Char,
+	"boolean": Boolean,
+	"byte":    {Kind: PrimType, Name: "byte"},
+	"short":   {Kind: PrimType, Name: "short"},
+	"float":   {Kind: PrimType, Name: "float"},
+	"double":  {Kind: PrimType, Name: "double"},
+}
+
+// Ref returns the reference type for the named class or interface.
+func Ref(class string) Type { return Type{Kind: RefType, Name: class} }
+
+// ArrayOf returns the array type with the given element type.
+func ArrayOf(elem Type) Type {
+	e := elem
+	return Type{Kind: ArrayType, Elem: &e}
+}
+
+// TypeFromName maps a source-level type name to a Type. Names ending in
+// "[]" become array types, primitive names become primitives, "void"
+// becomes Void, and everything else is a class reference.
+func TypeFromName(name string) Type {
+	if strings.HasSuffix(name, "[]") {
+		return ArrayOf(TypeFromName(strings.TrimSuffix(name, "[]")))
+	}
+	if name == "void" {
+		return Void
+	}
+	if t, ok := primitiveNames[name]; ok {
+		return t
+	}
+	return Ref(name)
+}
+
+// IsRef reports whether t is a class or interface reference type.
+func (t Type) IsRef() bool { return t.Kind == RefType }
+
+// IsArray reports whether t is an array type.
+func (t Type) IsArray() bool { return t.Kind == ArrayType }
+
+// IsPrim reports whether t is a primitive type.
+func (t Type) IsPrim() bool { return t.Kind == PrimType }
+
+// IsUnknown reports whether t is the unknown type.
+func (t Type) IsUnknown() bool { return t.Kind == UnknownType }
+
+// Equal reports whether two types are structurally identical.
+func (t Type) Equal(u Type) bool {
+	if t.Kind != u.Kind || t.Name != u.Name {
+		return false
+	}
+	if t.Kind == ArrayType {
+		return t.Elem.Equal(*u.Elem)
+	}
+	return true
+}
+
+// String renders the type as a source-level name.
+func (t Type) String() string {
+	switch t.Kind {
+	case UnknownType:
+		return "?"
+	case VoidType:
+		return "void"
+	case PrimType:
+		return t.Name
+	case RefType:
+		return t.Name
+	case ArrayType:
+		return t.Elem.String() + "[]"
+	case NullType:
+		return "null"
+	}
+	return "?"
+}

@@ -1,0 +1,602 @@
+package securibench
+
+// The Basic category: elementary flows through locals, fields, strings
+// and simple helpers. 60 expected leaks; FlowDroid finds 58 — the two
+// static-initializer cases are missed because clinit is assumed to run
+// at program start.
+
+func basic(name string, expected, finds int, note, src string) {
+	register(Case{
+		Name: name, Category: "Basic",
+		ExpectedLeaks: expected, FlowDroidFinds: finds,
+		Note: note, Source: src,
+	})
+}
+
+func init() {
+	basic("Basic1", 1, 1, "direct parameter-to-response flow",
+		doGet("Basic1", `
+    s = req.getParameter("name")
+    pw.println(s)`))
+
+	basic("Basic2", 1, 1, "flow through copies and concatenation",
+		doGet("Basic2", `
+    s = req.getParameter("name")
+    t = s
+    u = "Hello " + t
+    pw.println(u)`))
+
+	basic("Basic3", 1, 1, "flow through a StringBuilder",
+		doGet("Basic3", `
+    s = req.getParameter("name")
+    sb = new java.lang.StringBuilder()
+    sb.append("pre")
+    sb.append(s)
+    out = sb.toString()
+    pw.println(out)`))
+
+	basic("Basic4", 1, 1, "flow through an instance field of the servlet",
+		`
+class sb.Basic4 extends javax.servlet.http.HttpServlet {
+  field stored: java.lang.String
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    this.stored = s
+    t = this.stored
+    pw.println(t)
+  }
+}`)
+
+	basic("Basic5", 1, 1, "flow through a static field",
+		`
+class sb.Basic5 extends javax.servlet.http.HttpServlet {
+  static field cache: java.lang.String
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    sb.Basic5.cache = s
+    t = sb.Basic5.cache
+    pw.println(t)
+  }
+}`)
+
+	basic("Basic6", 2, 2, "two independent parameters each leaked",
+		doGet("Basic6", `
+    s1 = req.getParameter("a")
+    s2 = req.getParameter("b")
+    pw.println(s1)
+    pw.println(s2)`))
+
+	basic("Basic7", 3, 3, "one source reaching three sinks",
+		doGet("Basic7", `
+    s = req.getParameter("name")
+    pw.println(s)
+    t = s + "!"
+    pw.println(t)
+    pw.print(s)`))
+
+	basic("Basic8", 2, 2, "both branches of a conditional leak",
+		doGet("Basic8", `
+    s = req.getParameter("name")
+    if * goto other
+    a = s + "-left"
+    pw.println(a)
+    goto done
+  other:
+    bb = s + "-right"
+    pw.println(bb)
+  done:
+    nop`))
+
+	basic("Basic9", 1, 1, "taint built up inside a loop",
+		doGet("Basic9", `
+    s = req.getParameter("name")
+    acc = ""
+  loop:
+    if * goto done
+    acc = acc + s
+    goto loop
+  done:
+    pw.println(acc)`))
+
+	basic("Basic10", 1, 1, "flow through a helper method's return value",
+		`
+class sb.Basic10 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    t = this.decorate(s)
+    pw.println(t)
+  }
+  method decorate(x: java.lang.String): java.lang.String {
+    r = "[" + x
+    return r
+  }
+}`)
+
+	basic("Basic11", 1, 1, "helper taints a field of a passed object",
+		`
+class sb.Box11 {
+  field v: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Basic11 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    b = new sb.Box11()
+    this.fill(b, s)
+    t = b.v
+    pw.println(t)
+  }
+  method fill(box: sb.Box11, val: java.lang.String): void {
+    box.v = val
+  }
+}`)
+
+	basic("Basic12", 1, 1, "flow through an array cell",
+		doGet("Basic12", `
+    s = req.getParameter("name")
+    arr = newarray java.lang.String
+    arr[0] = s
+    t = arr[0]
+    pw.println(t)`))
+
+	basic("Basic13", 3, 3, "string operations preserve taint at every stage",
+		doGet("Basic13", `
+    s = req.getParameter("name")
+    a = s.substring(1)
+    pw.println(a)
+    bb = a.trim()
+    pw.println(bb)
+    c = bb.toUpperCase()
+    pw.println(c)`))
+
+	basic("Basic14", 1, 1, "flow through a two-level object chain",
+		`
+class sb.Inner14 {
+  field data: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Outer14 {
+  field inner: sb.Inner14
+  method init(): void {
+    i = new sb.Inner14()
+    this.inner = i
+  }
+}
+class sb.Basic14 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    o = new sb.Outer14()
+    i1 = o.inner
+    i1.data = s
+    i2 = o.inner
+    t = i2.data
+    pw.println(t)
+  }
+}`)
+
+	basic("Basic15", 1, 1, "flow through interface dispatch",
+		`
+interface sb.Render15 {
+  method render(x: java.lang.String): java.lang.String;
+}
+class sb.Bold15 implements sb.Render15 {
+  method init(): void {
+    return
+  }
+  method render(x: java.lang.String): java.lang.String {
+    r = "<b>" + x
+    return r
+  }
+}
+class sb.Basic15 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    local r: sb.Render15
+    r = new sb.Bold15()
+    t = r.render(s)
+    pw.println(t)
+  }
+}`)
+
+	basic("Basic16", 1, 1, "flow survives an up-cast and a down-cast",
+		doGet("Basic16", `
+    s = req.getParameter("name")
+    local o: java.lang.Object
+    o = (java.lang.Object) s
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)`))
+
+	basic("Basic17", 4, 4, "four parameters, four leaks",
+		doGet("Basic17", `
+    a = req.getParameter("a")
+    bb = req.getParameter("b")
+    c = req.getParameter("c")
+    d = req.getParameter("d")
+    pw.println(a)
+    pw.println(bb)
+    pw.println(c)
+    pw.println(d)`))
+
+	basic("Basic18", 1, 1, "conditionally chosen value still leaks",
+		doGet("Basic18", `
+    s = req.getParameter("name")
+    local v: java.lang.String
+    if * goto clean
+    v = s
+    goto use
+  clean:
+    v = "constant"
+  use:
+    pw.println(v)`))
+
+	basic("Basic19", 1, 1, "cookie values are sources too",
+		doGet("Basic19", `
+    cookies = req.getCookies()
+    c0 = cookies[0]
+    v = c0.getValue()
+    pw.println(v)`))
+
+	basic("Basic20", 1, 1, "a replace() call is not sanitization",
+		doGet("Basic20", `
+    s = req.getParameter("name")
+    t = s.replace("<", "&lt;")
+    pw.println(t)`))
+
+	basic("Basic21", 1, 1, "flow through a custom toString",
+		`
+class sb.Wrap21 {
+  field v: java.lang.String
+  method init(v: java.lang.String): void {
+    this.v = v
+  }
+  method toString(): java.lang.String {
+    r = this.v
+    return r
+  }
+}
+class sb.Basic21 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    w = new sb.Wrap21(s)
+    t = w.toString()
+    pw.println(t)
+  }
+}`)
+
+	basic("Basic22", 1, 1, "taint carried through recursion",
+		`
+class sb.Basic22 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    t = this.bounce(s, 3)
+    pw.println(t)
+  }
+  method bounce(x: java.lang.String, n: int): java.lang.String {
+    if * goto base
+    m = n - 1
+    r = this.bounce(x, m)
+    return r
+  base:
+    return x
+  }
+}`)
+
+	basic("Basic23", 2, 2, "values swapped through a temporary, both leak",
+		doGet("Basic23", `
+    a = req.getParameter("a")
+    bb = req.getParameter("b")
+    tmp = a
+    a = bb
+    bb = tmp
+    pw.println(a)
+    pw.println(bb)`))
+
+	basic("Basic24", 1, 1, "flow through a StringBuffer",
+		doGet("Basic24", `
+    s = req.getParameter("name")
+    sb = new java.lang.StringBuffer()
+    sb.append(s)
+    t = sb.toString()
+    pw.println(t)`))
+
+	basic("Basic25", 1, 1, "flow through String.format",
+		doGet("Basic25", `
+    s = req.getParameter("name")
+    local o: java.lang.Object
+    o = (java.lang.Object) s
+    t = java.lang.String.format("hi %s", o)
+    pw.println(t)`))
+
+	basic("Basic26", 2, 2, "header and parameter sources both leak",
+		doGet("Basic26", `
+    p = req.getParameter("name")
+    h = req.getHeader("User-Agent")
+    pw.println(p)
+    pw.println(h)`))
+
+	basic("Basic27", 1, 1, "a long chain of local copies",
+		doGet("Basic27", `
+    s = req.getParameter("name")
+    a1 = s
+    a2 = a1
+    a3 = a2
+    a4 = a3
+    a5 = a4
+    a6 = a5
+    a7 = a6
+    a8 = a7
+    pw.println(a8)`))
+
+	basic("Basic28", 3, 3, "the same source leaks from three helpers",
+		`
+class sb.Basic28 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    this.h1(pw, s)
+    this.h2(pw, s)
+    this.h3(pw, s)
+  }
+  method h1(pw: java.io.PrintWriter, x: java.lang.String): void {
+    pw.println(x)
+  }
+  method h2(pw: java.io.PrintWriter, x: java.lang.String): void {
+    y = x.trim()
+    pw.println(y)
+  }
+  method h3(pw: java.io.PrintWriter, x: java.lang.String): void {
+    z = "3:" + x
+    pw.println(z)
+  }
+}`)
+
+	basic("Basic29", 1, 1, "flow through String.valueOf",
+		doGet("Basic29", `
+    s = req.getParameter("name")
+    local o: java.lang.Object
+    o = (java.lang.Object) s
+    t = java.lang.String.valueOf(o)
+    pw.println(t)`))
+
+	basic("Basic30", 2, 2, "two paths through a shared static helper",
+		`
+class sb.Util30 {
+  static method pass(x: java.lang.String): java.lang.String {
+    return x
+  }
+}
+class sb.Basic30 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    a = req.getParameter("a")
+    bb = req.getParameter("b")
+    x = sb.Util30.pass(a)
+    y = sb.Util30.pass(bb)
+    pw.println(x)
+    pw.println(y)
+  }
+}`)
+
+	basic("Basic31", 1, 1, "a four-level call chain",
+		`
+class sb.Basic31 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    t = this.l1(s)
+    pw.println(t)
+  }
+  method l1(x: java.lang.String): java.lang.String {
+    r = this.l2(x)
+    return r
+  }
+  method l2(x: java.lang.String): java.lang.String {
+    r = this.l3(x)
+    return r
+  }
+  method l3(x: java.lang.String): java.lang.String {
+    r = x + "."
+    return r
+  }
+}`)
+
+	basic("Basic32", 1, 1, "taint captured by a constructor",
+		`
+class sb.Holder32 {
+  field data: java.lang.String
+  method init(d: java.lang.String): void {
+    this.data = d
+  }
+  method get(): java.lang.String {
+    r = this.data
+    return r
+  }
+}
+class sb.Basic32 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    h = new sb.Holder32(s)
+    t = h.get()
+    pw.println(t)
+  }
+}`)
+
+	basic("Basic33", 1, 1, "overwrite on one branch only: the other leaks",
+		doGet("Basic33", `
+    s = req.getParameter("name")
+    if * goto keep
+    s = "clean"
+  keep:
+    pw.println(s)`))
+
+	basic("Basic34", 2, 2, "two carrier objects, two leaks",
+		`
+class sb.Cell34 {
+  field v: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Basic34 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    a = req.getParameter("a")
+    bb = req.getParameter("b")
+    c1 = new sb.Cell34()
+    c2 = new sb.Cell34()
+    c1.v = a
+    c2.v = bb
+    t1 = c1.v
+    t2 = c2.v
+    pw.println(t1)
+    pw.println(t2)
+  }
+}`)
+
+	basic("Basic35", 1, 1, "taint tracked through primitive conversion",
+		doGet("Basic35", `
+    s = req.getParameter("count")
+    n = java.lang.Integer.parseInt(s)
+    m = n + 1
+    t = java.lang.String.valueOf(m)
+    pw.println(t)`))
+
+	basic("Basic36", 1, 1, "trim after concatenation",
+		doGet("Basic36", `
+    s = req.getParameter("name")
+    t = " " + s
+    u = t.trim()
+    pw.println(u)`))
+
+	basic("Basic37", 3, 3, "three headers leaked through one helper object",
+		`
+class sb.Sink37 {
+  field pw: java.io.PrintWriter
+  method init(pw: java.io.PrintWriter): void {
+    this.pw = pw
+  }
+  method emit(x: java.lang.String): void {
+    w = this.pw
+    w.println(x)
+  }
+}
+class sb.Basic37 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    o = new sb.Sink37(pw)
+    h1 = req.getHeader("a")
+    h2 = req.getHeader("b")
+    h3 = req.getHeader("c")
+    o.emit(h1)
+    o.emit(h2)
+    o.emit(h3)
+  }
+}`)
+
+	basic("Basic38", 2, 2, "parallel helper objects with distinct payloads",
+		`
+class sb.Carrier38 {
+  field load: java.lang.String
+  method init(): void {
+    return
+  }
+  method fill(x: java.lang.String): void {
+    this.load = x
+  }
+  method dump(): java.lang.String {
+    r = this.load
+    return r
+  }
+}
+class sb.Basic38 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    a = req.getParameter("a")
+    bb = req.getParameter("b")
+    p = new sb.Carrier38()
+    q = new sb.Carrier38()
+    p.fill(a)
+    q.fill(bb)
+    t1 = p.dump()
+    t2 = q.dump()
+    pw.println(t1)
+    pw.println(t2)
+  }
+}`)
+
+	basic("Basic39", 2, 2, "re-sourcing a variable: both sinks leak",
+		doGet("Basic39", `
+    s = req.getParameter("a")
+    pw.println(s)
+    s = req.getParameter("b")
+    pw.println(s)`))
+
+	basic("BasicStaticInit1", 1, 0,
+		"a static initializer leaks a static field written before the "+
+			"class's first use; missed because clinit is assumed to run at "+
+			"program start (the StaticInitialization1 limitation)",
+		`
+class sb.Late40 {
+  static field data: java.lang.String
+  static field pw: java.io.PrintWriter
+  method init(): void {
+    return
+  }
+  static method clinit(): void {
+    t = sb.Late40.data
+    w = sb.Late40.pw
+    w.println(t)
+  }
+}
+class sb.BasicStaticInit1 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    sb.Late40.data = s
+    sb.Late40.pw = pw
+    l = new sb.Late40()
+  }
+}`)
+
+	basic("BasicStaticInit2", 1, 0,
+		"variant of BasicStaticInit1 with the leak buried one call deeper",
+		`
+class sb.Late41 {
+  static field data: java.lang.String
+  static field pw: java.io.PrintWriter
+  method init(): void {
+    return
+  }
+  static method clinit(): void {
+    sb.Late41.emit()
+  }
+  static method emit(): void {
+    t = sb.Late41.data
+    w = sb.Late41.pw
+    w.println(t)
+  }
+}
+class sb.BasicStaticInit2 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    sb.Late41.data = s
+    sb.Late41.pw = pw
+    l = new sb.Late41()
+  }
+}`)
+}

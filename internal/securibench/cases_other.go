@@ -1,0 +1,858 @@
+package securibench
+
+// The remaining Table 2 categories: Aliasing (11 leaks, all found),
+// Arrays (9 leaks found, 6 false positives from the conservative array
+// model), Collections (14 found, 3 false positives from whole-collection
+// tainting), Datastructure (5), Factory (3), Inter (14 of 16; the two
+// environment round-trips are missed), Session (3) and StrongUpdates
+// (nothing to find, nothing reported).
+
+func reg(name, cat string, expected, finds int, note, src string) {
+	register(Case{
+		Name: name, Category: cat,
+		ExpectedLeaks: expected, FlowDroidFinds: finds,
+		Note: note, Source: src,
+	})
+}
+
+func init() {
+	// ------------------------------------------------------------ Aliasing
+	reg("Aliasing1", "Aliasing", 1, 1, "two locals referencing one object",
+		`
+class sb.Cell {
+  field v: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Aliasing1 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    a = new sb.Cell()
+    bb = a
+    a.v = s
+    t = bb.v
+    pw.println(t)
+  }
+}`)
+
+	reg("Aliasing2", "Aliasing", 2, 2, "an alias chain of three references",
+		`
+class sb.Cell2 {
+  field v: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Aliasing2 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    a = new sb.Cell2()
+    bb = a
+    c = bb
+    a.v = s
+    t1 = bb.v
+    pw.println(t1)
+    t2 = c.v
+    pw.println(t2)
+  }
+}`)
+
+	reg("Aliasing3", "Aliasing", 2, 2,
+		"the alias is established inside a callee (the paper's Listing 2 shape)",
+		`
+class sb.Cell3 {
+  field v: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Aliasing3 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    p = new sb.Cell3()
+    this.taintIt(pw, s, p)
+    t = p.v
+    pw.println(t)
+  }
+  method taintIt(pw: java.io.PrintWriter, in: java.lang.String, out: sb.Cell3): void {
+    x = out
+    x.v = in
+    u = out.v
+    pw.println(u)
+  }
+}`)
+
+	reg("Aliasing4", "Aliasing", 2, 2, "aliased inner objects shared by two containers",
+		`
+class sb.Inner4 {
+  field data: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Outer4 {
+  field inner: sb.Inner4
+  method init(): void {
+    return
+  }
+}
+class sb.Aliasing4 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    shared = new sb.Inner4()
+    o1 = new sb.Outer4()
+    o2 = new sb.Outer4()
+    o1.inner = shared
+    o2.inner = shared
+    i1 = o1.inner
+    i1.data = s
+    i2 = o2.inner
+    t = i2.data
+    pw.println(t)
+    u = shared.data
+    pw.println(u)
+  }
+}`)
+
+	reg("Aliasing5", "Aliasing", 2, 2, "alias obtained from a getter return",
+		`
+class sb.Cell5 {
+  field v: java.lang.String
+  method init(): void {
+    return
+  }
+  method self(): sb.Cell5 {
+    return this
+  }
+}
+class sb.Aliasing5 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    a = new sb.Cell5()
+    bb = a.self()
+    a.v = s
+    t1 = bb.v
+    pw.println(t1)
+    t2 = a.v
+    pw.println(t2)
+  }
+}`)
+
+	reg("Aliasing6", "Aliasing", 2, 2, "alias through a static field",
+		`
+class sb.Cell6 {
+  field v: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Aliasing6 extends javax.servlet.http.HttpServlet {
+  static field shared: sb.Cell6
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    a = new sb.Cell6()
+    sb.Aliasing6.shared = a
+    a.v = s
+    other = sb.Aliasing6.shared
+    t1 = other.v
+    pw.println(t1)
+    t2 = a.v
+    pw.println(t2)
+  }
+}`)
+
+	// -------------------------------------------------------------- Arrays
+	reg("Arrays1", "Arrays", 2, 2, "store and read back through an array",
+		doGet("Arrays1", `
+    s = req.getParameter("name")
+    arr = newarray java.lang.String
+    arr[0] = s
+    t = arr[0]
+    pw.println(t)
+    u = arr[1]
+    pw.println(u)`))
+
+	reg("Arrays2", "Arrays", 2, 2, "array passed to a helper and leaked twice",
+		`
+class sb.Arrays2 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    arr = newarray java.lang.String
+    arr[0] = s
+    this.leakFrom(pw, arr)
+    t = arr[0]
+    pw.println(t)
+  }
+  method leakFrom(pw: java.io.PrintWriter, a: java.lang.String[]): void {
+    x = a[0]
+    pw.println(x)
+  }
+}`)
+
+	reg("Arrays3", "Arrays", 2, 2, "array stored in an object field",
+		`
+class sb.ArrBox {
+  field items: java.lang.String[]
+  method init(): void {
+    return
+  }
+}
+class sb.Arrays3 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    arr = newarray java.lang.String
+    arr[0] = s
+    box = new sb.ArrBox()
+    box.items = arr
+    got = box.items
+    t = got[0]
+    pw.println(t)
+    u = got[1]
+    pw.println(u)
+  }
+}`)
+
+	reg("Arrays4", "Arrays", 2, 2, "two locals aliasing one array",
+		doGet("Arrays4", `
+    s = req.getParameter("name")
+    a = newarray java.lang.String
+    bb = a
+    a[0] = s
+    t1 = bb[0]
+    pw.println(t1)
+    t2 = a[0]
+    pw.println(t2)`))
+
+	reg("Arrays5", "Arrays", 1, 1, "element copied to a local before the leak",
+		doGet("Arrays5", `
+    s = req.getParameter("name")
+    arr = newarray java.lang.String
+    arr[2] = s
+    e = arr[2]
+    f = e + "!"
+    pw.println(f)`))
+
+	reg("ArraysFP1", "Arrays", 0, 2,
+		"taint at index 1, indices 0 and 2 leaked: two false positives from "+
+			"whole-array tainting",
+		doGet("ArraysFP1", `
+    s = req.getParameter("name")
+    arr = newarray java.lang.String
+    arr[0] = "zero"
+    arr[1] = s
+    arr[2] = "two"
+    t = arr[0]
+    pw.println(t)
+    u = arr[2]
+    pw.println(u)`))
+
+	reg("ArraysFP2", "Arrays", 0, 2,
+		"tainted array fully overwritten with constants before both reads",
+		doGet("ArraysFP2", `
+    s = req.getParameter("name")
+    arr = newarray java.lang.String
+    arr[0] = s
+    arr[0] = "cleared"
+    t = arr[0]
+    pw.println(t)
+    u = arr[0]
+    pw.print(u)`))
+
+	reg("ArraysFP3", "Arrays", 0, 2,
+		"separate halves: taint written into one array, a second clean "+
+			"array read — but the arrays were merged through a helper",
+		`
+class sb.ArraysFP3 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    a = newarray java.lang.String
+    bb = newarray java.lang.String
+    local chosen: java.lang.String[]
+    if * goto two
+    chosen = a
+    goto store
+  two:
+    chosen = bb
+  store:
+    chosen[0] = s
+    t = bb[1]
+    pw.println(t)
+    u = a[1]
+    pw.println(u)
+  }
+}`)
+
+	// --------------------------------------------------------- Collections
+	reg("Collections1", "Collections", 2, 2, "list add/get, leaked twice",
+		doGet("Collections1", `
+    s = req.getParameter("name")
+    lst = new java.util.ArrayList()
+    lst.add(s)
+    o = lst.get(0)
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)
+    pw.print(t)`))
+
+	reg("Collections2", "Collections", 2, 2, "map put/get round trip",
+		doGet("Collections2", `
+    s = req.getParameter("name")
+    m = new java.util.HashMap()
+    k = "key"
+    m.put(k, s)
+    o = m.get(k)
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)
+    u = t.trim()
+    pw.println(u)`))
+
+	reg("Collections3", "Collections", 2, 2, "iteration over a tainted list",
+		doGet("Collections3", `
+    s = req.getParameter("name")
+    lst = new java.util.LinkedList()
+    lst.add(s)
+    it = lst.iterator()
+  loop:
+    if * goto done
+    o = it.next()
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)
+    pw.print(t)
+    goto loop
+  done:
+    nop`))
+
+	reg("Collections4", "Collections", 2, 2, "set membership does not launder taint",
+		doGet("Collections4", `
+    s = req.getParameter("name")
+    st = new java.util.HashSet()
+    st.add(s)
+    it = st.iterator()
+    o = it.next()
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)
+    pw.print(t)`))
+
+	reg("Collections5", "Collections", 2, 2, "legacy Vector API",
+		doGet("Collections5", `
+    s = req.getParameter("name")
+    v = new java.util.Vector()
+    v.addElement(s)
+    o = v.elementAt(0)
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)
+    pw.print(t)`))
+
+	reg("Collections6", "Collections", 2, 2, "Hashtable with enumeration",
+		doGet("Collections6", `
+    s = req.getParameter("name")
+    h = new java.util.Hashtable()
+    k = "key"
+    h.put(k, s)
+    en = h.elements()
+    o = en.next()
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)
+    pw.print(t)`))
+
+	reg("Collections7", "Collections", 2, 2, "collection passed across methods",
+		`
+class sb.Collections7 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    lst = new java.util.ArrayList()
+    this.fill(lst, s)
+    o = lst.get(0)
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)
+    pw.print(t)
+  }
+  method fill(l: java.util.ArrayList, x: java.lang.String): void {
+    l.add(x)
+  }
+}`)
+
+	reg("CollectionsFP1", "Collections", 0, 1,
+		"taint under one map key, a different key read: whole-map tainting "+
+			"reports a false positive",
+		doGet("CollectionsFP1", `
+    s = req.getParameter("name")
+    m = new java.util.HashMap()
+    k1 = "secret"
+    k2 = "public"
+    m.put(k1, s)
+    clean = "ok"
+    m.put(k2, clean)
+    o = m.get(k2)
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)`))
+
+	reg("CollectionsFP2", "Collections", 0, 1,
+		"the list is cleared before the read; clear() is not a kill in the "+
+			"shortcut model",
+		doGet("CollectionsFP2", `
+    s = req.getParameter("name")
+    lst = new java.util.ArrayList()
+    lst.add(s)
+    lst.clear()
+    clean = "fresh"
+    lst.add(clean)
+    o = lst.get(0)
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)`))
+
+	reg("CollectionsFP3", "Collections", 0, 1,
+		"the tainted element is removed before the read",
+		doGet("CollectionsFP3", `
+    s = req.getParameter("name")
+    lst = new java.util.LinkedList()
+    clean = "zero"
+    lst.add(clean)
+    lst.add(s)
+    dropped = lst.remove(1)
+    o = lst.get(0)
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)`))
+
+	// ------------------------------------------------------- Datastructure
+	reg("Datastructure1", "Datastructure", 2, 2, "hand-rolled linked list",
+		`
+class sb.Node {
+  field value: java.lang.String
+  field next: sb.Node
+  method init(): void {
+    return
+  }
+}
+class sb.Datastructure1 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    head = new sb.Node()
+    second = new sb.Node()
+    head.next = second
+    second.value = s
+    n = head.next
+    t = n.value
+    pw.println(t)
+    u = second.value
+    pw.print(u)
+  }
+}`)
+
+	reg("Datastructure2", "Datastructure", 2, 2, "hand-rolled stack",
+		`
+class sb.Stack2 {
+  field top: java.lang.String
+  method init(): void {
+    return
+  }
+  method push(x: java.lang.String): void {
+    this.top = x
+  }
+  method pop(): java.lang.String {
+    r = this.top
+    return r
+  }
+}
+class sb.Datastructure2 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    st = new sb.Stack2()
+    st.push(s)
+    t = st.pop()
+    pw.println(t)
+    u = st.pop()
+    pw.print(u)
+  }
+}`)
+
+	reg("Datastructure3", "Datastructure", 1, 1, "pair type, tainted half leaked",
+		`
+class sb.Pair3 {
+  field first: java.lang.String
+  field second: java.lang.String
+  method init(a: java.lang.String, bb: java.lang.String): void {
+    this.first = a
+    this.second = bb
+  }
+}
+class sb.Datastructure3 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    k = "const"
+    p = new sb.Pair3(k, s)
+    t = p.second
+    pw.println(t)
+    u = p.first
+    pw.print(u)
+  }
+}`)
+
+	// -------------------------------------------------------------- Factory
+	reg("Factory1", "Factory", 1, 1, "object produced by a static factory",
+		`
+class sb.Product1 {
+  field payload: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Factory1 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    p = sb.Factory1.make(s)
+    t = p.payload
+    pw.println(t)
+  }
+  static method make(x: java.lang.String): sb.Product1 {
+    p = new sb.Product1()
+    p.payload = x
+    return p
+  }
+}`)
+
+	reg("Factory2", "Factory", 1, 1, "factory chooses one of two classes",
+		`
+class sb.Base2 {
+  field data: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Sub2 extends sb.Base2 {
+  method init(): void {
+    return
+  }
+}
+class sb.Factory2 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    p = sb.Factory2.make()
+    p.data = s
+    q = p.data
+    pw.println(q)
+  }
+  static method make(): sb.Base2 {
+    local r: sb.Base2
+    if * goto sub
+    r = new sb.Base2()
+    return r
+  sub:
+    r = new sb.Sub2()
+    return r
+  }
+}`)
+
+	reg("Factory3", "Factory", 1, 1, "factory behind an interface",
+		`
+interface sb.Maker3 {
+  method make(x: java.lang.String): java.lang.String;
+}
+class sb.EchoMaker3 implements sb.Maker3 {
+  method init(): void {
+    return
+  }
+  method make(x: java.lang.String): java.lang.String {
+    return x
+  }
+}
+class sb.Factory3 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    local mk: sb.Maker3
+    mk = new sb.EchoMaker3()
+    t = mk.make(s)
+    pw.println(t)
+  }
+}`)
+
+	// ---------------------------------------------------------------- Inter
+	reg("Inter1", "Inter", 2, 2, "leak in the callee and after the return",
+		`
+class sb.Inter1 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    t = this.relay(pw, s)
+    pw.println(t)
+  }
+  method relay(pw: java.io.PrintWriter, x: java.lang.String): java.lang.String {
+    pw.print(x)
+    r = x + "."
+    return r
+  }
+}`)
+
+	reg("Inter2", "Inter", 2, 2, "two-level call chain, two sinks",
+		`
+class sb.Inter2 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    a = this.one(s)
+    pw.println(a)
+    bb = this.two(s)
+    pw.println(bb)
+  }
+  method one(x: java.lang.String): java.lang.String {
+    r = this.two(x)
+    return r
+  }
+  method two(x: java.lang.String): java.lang.String {
+    r = "2" + x
+    return r
+  }
+}`)
+
+	reg("Inter3", "Inter", 2, 2, "taint carried inside a passed object",
+		`
+class sb.Packet3 {
+  field body: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class sb.Inter3 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    p = new sb.Packet3()
+    p.body = s
+    this.deliver(pw, p)
+    t = p.body
+    pw.println(t)
+  }
+  method deliver(pw: java.io.PrintWriter, p: sb.Packet3): void {
+    x = p.body
+    pw.print(x)
+  }
+}`)
+
+	reg("Inter4", "Inter", 2, 2, "static utility methods",
+		`
+class sb.Util4 {
+  static method wrapA(x: java.lang.String): java.lang.String {
+    r = "<" + x
+    return r
+  }
+  static method wrapB(x: java.lang.String): java.lang.String {
+    r = x + ">"
+    return r
+  }
+}
+class sb.Inter4 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    a = sb.Util4.wrapA(s)
+    pw.println(a)
+    bb = sb.Util4.wrapB(s)
+    pw.println(bb)
+  }
+}`)
+
+	reg("Inter5", "Inter", 2, 2, "one helper writes a field, another reads it",
+		`
+class sb.Inter5 extends javax.servlet.http.HttpServlet {
+  field channel: java.lang.String
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    this.produce(s)
+    this.consume(pw)
+    t = this.channel
+    pw.println(t)
+  }
+  method produce(x: java.lang.String): void {
+    this.channel = x
+  }
+  method consume(pw: java.io.PrintWriter): void {
+    t = this.channel
+    pw.print(t)
+  }
+}`)
+
+	reg("Inter6", "Inter", 2, 2, "recursion carries the taint to two sinks",
+		`
+class sb.Inter6 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    t = this.spin(s, 4)
+    pw.println(t)
+    pw.print(t)
+  }
+  method spin(x: java.lang.String, n: int): java.lang.String {
+    if * goto stop
+    m = n - 1
+    r = this.spin(x, m)
+    return r
+  stop:
+    return x
+  }
+}`)
+
+	reg("Inter7", "Inter", 2, 2, "virtual dispatch between helper classes",
+		`
+interface sb.Stage7 {
+  method process(x: java.lang.String): java.lang.String;
+}
+class sb.Upper7 implements sb.Stage7 {
+  method init(): void {
+    return
+  }
+  method process(x: java.lang.String): java.lang.String {
+    r = x.toUpperCase()
+    return r
+  }
+}
+class sb.Lower7 implements sb.Stage7 {
+  method init(): void {
+    return
+  }
+  method process(x: java.lang.String): java.lang.String {
+    r = x.toLowerCase()
+    return r
+  }
+}
+class sb.Inter7 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    local st: sb.Stage7
+    if * goto low
+    st = new sb.Upper7()
+    goto run
+  low:
+    st = new sb.Lower7()
+  run:
+    t = st.process(s)
+    pw.println(t)
+    u = t + "|"
+    pw.print(u)
+  }
+}`)
+
+	reg("InterMiss1", "Inter", 1, 0,
+		"the taint round-trips through the file system between two "+
+			"servlets; no static analysis in the comparison tracks "+
+			"environment round-trips, so this is a (shared) miss",
+		`
+class sb.InterMiss1Writer extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    f = new java.io.FileOutputStream("spool.txt")
+    f.write(s)
+  }
+}
+class sb.InterMiss1Reader extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    local src: java.lang.Object
+    src = new java.lang.Object
+    rd = new java.io.BufferedReader(src)
+    line = rd.readLine()
+    pw.println(line)
+  }
+}`)
+
+	reg("InterMiss2", "Inter", 1, 0,
+		"single servlet writing and re-reading the file system",
+		`
+class sb.InterMiss2 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    f = new java.io.FileOutputStream("tmp.txt")
+    f.write(s)
+    local src: java.lang.Object
+    src = new java.lang.Object
+    rd = new java.io.BufferedReader(src)
+    back = rd.readLine()
+    pw.println(back)
+  }
+}`)
+
+	// -------------------------------------------------------------- Session
+	reg("Session1", "Session", 2, 2, "session attribute round trip, two sinks",
+		doGet("Session1", `
+    s = req.getParameter("name")
+    sess = req.getSession()
+    sess.setAttribute("k", s)
+    o = sess.getAttribute("k")
+    local t: java.lang.String
+    t = (java.lang.String) o
+    pw.println(t)
+    pw.print(t)`))
+
+	reg("Session2", "Session", 1, 1, "attribute stored via an Object handle",
+		doGet("Session2", `
+    s = req.getParameter("name")
+    local o: java.lang.Object
+    o = (java.lang.Object) s
+    sess = req.getSession()
+    sess.setAttribute("data", o)
+    back = sess.getAttribute("data")
+    local t: java.lang.String
+    t = (java.lang.String) back
+    pw.println(t)`))
+
+	// -------------------------------------------------------- StrongUpdates
+	reg("StrongUpdates1", "StrongUpdates", 0, 0,
+		"the tainted local is overwritten before the sink",
+		doGet("StrongUpdates1", `
+    s = req.getParameter("name")
+    s = "overwritten"
+    pw.println(s)`))
+
+	reg("StrongUpdates2", "StrongUpdates", 0, 0,
+		"null-ed out before the sink",
+		doGet("StrongUpdates2", `
+    s = req.getParameter("name")
+    s = null
+    t = "safe" + s
+    pw.println(t)`))
+
+	reg("StrongUpdates3", "StrongUpdates", 0, 0,
+		"replaced by a clean helper result",
+		`
+class sb.StrongUpdates3 extends javax.servlet.http.HttpServlet {
+  method doGet(req: javax.servlet.http.HttpServletRequest, resp: javax.servlet.http.HttpServletResponse): void {
+    pw = resp.getWriter()
+    s = req.getParameter("name")
+    s = this.cleanse()
+    pw.println(s)
+  }
+  method cleanse(): java.lang.String {
+    r = "laundered"
+    return r
+  }
+}`)
+}

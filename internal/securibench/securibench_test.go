@@ -1,0 +1,89 @@
+package securibench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuiteTotals(t *testing.T) {
+	cases := Cases()
+	expected, finds := 0, 0
+	perCat := map[string]int{}
+	for _, c := range cases {
+		expected += c.ExpectedLeaks
+		finds += c.FlowDroidFinds
+		perCat[c.Category]++
+		if c.Note == "" || c.Source == "" {
+			t.Errorf("%s: incomplete case", c.Name)
+		}
+	}
+	if expected != 121 {
+		t.Errorf("total expected leaks = %d, want 121 (Table 2)", expected)
+	}
+	for _, cat := range CategoryOrder {
+		if perCat[cat] == 0 {
+			t.Errorf("category %s has no cases", cat)
+		}
+	}
+}
+
+// TestPerCase checks every case against its documented FlowDroid result.
+func TestPerCase(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			found, err := Run(c)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if found != c.FlowDroidFinds {
+				t.Errorf("found %d leaks, want %d (expected ground truth %d): %s",
+					found, c.FlowDroidFinds, c.ExpectedLeaks, c.Note)
+			}
+		})
+	}
+}
+
+// TestTable2 reproduces the paper's Table 2: 117 of 121 true positives
+// with 9 false positives (6 in Arrays, 3 in Collections).
+func TestTable2(t *testing.T) {
+	results, err := RunSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct{ tp, exp, fp int }{
+		"Aliasing":      {11, 11, 0},
+		"Arrays":        {9, 9, 6},
+		"Basic":         {58, 60, 0},
+		"Collections":   {14, 14, 3},
+		"Datastructure": {5, 5, 0},
+		"Factory":       {3, 3, 0},
+		"Inter":         {14, 16, 0},
+		"Session":       {3, 3, 0},
+		"StrongUpdates": {0, 0, 0},
+	}
+	totTP, totExp, totFP := 0, 0, 0
+	for _, r := range results {
+		w, ok := want[r.Category]
+		if !ok {
+			t.Errorf("unexpected category %s", r.Category)
+			continue
+		}
+		if r.TP != w.tp || r.Expected != w.exp || r.FP != w.fp {
+			t.Errorf("%s: TP=%d/%d FP=%d, want %d/%d FP=%d",
+				r.Category, r.TP, r.Expected, r.FP, w.tp, w.exp, w.fp)
+		}
+		totTP += r.TP
+		totExp += r.Expected
+		totFP += r.FP
+	}
+	if totTP != 117 || totExp != 121 || totFP != 9 {
+		t.Errorf("totals TP=%d/%d FP=%d, want 117/121 FP=9", totTP, totExp, totFP)
+	}
+	out := RenderTable(results)
+	for _, wantStr := range []string{"Aliasing", "117/121", "Sum", "n/a"} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("rendered table missing %q:\n%s", wantStr, out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package sourcesink
+
+// DefaultRules is the built-in Android source/sink configuration, a
+// distilled version of the SuSi-derived lists FlowDroid ships with.
+//
+// Note what is deliberately absent, mirroring the paper's configuration:
+// Activity.setResult is NOT a sink — tainted data handed back to the
+// calling activity through a result intent flows through the framework,
+// which is exactly why FlowDroid misses DroidBench's IntentSink1.
+const DefaultRules = `
+# ------------------------------------------------------------ sources
+# Unique identifiers.
+source <android.telephony.TelephonyManager: getDeviceId/0> -> return label device-id
+source <android.telephony.TelephonyManager: getSimSerialNumber/0> -> return label sim-serial
+source <android.telephony.TelephonyManager: getSubscriberId/0> -> return label subscriber-id
+source <android.telephony.TelephonyManager: getLine1Number/0> -> return label phone-number
+
+# Location data.
+source <android.location.LocationManager: getLastKnownLocation/1> -> return label location
+source <android.location.Location: getLatitude/0> -> return label latitude
+source <android.location.Location: getLongitude/0> -> return label longitude
+source <android.location.LocationListener: onLocationChanged/1> -> param0 label location-callback
+
+# Account data.
+source <android.accounts.AccountManager: getPassword/1> -> return label account-password
+
+# Inter-component communication: received intents are sources. (Reading
+# extras from an intent the app built itself is covered by the taint
+# wrapper instead, so getStringExtra is not itself a source.)
+source <android.app.Activity: getIntent/0> -> return label incoming-intent
+source <android.content.BroadcastReceiver: onReceive/2> -> param1 label broadcast-intent
+
+# Stored preferences can hold private data written earlier.
+source <android.content.SharedPreferences: getString/2> -> return label preference
+
+# ------------------------------------------------------------ sinks
+# SMS.
+sink <android.telephony.SmsManager: sendTextMessage/5> -> arg0, arg2 label sms
+
+# Logging (readable by other apps before Android 4.1).
+sink <android.util.Log: v/2> -> arg1 label log
+sink <android.util.Log: d/2> -> arg1 label log
+sink <android.util.Log: i/2> -> arg1 label log
+sink <android.util.Log: w/2> -> arg1 label log
+sink <android.util.Log: e/2> -> arg1 label log
+
+# Network.
+sink <java.net.URL: init/1> -> arg0 label url
+sink <java.io.OutputStream: write/1> -> arg0 label network-write
+sink <java.io.Writer: write/1> -> arg0 label writer
+sink <java.net.URLConnection: setRequestProperty/2> -> arg1 label http-header
+
+# Files and preferences.
+sink <android.content.SharedPreferences$Editor: putString/2> -> arg1 label preferences
+
+# Inter-component communication: sent intents are sinks.
+sink <android.content.Context: sendBroadcast/1> -> arg0 label broadcast
+sink <android.content.Context: startActivity/1> -> arg0 label start-activity
+sink <android.content.Context: startService/1> -> arg0 label start-service
+`

@@ -1,0 +1,366 @@
+package taint
+
+import (
+	"testing"
+)
+
+// --- static fields interprocedurally ----------------------------------------
+
+const staticFlow = `
+class G {
+  static field cache: java.lang.String
+}
+class Main {
+  static method put(v: java.lang.String): void {
+    G.cache = v
+  }
+  static method get(): java.lang.String {
+    r = G.cache
+    return r
+  }
+  static method main(): void {
+    s = Src.secret()
+    Main.put(s)
+    t = Main.get()
+    Snk.leak(t)                    // leak via static
+    return
+  }
+  static method cleanFirst(): void {
+    t = Main.get()
+    Snk.leak(t)                    // clean: read before any write
+    s = Src.secret()
+    Main.put(s)
+    return
+  }
+}
+`
+
+func TestStaticFieldInterprocedural(t *testing.T) {
+	r := analyze(t, staticFlow, DefaultConfig())
+	leak := lineOfCall(staticFlow, "leak via static", 1)
+	if !hasLeakAtLine(r, leak) {
+		t.Errorf("missed static-field leak at line %d; got %v", leak, leakLines(r))
+	}
+}
+
+// --- recursion with heap state ----------------------------------------------
+
+const recursiveHeap = `
+class Node {
+  field next: Node
+  field val: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class Main {
+  static method build(n: int): Node {
+    nd = new Node()
+    if * goto leaf
+    m = n - 1
+    child = Main.build(m)
+    nd.next = child
+  leaf:
+    return nd
+  }
+  static method poison(nd: Node): void {
+    s = Src.secret()
+    nd.val = s
+    nx = nd.next
+    if * goto stop
+    Main.poison(nx)
+  stop:
+    return
+  }
+  static method main(): void {
+    root = Main.build(3)
+    Main.poison(root)
+    n1 = root.next
+    t = n1.val
+    Snk.leak(t)                    // leak deep in the structure
+    return
+  }
+}
+`
+
+func TestRecursiveHeapTermination(t *testing.T) {
+	// Primarily a termination/soundness test: recursion over an unbounded
+	// structure with bounded access paths must converge and find the leak.
+	r := analyze(t, recursiveHeap, DefaultConfig())
+	leak := lineOfCall(recursiveHeap, "leak deep", 1)
+	if !hasLeakAtLine(r, leak) {
+		t.Errorf("missed recursive-structure leak; got %v", leakLines(r))
+	}
+}
+
+// --- access-path truncation -------------------------------------------------
+
+const deepChain = `
+class L {
+  field n: L
+  field v: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class Main {
+  static method main(): void {
+    a = new L()
+    b = new L()
+    c = new L()
+    d = new L()
+    e = new L()
+    a.n = b
+    b.n = c
+    c.n = d
+    d.n = e
+    s = Src.secret()
+    e.v = s
+    x1 = a.n
+    x2 = x1.n
+    x3 = x2.n
+    x4 = x3.n
+    t = x4.v
+    Snk.leak(t)                    // leak at depth five
+    return
+  }
+}
+`
+
+func TestDeepAccessPathWithinLimit(t *testing.T) {
+	r := analyze(t, deepChain, DefaultConfig()) // k = 5 covers depth 5
+	leak := lineOfCall(deepChain, "leak at depth five", 1)
+	if !hasLeakAtLine(r, leak) {
+		t.Errorf("missed depth-5 leak with k=5; got %v", leakLines(r))
+	}
+}
+
+func TestTruncationIsSoundNotPrecise(t *testing.T) {
+	// With k=1 the taint e.v widens; the leak must still be found
+	// (truncation over-approximates, never loses taints).
+	conf := DefaultConfig()
+	conf.APLength = 1
+	r := analyze(t, deepChain, conf)
+	leak := lineOfCall(deepChain, "leak at depth five", 1)
+	if !hasLeakAtLine(r, leak) {
+		t.Errorf("k=1 truncation lost the taint; got %v", leakLines(r))
+	}
+}
+
+// --- MaxLeaks ----------------------------------------------------------------
+
+const manyLeaks = `
+class Main {
+  static method main(): void {
+    s = Src.secret()
+    Snk.leak(s)
+    Snk.leak(s)
+    Snk.leak(s)
+    Snk.leak(s)
+    return
+  }
+}
+`
+
+func TestMaxLeaksCap(t *testing.T) {
+	conf := DefaultConfig()
+	conf.MaxLeaks = 2
+	r := analyze(t, manyLeaks, conf)
+	if len(r.Leaks) > 2 {
+		t.Errorf("MaxLeaks=2 but %d recorded", len(r.Leaks))
+	}
+	full := analyze(t, manyLeaks, DefaultConfig())
+	if len(full.DistinctSourceSinkPairs()) != 4 {
+		t.Errorf("uncapped run should find 4 pairs, got %d", len(full.DistinctSourceSinkPairs()))
+	}
+}
+
+// --- collections stored in fields (wrapper + aliasing interplay) -------------
+
+const listInField = `
+class Holder {
+  field items: java.util.ArrayList
+  method init(): void {
+    l = new java.util.ArrayList()
+    this.items = l
+  }
+}
+class Main {
+  static method main(): void {
+    h = new Holder()
+    s = Src.secret()
+    l1 = h.items
+    l1.add(s)
+    l2 = h.items
+    o = l2.get(0)
+    local t: java.lang.String
+    t = (java.lang.String) o
+    Snk.leak(t)                    // leak through field-held collection
+    return
+  }
+}
+`
+
+func TestCollectionInFieldAlias(t *testing.T) {
+	r := analyze(t, listInField, DefaultConfig())
+	leak := lineOfCall(listInField, "leak through field-held", 1)
+	if !hasLeakAtLine(r, leak) {
+		t.Errorf("missed leak through aliased collection; got %v", leakLines(r))
+	}
+}
+
+// --- taints entering callees as fields ---------------------------------------
+
+const calleeReads = `
+class Box {
+  field v: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class Main {
+  static method drain(b: Box): void {
+    t = b.v
+    Snk.leak(t)                    // leak inside callee
+  }
+  static method main(): void {
+    b = new Box()
+    s = Src.secret()
+    b.v = s
+    Main.drain(b)
+    return
+  }
+  static method cleanCall(): void {
+    b = new Box()
+    c = "fine"
+    b.v = c
+    Main.drain(b)
+    return
+  }
+}
+`
+
+func TestFieldTaintIntoCallee(t *testing.T) {
+	r := analyze(t, calleeReads, DefaultConfig())
+	leak := lineOfCall(calleeReads, "leak inside callee", 1)
+	if !hasLeakAtLine(r, leak) {
+		t.Errorf("missed leak inside callee; got %v", leakLines(r))
+	}
+}
+
+// --- arrays through calls ----------------------------------------------------
+
+const arrayThroughCall = `
+class Main {
+  static method stash(a: java.lang.String[], v: java.lang.String): void {
+    a[0] = v
+  }
+  static method main(): void {
+    arr = newarray java.lang.String
+    s = Src.secret()
+    Main.stash(arr, s)
+    t = arr[0]
+    Snk.leak(t)                    // array filled by callee
+    return
+  }
+}
+`
+
+func TestArrayTaintedInCallee(t *testing.T) {
+	r := analyze(t, arrayThroughCall, DefaultConfig())
+	leak := lineOfCall(arrayThroughCall, "array filled by callee", 1)
+	if !hasLeakAtLine(r, leak) {
+		t.Errorf("missed array-through-call leak; got %v", leakLines(r))
+	}
+}
+
+// --- null/new kills ----------------------------------------------------------
+
+const killFlow = `
+class Data {
+  field f: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class Main {
+  static method main(): void {
+    s = Src.secret()
+    d = new Data()
+    d.f = s
+    d = new Data()
+    t = d.f
+    Snk.leak(t)                    // fresh object: clean
+    u = s
+    u = null
+    v = "x" + u
+    Snk.leak(v)                    // nulled local: clean
+    return
+  }
+}
+`
+
+func TestNewAndNullKillTaints(t *testing.T) {
+	r := analyze(t, killFlow, DefaultConfig())
+	if hasLeakAtLine(r, lineOfCall(killFlow, "fresh object: clean", 1)) {
+		t.Error("taint survived reallocation of the base local")
+	}
+	if hasLeakAtLine(r, lineOfCall(killFlow, "nulled local: clean", 1)) {
+		t.Error("taint survived a null overwrite")
+	}
+}
+
+// --- source value flowing into a sink via base object ------------------------
+
+const sinkViaObjectArg = `
+class Data {
+  field f: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class Main {
+  static method main(): void {
+    d = new Data()
+    s = Src.secret()
+    d.f = s
+    local o: java.lang.Object
+    o = (java.lang.Object) d
+    Snk.leakObj(o)                 // passing the container leaks its fields
+    return
+  }
+}
+`
+
+func TestSinkLeaksContainedFields(t *testing.T) {
+	r := analyze(t, sinkViaObjectArg, DefaultConfig())
+	leak := lineOfCall(sinkViaObjectArg, "passing the container", 1)
+	if !hasLeakAtLine(r, leak) {
+		t.Errorf("object with tainted field passed to sink not reported; got %v", leakLines(r))
+	}
+}
+
+// --- multiple sources, provenance kept apart ---------------------------------
+
+const twoSources = `
+class Main {
+  static method main(): void {
+    a = Src.secret()
+    b = Src.secret()
+    Snk.leak(a)
+    Snk.leak(b)
+    return
+  }
+}
+`
+
+func TestSourceProvenanceSeparated(t *testing.T) {
+	r := analyze(t, twoSources, DefaultConfig())
+	pairs := r.DistinctSourceSinkPairs()
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(pairs))
+	}
+	if pairs[0].Source().Stmt == pairs[1].Source().Stmt {
+		t.Error("distinct source statements merged")
+	}
+}

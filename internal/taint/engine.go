@@ -1,0 +1,546 @@
+package taint
+
+import (
+	"fmt"
+
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/ir"
+	"flowdroid/internal/sourcesink"
+)
+
+// engine holds the two cooperating IFDS solvers. Both operate on path
+// edges ⟨sp, d1⟩ → ⟨n, d2⟩ (d1 is the context fact at the start point of
+// n's method); the forward solver implements Algorithm 1 of the paper,
+// the backward alias solver Algorithm 2. The handover discipline:
+//
+//   - Forward, at a heap write that creates a new taint: spawn the
+//     backward solver with the *same path edge context* (context
+//     injection, Figure 3), the new fact marked inactive with the store
+//     as its activation statement.
+//   - Backward, at each assignment: inject the computed fact into the
+//     forward solver at that statement (the forward transfer functions
+//     then derive the downstream aliases).
+//   - Backward, at a call: descend into callees and inject the caller
+//     context into the forward solver's incoming set, so the forward
+//     analysis spawned at the callee's header later returns only into
+//     the right callers.
+//   - Backward, at a method's first statement: hand the edge to the
+//     forward solver and stop — the backward solver never returns into
+//     callers itself.
+type engine struct {
+	icfg *cfg.ICFG
+	mgr  *sourcesink.Manager
+	conf Config
+
+	in   *interner
+	ai   *absInterner
+	zero *Abstraction
+
+	fwJump   map[ir.Stmt]map[edge]bool
+	bwJump   map[ir.Stmt]map[edge]bool
+	fwWork   []item
+	bwWork   []item
+	incoming map[methodCtx]map[callerCtx]bool
+	endSum   map[methodCtx][]exitRec
+
+	leaks    []*Leak
+	leakSeen map[leakKey]bool
+	actCache map[actKey]bool
+	stats    Stats
+
+	// idxFields interns the pseudo-fields that model constant array
+	// indices when ArrayIndexSensitive is on.
+	idxFields map[int64]*ir.Field
+	idxClass  *ir.Class
+}
+
+type edge struct{ d1, d2 *Abstraction }
+
+type item struct {
+	n      ir.Stmt
+	d1, d2 *Abstraction
+}
+
+type methodCtx struct {
+	m  *ir.Method
+	d1 *Abstraction
+}
+
+type callerCtx struct {
+	site ir.Stmt
+	d1   *Abstraction // the caller's own path-edge context
+}
+
+type exitRec struct {
+	exit ir.Stmt
+	d2   *Abstraction
+}
+
+type leakKey struct {
+	sink ir.Stmt
+	src  *SourceRecord
+	ap   *AccessPath
+}
+
+type actKey struct {
+	site ir.Stmt
+	m    *ir.Method
+}
+
+// recordLeak registers a (source, sink, access path) leak once.
+func (e *engine) recordLeak(n ir.Stmt, snk sourcesink.Sink, d *Abstraction) {
+	k := leakKey{n, d.Source, d.AP}
+	if e.leakSeen[k] {
+		return
+	}
+	e.leakSeen[k] = true
+	e.leaks = append(e.leaks, &Leak{Sink: n, SinkSpec: snk, Abstraction: d})
+}
+
+func newEngine(icfg *cfg.ICFG, mgr *sourcesink.Manager, conf Config) *engine {
+	if conf.APLength <= 0 {
+		conf.APLength = 5
+	}
+	e := &engine{
+		icfg:     icfg,
+		mgr:      mgr,
+		conf:     conf,
+		in:       newInterner(conf.APLength),
+		ai:       newAbsInterner(),
+		fwJump:   make(map[ir.Stmt]map[edge]bool),
+		bwJump:   make(map[ir.Stmt]map[edge]bool),
+		incoming: make(map[methodCtx]map[callerCtx]bool),
+		endSum:   make(map[methodCtx][]exitRec),
+		leakSeen: make(map[leakKey]bool),
+		actCache: make(map[actKey]bool),
+	}
+	e.zero = e.ai.get(nil, true, nil, nil, nil, nil)
+	e.idxFields = make(map[int64]*ir.Field)
+	e.idxClass = ir.NewClass("$array", "")
+	return e
+}
+
+// indexField interns the pseudo-field standing for a constant array index.
+func (e *engine) indexField(v int64) *ir.Field {
+	if f, ok := e.idxFields[v]; ok {
+		return f
+	}
+	f, err := e.idxClass.AddField(fmt.Sprintf("idx%d", v), ir.Unknown, false)
+	if err != nil {
+		// Interned above on first creation; duplicates cannot occur.
+		panic(err)
+	}
+	e.idxFields[v] = f
+	return f
+}
+
+func (e *engine) run(entries []*ir.Method) *Results {
+	for _, m := range entries {
+		if sp := m.EntryStmt(); sp != nil {
+			e.fwPropagate(e.zero, sp, e.zero)
+		}
+	}
+	// Seed callback-parameter sources (e.g. onLocationChanged) for every
+	// reachable method.
+	for _, m := range e.icfg.Graph.Reachable() {
+		if m.Abstract() {
+			continue
+		}
+		for _, src := range e.mgr.ParamSources(m) {
+			rec := &SourceRecord{Stmt: m.EntryStmt(), Source: src}
+			ap := e.in.local(m.Params[src.Param])
+			abs := e.ai.get(ap, true, nil, rec, nil, m.EntryStmt())
+			e.fwPropagate(e.zero, m.EntryStmt(), abs)
+		}
+	}
+
+	for len(e.fwWork) > 0 || len(e.bwWork) > 0 {
+		if e.conf.MaxLeaks > 0 && len(e.leaks) >= e.conf.MaxLeaks {
+			break
+		}
+		if len(e.fwWork) > 0 {
+			it := e.fwWork[len(e.fwWork)-1]
+			e.fwWork = e.fwWork[:len(e.fwWork)-1]
+			e.processForward(it)
+			continue
+		}
+		it := e.bwWork[len(e.bwWork)-1]
+		e.bwWork = e.bwWork[:len(e.bwWork)-1]
+		e.processBackward(it)
+	}
+
+	return &Results{Leaks: e.leaks, Stats: e.stats}
+}
+
+func (e *engine) fwPropagate(d1 *Abstraction, n ir.Stmt, d2 *Abstraction) {
+	edges := e.fwJump[n]
+	if edges == nil {
+		edges = make(map[edge]bool)
+		e.fwJump[n] = edges
+	}
+	pe := edge{d1, d2}
+	if edges[pe] {
+		return
+	}
+	edges[pe] = true
+	e.stats.ForwardEdges++
+	e.fwWork = append(e.fwWork, item{n, d1, d2})
+}
+
+func (e *engine) bwPropagate(d1 *Abstraction, n ir.Stmt, d2 *Abstraction) {
+	edges := e.bwJump[n]
+	if edges == nil {
+		edges = make(map[edge]bool)
+		e.bwJump[n] = edges
+	}
+	pe := edge{d1, d2}
+	if edges[pe] {
+		return
+	}
+	edges[pe] = true
+	e.stats.BackwardEdges++
+	e.bwWork = append(e.bwWork, item{n, d1, d2})
+}
+
+// ---------------------------------------------------------------- forward
+
+func (e *engine) processForward(it item) {
+	switch {
+	case e.icfg.IsCall(it.n):
+		e.fwCall(it)
+	case e.icfg.IsExit(it.n):
+		e.fwExit(it)
+	default:
+		e.fwNormal(it)
+	}
+}
+
+func (e *engine) fwNormal(it item) {
+	d2 := it.d2
+	// Flowing over the activation statement turns the alias into a live
+	// taint.
+	if e.conf.EnableActivation && d2 != e.zero && !d2.Active && d2.Activation == it.n {
+		d2 = e.ai.activate(d2, it.n)
+	}
+	outs, triggers := e.normalFlow(it.n, d2)
+	for _, t := range triggers {
+		e.spawnAliasSearch(it.n, it.d1, t)
+	}
+	for _, succ := range e.icfg.SuccsOf(it.n) {
+		for _, out := range outs {
+			e.fwPropagate(it.d1, succ, out)
+		}
+	}
+}
+
+func (e *engine) fwCall(it item) {
+	call := ir.CallOf(it.n)
+	// Descend into callees with bodies.
+	for _, callee := range e.icfg.CalleesOf(it.n) {
+		sp := callee.EntryStmt()
+		if sp == nil {
+			continue
+		}
+		for _, d3 := range e.callFlow(call, callee, it.d2) {
+			e.registerIncoming(callee, d3, it.n, it.d1)
+			e.fwPropagate(d3, sp, d3)
+		}
+	}
+	// Call-to-return on the caller's side: sources, sinks, shortcut
+	// rules, native defaults, result kill.
+	outs := e.callToReturn(it.n, call, it.d1, it.d2)
+	for _, retSite := range e.icfg.SuccsOf(it.n) {
+		for _, out := range outs {
+			e.fwPropagate(it.d1, retSite, out)
+		}
+	}
+}
+
+// registerIncoming records a caller context for (callee, entry fact) and
+// immediately applies any summaries already computed for that context.
+// The backward solver uses the same mechanism to inject contexts.
+func (e *engine) registerIncoming(callee *ir.Method, d3 *Abstraction, site ir.Stmt, callerD1 *Abstraction) {
+	key := methodCtx{callee, d3}
+	inc := e.incoming[key]
+	if inc == nil {
+		inc = make(map[callerCtx]bool)
+		e.incoming[key] = inc
+	}
+	cc := callerCtx{site, callerD1}
+	if inc[cc] {
+		return
+	}
+	inc[cc] = true
+	for _, ep := range e.endSum[key] {
+		e.applyReturn(cc, callee, ep)
+	}
+}
+
+func (e *engine) fwExit(it item) {
+	m := it.n.Method()
+	key := methodCtx{m, it.d1}
+	ep := exitRec{it.n, it.d2}
+	e.endSum[key] = append(e.endSum[key], ep)
+	for cc := range e.incoming[key] {
+		e.applyReturn(cc, m, ep)
+	}
+}
+
+func (e *engine) applyReturn(cc callerCtx, callee *ir.Method, ep exitRec) {
+	mapped := e.returnFlow(cc.site, callee, ep.exit, ep.d2)
+	for _, md := range mapped {
+		md = e.maybeActivateAtCall(cc.site, md)
+		for _, retSite := range e.icfg.SuccsOf(cc.site) {
+			e.fwPropagate(cc.d1, retSite, md)
+		}
+		// A heap taint mapped back into the caller may have aliases
+		// established before the call: spawn a new alias search there.
+		if e.conf.EnableAliasing && md.AP != nil && len(md.AP.Fields) > 0 && !md.AP.IsStatic() {
+			e.spawnAliasSearch(cc.site, cc.d1, md)
+		}
+	}
+}
+
+// maybeActivateAtCall activates an inactive taint when the call site can
+// transitively execute its activation statement (activation statements
+// represent call trees).
+func (e *engine) maybeActivateAtCall(site ir.Stmt, d *Abstraction) *Abstraction {
+	if !e.conf.EnableActivation || d == e.zero || d.Active || d.Activation == nil {
+		return d
+	}
+	if d.Activation == site || e.canActivate(site, d.Activation) {
+		return e.ai.activate(d, site)
+	}
+	return d
+}
+
+func (e *engine) canActivate(site ir.Stmt, act ir.Stmt) bool {
+	m := act.Method()
+	k := actKey{site, m}
+	if v, ok := e.actCache[k]; ok {
+		return v
+	}
+	v := e.icfg.Graph.ReachesTransitively(site, m)
+	e.actCache[k] = v
+	return v
+}
+
+// spawnAliasSearch starts the backward alias solver for a freshly tainted
+// heap location at statement n, under the same path-edge context d1
+// (context injection, Algorithm 1 line 16). The alias copy is inactive
+// with n as its activation statement.
+func (e *engine) spawnAliasSearch(n ir.Stmt, d1 *Abstraction, t *Abstraction) {
+	if !e.conf.EnableAliasing || t.AP == nil || t.AP.IsStatic() {
+		return
+	}
+	e.stats.AliasQueries++
+	var alias *Abstraction
+	if !e.conf.EnableActivation {
+		// Andromeda-style mode: aliases are active immediately
+		// (flow-insensitive, cf. Listing 3).
+		alias = e.ai.get(t.AP, true, nil, t.Source, t, n)
+	} else if !t.Active {
+		alias = t // already an inactive alias; keep its activation
+	} else {
+		alias = e.ai.deriveInactive(t, t.AP, n, n)
+	}
+	d1Inj := d1
+	if !e.conf.InjectContext {
+		// Ablation: naive spawning from the tautological context
+		// (Figure 3's dotted edge), which loses the correlation between
+		// the alias and the condition under which it was tainted.
+		d1Inj = e.zero
+	}
+	for _, p := range e.icfg.PredsOf(n) {
+		e.bwPropagate(d1Inj, p, alias)
+	}
+}
+
+// --------------------------------------------------------------- backward
+
+func (e *engine) processBackward(it item) {
+	n, d2 := it.n, it.d2
+	var outs []*Abstraction
+
+	switch {
+	case ir.IsCall(n):
+		outs = e.bwCall(it)
+	default:
+		if a, ok := n.(*ir.AssignStmt); ok {
+			outs = e.bwAssign(a, d2)
+			// Algorithm 2, line 17: every fact at an assignment is
+			// handed to the forward solver, which re-derives the
+			// downstream aliases from this point.
+			for _, out := range outs {
+				e.fwPropagate(it.d1, n, out)
+			}
+		} else {
+			outs = []*Abstraction{d2}
+		}
+	}
+
+	// At the method's first statement the backward solver hands over to
+	// the forward solver and stops (it never returns into callers).
+	if n.Index() == 0 {
+		for _, out := range outs {
+			e.fwPropagate(it.d1, n, out)
+		}
+		return
+	}
+	for _, p := range e.icfg.PredsOf(n) {
+		for _, out := range outs {
+			e.bwPropagate(it.d1, p, out)
+		}
+	}
+}
+
+// bwCall handles a call statement during the backward walk: facts rooted
+// in the call's result were produced inside the callee (descend, do not
+// pass up); facts rooted in arguments or the receiver may have aliases
+// established inside the callee (descend and pass up); static-rooted
+// facts descend and pass up; everything else passes up.
+func (e *engine) bwCall(it item) []*Abstraction {
+	n, d2 := it.n, it.d2
+	call := ir.CallOf(n)
+	result := ir.CallResult(n)
+
+	if d2.AP == nil {
+		return []*Abstraction{d2}
+	}
+
+	for _, callee := range e.icfg.CalleesOf(n) {
+		for _, pair := range e.bwCallFlow(call, result, callee, d2, n) {
+			// Inject this caller context into the forward solver's
+			// incoming set so the forward pass spawned at the callee's
+			// header can return into the right caller only.
+			d1Inj := it.d1
+			if !e.conf.InjectContext {
+				d1Inj = e.zero
+			}
+			e.registerIncoming(callee, pair.fact, n, d1Inj)
+			e.bwPropagate(pair.fact, pair.at, pair.fact)
+		}
+	}
+
+	// Pass-through upward: result-rooted facts are killed (the call
+	// defines the result).
+	if result != nil && d2.AP.Base == result {
+		return nil
+	}
+	return []*Abstraction{d2}
+}
+
+type bwSeed struct {
+	fact *Abstraction
+	at   ir.Stmt
+}
+
+// bwCallFlow maps a backward fact at a call into callee-exit seeds.
+func (e *engine) bwCallFlow(call *ir.InvokeExpr, result *ir.Local, callee *ir.Method, d2 *Abstraction, at ir.Stmt) []bwSeed {
+	var out []bwSeed
+	exits := callee.ExitStmts()
+	seedAll := func(a *Abstraction) {
+		for _, ex := range exits {
+			out = append(out, bwSeed{a, ex})
+		}
+	}
+	ap := d2.AP
+	switch {
+	case ap.IsStatic():
+		seedAll(d2)
+	case result != nil && ap.Base == result:
+		// Map the result back to each returned local.
+		for _, ex := range exits {
+			ret := ex.(*ir.ReturnStmt)
+			if v, ok := ret.Value.(*ir.Local); ok {
+				m := e.ai.derive(d2, e.in.rebase(ap, v), at)
+				out = append(out, bwSeed{m, ex})
+			}
+		}
+	default:
+		if call.Base != nil && ap.Base == call.Base && callee.This != nil {
+			seedAll(e.ai.derive(d2, e.in.rebase(ap, callee.This), at))
+		}
+		for i, arg := range call.Args {
+			if l, ok := arg.(*ir.Local); ok && ap.Base == l && i < len(callee.Params) {
+				seedAll(e.ai.derive(d2, e.in.rebase(ap, callee.Params[i]), at))
+			}
+		}
+	}
+	return out
+}
+
+// bwAssign computes the facts holding before an assignment from a fact
+// holding after it (Algorithm 2: replace left-hand side by right-hand
+// side). Locals are strongly updated backwards; heap locations are not.
+func (e *engine) bwAssign(a *ir.AssignStmt, d2 *Abstraction) []*Abstraction {
+	if d2.AP == nil {
+		return []*Abstraction{d2}
+	}
+	ap := d2.AP
+	switch lhs := a.LHS.(type) {
+	case *ir.Local:
+		if ap.Base != lhs {
+			return []*Abstraction{d2}
+		}
+		// Rebase through the RHS; the binding of lhs starts here, so the
+		// lhs-rooted fact does not survive above this statement.
+		switch rhs := a.RHS.(type) {
+		case *ir.Local:
+			return []*Abstraction{e.ai.derive(d2, e.in.rebase(ap, rhs), a)}
+		case *ir.Cast:
+			if x, ok := rhs.X.(*ir.Local); ok {
+				return []*Abstraction{e.ai.derive(d2, e.in.rebase(ap, x), a)}
+			}
+			return nil
+		case *ir.FieldRef:
+			return []*Abstraction{e.ai.derive(d2, e.appendField(rhs.Base, rhs.Field, ap.Fields), a)}
+		case *ir.StaticFieldRef:
+			return []*Abstraction{e.ai.derive(d2, e.in.appendStatic(rhs.Field, ap.Fields), a)}
+		case *ir.ArrayRef:
+			// The value came out of the array: treat the whole array as
+			// the alias (array indices are not modeled).
+			return []*Abstraction{e.ai.derive(d2, e.in.local(rhs.Base), a)}
+		default:
+			// new, newarray, constants, binops: the value originates
+			// here; the alias chain ends.
+			return nil
+		}
+	case *ir.FieldRef:
+		if suffix, ok := stripFieldPrefix(ap, lhs.Base, lhs.Field); ok {
+			if src, ok := a.RHS.(*ir.Local); ok {
+				rebased := e.ai.derive(d2, e.in.local(src, suffix...), a)
+				// No strong updates on fields: keep both.
+				return []*Abstraction{d2, rebased}
+			}
+		}
+		return []*Abstraction{d2}
+	case *ir.StaticFieldRef:
+		if ap.StaticRoot == lhs.Field {
+			if src, ok := a.RHS.(*ir.Local); ok {
+				rebased := e.ai.derive(d2, e.in.local(src, ap.Fields...), a)
+				return []*Abstraction{d2, rebased}
+			}
+		}
+		return []*Abstraction{d2}
+	case *ir.ArrayRef:
+		if ap.Base == lhs.Base {
+			if src, ok := a.RHS.(*ir.Local); ok {
+				rebased := e.ai.derive(d2, e.in.local(src), a)
+				return []*Abstraction{d2, rebased}
+			}
+		}
+		return []*Abstraction{d2}
+	}
+	return []*Abstraction{d2}
+}
+
+// stripFieldPrefix matches ap against base.field...: ap = base.field.F
+// yields (F, true); whole-object taints (ap = base) are not stripped here
+// because they do not originate from this store alone.
+func stripFieldPrefix(ap *AccessPath, base *ir.Local, field *ir.Field) ([]*ir.Field, bool) {
+	if ap.Base != base || len(ap.Fields) == 0 || ap.Fields[0] != field {
+		return nil, false
+	}
+	return ap.Fields[1:], true
+}

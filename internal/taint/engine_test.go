@@ -1,0 +1,490 @@
+package taint
+
+import (
+	"strings"
+	"testing"
+
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/framework"
+	"flowdroid/internal/ir"
+	"flowdroid/internal/irtext"
+	"flowdroid/internal/pta"
+	"flowdroid/internal/sourcesink"
+)
+
+// stubs declares the source/sink endpoints shared by the test programs.
+const stubs = `
+class Src {
+  static method secret(): java.lang.String;
+}
+class Snk {
+  static method leak(x: java.lang.String): void;
+  static method leakObj(x: java.lang.Object): void;
+}
+`
+
+const testRules = `
+source <Src: secret/0> -> return label secret
+sink <Snk: leak/1> -> arg0 label leak
+sink <Snk: leakObj/1> -> arg0 label leak
+`
+
+// analyze runs the engine on a program given as IR text; the entry point
+// is Main.main/0.
+func analyze(t *testing.T, src string, conf Config) *Results {
+	t.Helper()
+	prog := framework.NewProgram()
+	if err := irtext.ParseInto(prog, stubs+src, "test.ir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Link(); err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Class("Main").Method("main", 0)
+	if main == nil {
+		t.Fatal("Main.main/0 not found")
+	}
+	res := pta.Build(prog, main)
+	icfg := cfg.NewICFG(prog, res.Graph)
+	mgr, err := sourcesink.Parse(prog, testRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(icfg, mgr, conf, main)
+}
+
+// leakLines returns the source line numbers of the sink statements of all
+// distinct leaks.
+func leakLines(r *Results) []int {
+	var out []int
+	for _, l := range r.DistinctSourceSinkPairs() {
+		out = append(out, l.Sink.Line())
+	}
+	return out
+}
+
+func hasLeakAtLine(r *Results, line int) bool {
+	for _, l := range leakLines(r) {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// lineOf finds the line of the i-th call to the named method in the
+// program text (1-based line numbers as the parser records them).
+func lineOfCall(src, needle string, occurrence int) int {
+	lines := strings.Split(stubs+src, "\n")
+	count := 0
+	for i, l := range lines {
+		if strings.Contains(l, needle) {
+			count++
+			if count == occurrence {
+				return i + 1
+			}
+		}
+	}
+	return -1
+}
+
+// --- Listing 2: context injection -----------------------------------------
+
+const listing2 = `
+class Data {
+  field f: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class Main {
+  static method taintIt(in: java.lang.String, out: Data): void {
+    x = out
+    x.f = in
+    t = out.f
+    Snk.leak(t)                    // sink A: leaks only for tainted call
+  }
+  static method main(): void {
+    p = new Data()
+    p2 = new Data()
+    s = Src.secret()
+    Main.taintIt(s, p)
+    t1 = p.f
+    Snk.leak(t1)                   // sink B: real leak
+    pub = "public"
+    Main.taintIt(pub, p2)
+    t2 = p2.f
+    Snk.leak(t2)                   // sink C: must stay clean
+  }
+}
+`
+
+func TestListing2ContextInjection(t *testing.T) {
+	r := analyze(t, listing2, DefaultConfig())
+	sinkA := lineOfCall(listing2, "sink A", 1)
+	sinkB := lineOfCall(listing2, "sink B", 1)
+	sinkC := lineOfCall(listing2, "sink C", 1)
+	if !hasLeakAtLine(r, sinkA) {
+		t.Errorf("missed leak at sink A (line %d); leaks at %v", sinkA, leakLines(r))
+	}
+	if !hasLeakAtLine(r, sinkB) {
+		t.Errorf("missed leak at sink B (line %d); leaks at %v", sinkB, leakLines(r))
+	}
+	if hasLeakAtLine(r, sinkC) {
+		t.Errorf("false positive at sink C (line %d): context injection failed", sinkC)
+	}
+}
+
+func TestListing2NaiveContextFalsePositive(t *testing.T) {
+	// With context injection disabled (the naive dotted-edge spawning of
+	// Figure 3), the backward analysis runs under the tautological
+	// context, so the alias found in taintIt pollutes the clean call as
+	// well: the false positive at sink C appears, exactly as the paper's
+	// Figure 3 predicts.
+	conf := DefaultConfig()
+	conf.InjectContext = false
+	r := analyze(t, listing2, conf)
+	sinkB := lineOfCall(listing2, "sink B", 1)
+	sinkC := lineOfCall(listing2, "sink C", 1)
+	if !hasLeakAtLine(r, sinkB) {
+		t.Errorf("naive mode should still find the real leak at line %d", sinkB)
+	}
+	if !hasLeakAtLine(r, sinkC) {
+		t.Errorf("naive mode should produce the Figure 3 false positive at line %d; got %v",
+			sinkC, leakLines(r))
+	}
+}
+
+// --- Listing 3: activation statements --------------------------------------
+
+const listing3 = `
+class Data {
+  field f: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class Main {
+  static method main(): void {
+    p = new Data()
+    p2 = p
+    t1 = p2.f
+    Snk.leak(t1)                   // sink early: before the taint exists
+    s = Src.secret()
+    p.f = s
+    t2 = p2.f
+    Snk.leak(t2)                   // sink late: real leak via alias
+  }
+}
+`
+
+func TestListing3ActivationStatements(t *testing.T) {
+	r := analyze(t, listing3, DefaultConfig())
+	early := lineOfCall(listing3, "sink early", 1)
+	late := lineOfCall(listing3, "sink late", 1)
+	if hasLeakAtLine(r, early) {
+		t.Errorf("flow-insensitive false positive at line %d (activation failed)", early)
+	}
+	if !hasLeakAtLine(r, late) {
+		t.Errorf("missed aliased leak at line %d; leaks at %v", late, leakLines(r))
+	}
+}
+
+func TestListing3AndromedaMode(t *testing.T) {
+	// Without activation statements (Andromeda-style aliasing), the alias
+	// p2.f is tainted unconditionally and the early sink becomes a false
+	// positive — exactly the imprecision the paper fixes.
+	conf := DefaultConfig()
+	conf.EnableActivation = false
+	r := analyze(t, listing3, conf)
+	early := lineOfCall(listing3, "sink early", 1)
+	late := lineOfCall(listing3, "sink late", 1)
+	if !hasLeakAtLine(r, early) {
+		t.Errorf("Andromeda mode should report the early sink at line %d", early)
+	}
+	if !hasLeakAtLine(r, late) {
+		t.Errorf("Andromeda mode should still report the late sink at line %d", late)
+	}
+}
+
+// --- Figure 2: aliasing through calls --------------------------------------
+
+const figure2 = `
+class A {
+  field g: Data
+  method init(): void {
+    return
+  }
+}
+class Data {
+  field f: java.lang.String
+  method init(): void {
+    return
+  }
+}
+class Main {
+  static method foo(z: A): void {
+    x = z.g
+    w = Src.secret()
+    x.f = w
+  }
+  static method main(): void {
+    a = new A()
+    d = new Data()
+    a.g = d
+    b = a.g
+    Main.foo(a)
+    t = b.f
+    Snk.leak(t)                    // sink D: leak through deep alias
+  }
+}
+`
+
+func TestFigure2DeepAliasing(t *testing.T) {
+	r := analyze(t, figure2, DefaultConfig())
+	sinkD := lineOfCall(figure2, "sink D", 1)
+	if !hasLeakAtLine(r, sinkD) {
+		t.Errorf("missed the Figure 2 alias leak at line %d; leaks at %v", sinkD, leakLines(r))
+	}
+	if r.Stats.AliasQueries == 0 {
+		t.Error("alias solver was never consulted")
+	}
+}
+
+func TestFigure2NoAliasingMisses(t *testing.T) {
+	conf := DefaultConfig()
+	conf.EnableAliasing = false
+	r := analyze(t, figure2, conf)
+	sinkD := lineOfCall(figure2, "sink D", 1)
+	if hasLeakAtLine(r, sinkD) {
+		t.Errorf("aliasing disabled but alias leak still reported — ablation broken")
+	}
+}
+
+// --- basics -----------------------------------------------------------------
+
+const basics = `
+class User {
+  field name: java.lang.String
+  field pwd: java.lang.String
+  method init(n: java.lang.String, p: java.lang.String): void {
+    this.name = n
+    this.pwd = p
+  }
+  method getName(): java.lang.String {
+    r = this.name
+    return r
+  }
+  method getPwd(): java.lang.String {
+    r = this.pwd
+    return r
+  }
+}
+class Main {
+  static method main(): void {
+    s = Src.secret()
+    Snk.leak(s)                    // direct leak
+    n = "alice"
+    u = new User(n, s)
+    t1 = u.getName()
+    Snk.leak(t1)                   // clean: name field untainted
+    t2 = u.getPwd()
+    Snk.leak(t2)                   // field leak
+    v = "overwritten"
+    s = v
+    Snk.leak(s)                    // clean: strong update on local
+    return
+  }
+}
+`
+
+func TestBasicsFieldSensitivity(t *testing.T) {
+	r := analyze(t, basics, DefaultConfig())
+	direct := lineOfCall(basics, "direct leak", 1)
+	clean1 := lineOfCall(basics, "clean: name field", 1)
+	fieldLeak := lineOfCall(basics, "field leak", 1)
+	clean2 := lineOfCall(basics, "clean: strong update", 1)
+	if !hasLeakAtLine(r, direct) {
+		t.Errorf("missed direct leak (line %d); got %v", direct, leakLines(r))
+	}
+	if hasLeakAtLine(r, clean1) {
+		t.Errorf("field-insensitive false positive at line %d", clean1)
+	}
+	if !hasLeakAtLine(r, fieldLeak) {
+		t.Errorf("missed field leak (line %d); got %v", fieldLeak, leakLines(r))
+	}
+	if hasLeakAtLine(r, clean2) {
+		t.Errorf("strong update failed: false positive at line %d", clean2)
+	}
+}
+
+func TestFieldInsensitiveAblation(t *testing.T) {
+	conf := DefaultConfig()
+	conf.FieldSensitive = false
+	r := analyze(t, basics, conf)
+	clean1 := lineOfCall(basics, "clean: name field", 1)
+	if !hasLeakAtLine(r, clean1) {
+		t.Errorf("field-insensitive mode should taint the whole User object (line %d)", clean1)
+	}
+}
+
+// --- object sensitivity ------------------------------------------------------
+
+const objectSensitivity = `
+class Holder {
+  field v: java.lang.String
+  method init(): void {
+    return
+  }
+  method set(s: java.lang.String): void {
+    this.v = s
+  }
+  method get(): java.lang.String {
+    r = this.v
+    return r
+  }
+}
+class Main {
+  static method main(): void {
+    h1 = new Holder()
+    h2 = new Holder()
+    s = Src.secret()
+    pub = "public"
+    h1.set(s)
+    h2.set(pub)
+    t1 = h1.get()
+    Snk.leak(t1)                   // tainted holder
+    t2 = h2.get()
+    Snk.leak(t2)                   // clean holder
+    return
+  }
+}
+`
+
+func TestObjectSensitivity(t *testing.T) {
+	r := analyze(t, objectSensitivity, DefaultConfig())
+	tainted := lineOfCall(objectSensitivity, "tainted holder", 1)
+	clean := lineOfCall(objectSensitivity, "clean holder", 1)
+	if !hasLeakAtLine(r, tainted) {
+		t.Errorf("missed leak via tainted holder (line %d); got %v", tainted, leakLines(r))
+	}
+	if hasLeakAtLine(r, clean) {
+		t.Errorf("object-insensitive false positive at line %d", clean)
+	}
+}
+
+// --- interprocedural returns and wrappers ------------------------------------
+
+const wrapperProg = `
+class Main {
+  static method main(): void {
+    s = Src.secret()
+    sb = new java.lang.StringBuilder()
+    sb.append("hello")
+    sb.append(s)
+    msg = sb.toString()
+    Snk.leak(msg)                  // leak through StringBuilder
+    lst = new java.util.ArrayList()
+    lst.add(s)
+    o = lst.get(0)
+    local o2: java.lang.Object
+    o2 = o
+    Snk.leakObj(o2)                // leak through collection
+    clean = new java.util.ArrayList()
+    c = clean.get(0)
+    local c2: java.lang.Object
+    c2 = c
+    Snk.leakObj(c2)                // clean collection
+    return
+  }
+}
+`
+
+func TestWrapperFlows(t *testing.T) {
+	r := analyze(t, wrapperProg, DefaultConfig())
+	sbLeak := lineOfCall(wrapperProg, "leak through StringBuilder", 1)
+	colLeak := lineOfCall(wrapperProg, "leak through collection", 1)
+	clean := lineOfCall(wrapperProg, "clean collection", 1)
+	if !hasLeakAtLine(r, sbLeak) {
+		t.Errorf("missed StringBuilder leak (line %d); got %v", sbLeak, leakLines(r))
+	}
+	if !hasLeakAtLine(r, colLeak) {
+		t.Errorf("missed collection leak (line %d); got %v", colLeak, leakLines(r))
+	}
+	if hasLeakAtLine(r, clean) {
+		t.Errorf("false positive on clean collection (line %d)", clean)
+	}
+}
+
+// --- leak metadata ------------------------------------------------------------
+
+func TestLeakMetadataAndPath(t *testing.T) {
+	r := analyze(t, basics, DefaultConfig())
+	if len(r.Leaks) == 0 {
+		t.Fatal("no leaks")
+	}
+	leaks := r.DistinctSourceSinkPairs()
+	for _, l := range leaks {
+		if l.Source() == nil || l.Source().Stmt == nil {
+			t.Fatalf("leak without source record: %v", l)
+		}
+		if l.Source().Source.Label != "secret" {
+			t.Errorf("source label = %q", l.Source().Source.Label)
+		}
+		path := l.Path()
+		if len(path) < 2 {
+			t.Errorf("path too short for %v: %v", l, path)
+		}
+		if path[len(path)-1] != l.Sink {
+			t.Errorf("path should end at the sink")
+		}
+	}
+	if !strings.Contains(r.Render(), "leak(s) found") {
+		t.Errorf("Render output malformed: %q", r.Render())
+	}
+}
+
+// Direct test of access-path machinery.
+func TestAccessPathInterning(t *testing.T) {
+	in := newInterner(3)
+	x := &ir.Local{Name: "x"}
+	y := &ir.Local{Name: "y"}
+	cls := ir.NewClass("C", "")
+	f1, _ := cls.AddField("f1", ir.Ref("C"), false)
+	f2, _ := cls.AddField("f2", ir.Ref("C"), false)
+	f3, _ := cls.AddField("f3", ir.Ref("C"), false)
+	f4, _ := cls.AddField("f4", ir.Ref("C"), false)
+
+	a := in.local(x, f1, f2)
+	b := in.local(x, f1, f2)
+	if a != b {
+		t.Error("interning broken: equal paths not pointer-equal")
+	}
+	if in.local(y, f1, f2) == a {
+		t.Error("different bases interned equal")
+	}
+	// Truncation at max length 3.
+	long := in.local(x, f1, f2, f3, f4)
+	if len(long.Fields) != 3 {
+		t.Errorf("truncation failed: %d fields", len(long.Fields))
+	}
+	if long.String() != "x.f1.f2.f3" {
+		t.Errorf("String = %q", long.String())
+	}
+	// Rebase keeps the suffix.
+	r := in.rebase(a, y)
+	if r.Base != y || len(r.Fields) != 2 {
+		t.Errorf("rebase = %v", r)
+	}
+	// loadSuffix semantics.
+	if s, ok := loadSuffix(a, x, f1); !ok || len(s) != 1 || s[0] != f2 {
+		t.Errorf("loadSuffix(x.f1.f2, x, f1) = %v, %v", s, ok)
+	}
+	whole := in.local(x)
+	if _, ok := loadSuffix(whole, x, f1); !ok {
+		t.Error("whole-object taint should cover any field read")
+	}
+	if _, ok := loadSuffix(a, x, f3); ok {
+		t.Error("mismatched field should not be covered")
+	}
+}

@@ -1,0 +1,173 @@
+package taint
+
+import (
+	"testing"
+
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/framework"
+	"flowdroid/internal/ir"
+	"flowdroid/internal/irtext"
+	"flowdroid/internal/pta"
+	"flowdroid/internal/sourcesink"
+)
+
+// newTestEngine builds an engine over a parsed program for direct flow-
+// function unit tests.
+func newTestEngine(t *testing.T, src string) (*engine, *ir.Program) {
+	t.Helper()
+	prog := framework.NewProgram()
+	if err := irtext.ParseInto(prog, src, "flow.ir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Link(); err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Class("F").Method("m", 0)
+	graph := pta.Build(prog, main).Graph
+	icfg := cfg.NewICFG(prog, graph)
+	mgr, err := sourcesink.Parse(prog, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newEngine(icfg, mgr, DefaultConfig()), prog
+}
+
+const flowSrc = `
+class D {
+  field f: java.lang.String
+  field g: D
+  method init(): void {
+    return
+  }
+}
+class F {
+  static field s: java.lang.String
+  static method m(): void {
+    a = "x"
+    b = a
+    d = new D()
+    d.f = a
+    c = d.f
+    F.s = a
+    e = F.s
+    arr = newarray java.lang.String
+    arr[0] = a
+    q = arr[1]
+    w = a + b
+    return
+  }
+}
+`
+
+// stmtAt returns the i-th statement of F.m.
+func stmtAt(prog *ir.Program, i int) ir.Stmt {
+	return prog.Class("F").Method("m", 0).Body()[i]
+}
+
+func apStrings(outs []*Abstraction) map[string]bool {
+	m := make(map[string]bool, len(outs))
+	for _, o := range outs {
+		m[o.AP.String()] = true
+	}
+	return m
+}
+
+func TestNormalFlowTable(t *testing.T) {
+	e, prog := newTestEngine(t, flowSrc)
+	m := prog.Class("F").Method("m", 0)
+	local := func(name string) *ir.Local { return m.LookupLocal(name) }
+	src := &SourceRecord{}
+	fact := func(ap *AccessPath) *Abstraction { return e.ai.get(ap, true, nil, src, nil, nil) }
+
+	// Body indices: 0 a="x"  1 b=a  2 d=new D  3 d.init()  4 d.f=a
+	// 5 c=d.f  6 F.s=a  7 e=F.s  8 arr=newarray  9 arr[0]=a  10 q=arr[1]
+	// 11 w=a+b  12 return
+	dField := prog.Class("D").Field("f")
+	sField := prog.Class("F").Field("s")
+
+	cases := []struct {
+		name     string
+		stmt     int
+		in       *Abstraction
+		wantOut  []string
+		wantTrig int
+	}{
+		{"copy propagates", 1, fact(e.in.local(local("a"))), []string{"a", "b"}, 0},
+		{"copy kills lhs", 1, fact(e.in.local(local("b"))), nil, 0},
+		{"alloc kills lhs", 2, fact(e.in.local(local("d"))), nil, 0},
+		{"field store appends and triggers", 4, fact(e.in.local(local("a"))),
+			[]string{"a", "d.f"}, 1},
+		{"field load strips", 5, fact(e.in.local(local("d"), dField)),
+			[]string{"d.f", "c"}, 0},
+		{"whole object covers load", 5, fact(e.in.local(local("d"))),
+			[]string{"d", "c"}, 0},
+		{"static store", 6, fact(e.in.local(local("a"))),
+			[]string{"a", "F.s"}, 0},
+		{"static load", 7, fact(e.in.static(sField)),
+			[]string{"F.s", "e"}, 0},
+		{"array store taints whole array", 9, fact(e.in.local(local("a"))),
+			[]string{"a", "arr"}, 1},
+		{"array load from tainted array", 10, fact(e.in.local(local("arr"))),
+			[]string{"arr", "q"}, 0},
+		{"binop left operand", 11, fact(e.in.local(local("a"))),
+			[]string{"a", "w"}, 0},
+		{"binop right operand", 11, fact(e.in.local(local("b"))),
+			[]string{"b", "w"}, 0},
+		{"unrelated passes", 4, fact(e.in.local(local("b"))), []string{"b"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			outs, trig := e.normalFlow(stmtAt(prog, tc.stmt), tc.in)
+			got := apStrings(outs)
+			if len(got) != len(tc.wantOut) {
+				t.Fatalf("outs = %v, want %v", got, tc.wantOut)
+			}
+			for _, w := range tc.wantOut {
+				if !got[w] {
+					t.Errorf("missing %q in %v", w, got)
+				}
+			}
+			if len(trig) != tc.wantTrig {
+				t.Errorf("triggers = %d, want %d", len(trig), tc.wantTrig)
+			}
+		})
+	}
+}
+
+func TestNormalFlowZero(t *testing.T) {
+	e, prog := newTestEngine(t, flowSrc)
+	outs, trig := e.normalFlow(stmtAt(prog, 1), e.zero)
+	if len(outs) != 1 || outs[0] != e.zero || len(trig) != 0 {
+		t.Errorf("zero flow = %v, %v", outs, trig)
+	}
+}
+
+func TestBwAssignTable(t *testing.T) {
+	e, prog := newTestEngine(t, flowSrc)
+	m := prog.Class("F").Method("m", 0)
+	local := func(name string) *ir.Local { return m.LookupLocal(name) }
+	src := &SourceRecord{}
+	dField := prog.Class("D").Field("f")
+	fact := func(ap *AccessPath) *Abstraction { return e.ai.get(ap, false, stmtAt(prog, 4), src, nil, nil) }
+
+	// b = a (index 1): alias of b.F before is a.F.
+	outs := e.bwAssign(stmtAt(prog, 1).(*ir.AssignStmt), fact(e.in.local(local("b"))))
+	if got := apStrings(outs); len(got) != 1 || !got["a"] {
+		t.Errorf("bw copy rebase = %v", got)
+	}
+	// d = new D (index 2): alias chain ends.
+	outs = e.bwAssign(stmtAt(prog, 2).(*ir.AssignStmt), fact(e.in.local(local("d"))))
+	if len(outs) != 0 {
+		t.Errorf("bw alloc should kill, got %v", apStrings(outs))
+	}
+	// d.f = a (index 4): d.f rebases to a, keeping d.f (no strong update).
+	outs = e.bwAssign(stmtAt(prog, 4).(*ir.AssignStmt), fact(e.in.local(local("d"), dField)))
+	if got := apStrings(outs); len(got) != 2 || !got["a"] || !got["d.f"] {
+		t.Errorf("bw heap store = %v", got)
+	}
+	// Unrelated fact passes.
+	outs = e.bwAssign(stmtAt(prog, 1).(*ir.AssignStmt), fact(e.in.local(local("c"))))
+	if got := apStrings(outs); len(got) != 1 || !got["c"] {
+		t.Errorf("bw unrelated = %v", got)
+	}
+}

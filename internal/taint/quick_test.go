@@ -1,0 +1,249 @@
+package taint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowdroid/internal/ir"
+)
+
+// fieldPool builds n distinct fields for property tests.
+func fieldPool(n int) []*ir.Field {
+	cls := ir.NewClass("P", "")
+	out := make([]*ir.Field, n)
+	for i := range out {
+		f, err := cls.AddField(string(rune('a'+i)), ir.Ref("P"), false)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// TestQuickInterningCanonical: interning the same (base, fields) twice
+// always yields the same pointer, and different bases or field chains
+// yield different pointers (up to truncation).
+func TestQuickInterningCanonical(t *testing.T) {
+	fields := fieldPool(6)
+	x := &ir.Local{Name: "x"}
+	y := &ir.Local{Name: "y"}
+	f := func(seed int64, k uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		maxLen := int(k%5) + 1
+		in := newInterner(maxLen)
+		n := r.Intn(5)
+		chain := make([]*ir.Field, n)
+		for i := range chain {
+			chain[i] = fields[r.Intn(len(fields))]
+		}
+		a := in.local(x, chain...)
+		b := in.local(x, chain...)
+		if a != b {
+			return false
+		}
+		if len(a.Fields) > maxLen {
+			return false
+		}
+		c := in.local(y, chain...)
+		return c != a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRebasePreservesSuffix: rebase keeps the (truncated) field
+// suffix and only changes the root.
+func TestQuickRebasePreservesSuffix(t *testing.T) {
+	fields := fieldPool(6)
+	x := &ir.Local{Name: "x"}
+	y := &ir.Local{Name: "y"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := newInterner(5)
+		n := r.Intn(5)
+		chain := make([]*ir.Field, n)
+		for i := range chain {
+			chain[i] = fields[r.Intn(len(fields))]
+		}
+		a := in.local(x, chain...)
+		b := in.rebase(a, y)
+		if b.Base != y || len(b.Fields) != len(a.Fields) {
+			return false
+		}
+		for i := range b.Fields {
+			if b.Fields[i] != a.Fields[i] {
+				return false
+			}
+		}
+		// Rebasing back is the identity.
+		return in.rebase(b, x) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAppendLoadInverse: storing a suffix under a field and loading
+// that field back yields the original suffix, as long as truncation does
+// not intervene.
+func TestQuickAppendLoadInverse(t *testing.T) {
+	fields := fieldPool(6)
+	x := &ir.Local{Name: "x"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := newInterner(8)
+		n := r.Intn(4)
+		suffix := make([]*ir.Field, n)
+		for i := range suffix {
+			suffix[i] = fields[r.Intn(len(fields))]
+		}
+		fld := fields[r.Intn(len(fields))]
+		stored := in.appendField(x, fld, suffix)
+		got, ok := loadSuffix(stored, x, fld)
+		if !ok || len(got) != len(suffix) {
+			return false
+		}
+		for i := range got {
+			if got[i] != suffix[i] {
+				return false
+			}
+		}
+		// A different field must not match unless it is the stored one.
+		for _, other := range fields {
+			if other == fld {
+				continue
+			}
+			if _, matched := loadSuffix(stored, x, other); matched {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTruncationWidens: truncation keeps the path a prefix of the
+// untruncated one — the widened path covers everything the longer path
+// covered (soundness of k-limiting).
+func TestQuickTruncationWidens(t *testing.T) {
+	fields := fieldPool(6)
+	x := &ir.Local{Name: "x"}
+	f := func(seed int64, k uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		maxLen := int(k%4) + 1
+		short := newInterner(maxLen)
+		long := newInterner(16)
+		n := maxLen + 1 + r.Intn(3)
+		chain := make([]*ir.Field, n)
+		for i := range chain {
+			chain[i] = fields[r.Intn(len(fields))]
+		}
+		a := short.local(x, chain...)
+		b := long.local(x, chain...)
+		if len(a.Fields) != maxLen {
+			return false
+		}
+		for i := range a.Fields {
+			if a.Fields[i] != b.Fields[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAbstractionInterning: abstraction identity is (AP, active,
+// activation, source) — the predecessor never splits facts.
+func TestQuickAbstractionInterning(t *testing.T) {
+	x := &ir.Local{Name: "x"}
+	in := newInterner(5)
+	ap := in.local(x)
+	src := &SourceRecord{}
+	f := func(active bool) bool {
+		ai := newAbsInterner()
+		a := ai.get(ap, active, nil, src, nil, nil)
+		b := ai.get(ap, active, nil, src, a, nil) // different pred
+		if a != b {
+			return false
+		}
+		c := ai.get(ap, !active, nil, src, nil, nil)
+		return c != a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActivationInterning(t *testing.T) {
+	x := &ir.Local{Name: "x"}
+	in := newInterner(5)
+	ap := in.local(x)
+	src := &SourceRecord{}
+	ai := newAbsInterner()
+	inactive := ai.get(ap, false, nil, src, nil, nil)
+	act1 := ai.activate(inactive, nil)
+	act2 := ai.activate(inactive, nil)
+	if act1 != act2 {
+		t.Error("activation should intern")
+	}
+	if !act1.Active || act1.AP != ap {
+		t.Error("activation changed the wrong parts")
+	}
+	if ai.activate(act1, nil) != act1 {
+		t.Error("activating an active fact should be the identity")
+	}
+}
+
+func TestWrapperParsingAndMatch(t *testing.T) {
+	w, err := ParseWrapper(`
+wrap <a.B: put/2> arg1 -> base
+exclude <a.B: size/0>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := ir.NewProgram()
+	if err := prog.AddClass(ir.NewClass("a.B", "")); err != nil {
+		t.Fatal(err)
+	}
+	base := &ir.Local{Name: "m", Type: ir.Ref("a.B")}
+	call := &ir.InvokeExpr{
+		Kind: ir.VirtualInvoke, Base: base,
+		Ref:  ir.MethodRef{Class: "a.B", Name: "put", NArgs: 2},
+		Args: []ir.Value{ir.StringOf("k"), ir.StringOf("v")},
+	}
+	rules := w.RulesFor(prog, call)
+	if len(rules) != 1 || rules[0].From != 1 || rules[0].To[0] != SlotBase {
+		t.Errorf("rules = %+v", rules)
+	}
+	excl := &ir.InvokeExpr{
+		Kind: ir.VirtualInvoke, Base: base,
+		Ref: ir.MethodRef{Class: "a.B", Name: "size", NArgs: 0},
+	}
+	ex := w.RulesFor(prog, excl)
+	if len(ex) != 1 || len(ex[0].To) != 0 {
+		t.Errorf("exclude rules = %+v", ex)
+	}
+	if !w.Has(prog, call) {
+		t.Error("Has should be true")
+	}
+	for _, bad := range []string{
+		"frob <a.B: x/0> base -> return",
+		"wrap a.B.x base -> return",
+		"wrap <a.B: x/z> base -> return",
+		"wrap <a.B: x/0> base",
+		"wrap <a.B: x/0> bogus -> return",
+	} {
+		if _, err := ParseWrapper(bad); err == nil {
+			t.Errorf("wrapper rule %q should not parse", bad)
+		}
+	}
+}

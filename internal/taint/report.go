@@ -1,0 +1,48 @@
+package taint
+
+import "fmt"
+
+// LeakReport is a serialization-friendly view of one leak, used by the
+// CLI's JSON output and any downstream tooling.
+type LeakReport struct {
+	// SourceLabel/SinkLabel are the rule labels ("device-id", "sms").
+	SourceLabel string `json:"sourceLabel"`
+	SinkLabel   string `json:"sinkLabel"`
+	// Source/Sink render the statements with their containing methods.
+	Source       string `json:"source"`
+	SourceMethod string `json:"sourceMethod"`
+	Sink         string `json:"sink"`
+	SinkMethod   string `json:"sinkMethod"`
+	// AccessPath is the tainted access path observed at the sink.
+	AccessPath string `json:"accessPath"`
+	// Path is the reconstructed statement trace, source first.
+	Path []string `json:"path"`
+}
+
+// Report converts the distinct leaks into serializable records.
+func (r *Results) Report() []LeakReport {
+	leaks := r.DistinctSourceSinkPairs()
+	out := make([]LeakReport, 0, len(leaks))
+	for _, l := range leaks {
+		rep := LeakReport{
+			SinkLabel:  l.SinkSpec.Label,
+			Sink:       l.Sink.String(),
+			SinkMethod: l.Sink.Method().String(),
+		}
+		if l.Abstraction != nil && l.Abstraction.AP != nil {
+			rep.AccessPath = l.Abstraction.AP.String()
+		}
+		if s := l.Source(); s != nil {
+			rep.SourceLabel = s.Source.Label
+			if s.Stmt != nil {
+				rep.Source = s.Stmt.String()
+				rep.SourceMethod = s.Stmt.Method().String()
+			}
+		}
+		for _, st := range l.Path() {
+			rep.Path = append(rep.Path, fmt.Sprintf("%s @ %s", st, st.Method()))
+		}
+		out = append(out, rep)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package testapps provides shared in-memory application packages used by
+// tests across the repository, most prominently the paper's Listing 1
+// example (an activity leaking a password field via SMS from an
+// XML-declared button callback).
+package testapps
+
+// LeakageApp is the running example of the paper (Listing 1): onRestart
+// reads the password field into a User object stored in an activity
+// field; the sendMessage button callback (declared in layout XML) sends
+// it via SMS. Detecting the leak requires the lifecycle model (onRestart
+// before sendMessage), XML callback wiring, layout password sources and
+// field sensitivity.
+var LeakageApp = map[string]string{
+	"AndroidManifest.xml": `<?xml version="1.0"?>
+<manifest xmlns:android="http://schemas.android.com/apk/res/android"
+          package="com.example.leakage">
+  <application>
+    <activity android:name=".LeakageApp">
+      <intent-filter>
+        <action android:name="android.intent.action.MAIN"/>
+      </intent-filter>
+    </activity>
+    <activity android:name=".DisabledActivity" android:enabled="false"/>
+  </application>
+</manifest>`,
+	"res/layout/main.xml": `<?xml version="1.0"?>
+<LinearLayout xmlns:android="http://schemas.android.com/apk/res/android">
+  <EditText android:id="@+id/username"/>
+  <EditText android:id="@+id/pwdString" android:inputType="textPassword"/>
+  <Button android:id="@+id/button1" android:onClick="sendMessage"/>
+</LinearLayout>`,
+	"classes.ir": `
+class com.example.leakage.User {
+  field name: java.lang.String
+  field pwd: java.lang.String
+  method init(n: java.lang.String, p: java.lang.String): void {
+    this.name = n
+    this.pwd = p
+  }
+  method getName(): java.lang.String {
+    r = this.name
+    return r
+  }
+  method getpwd(): java.lang.String {
+    r = this.pwd
+    return r
+  }
+}
+
+class com.example.leakage.LeakageApp extends android.app.Activity {
+  field user: com.example.leakage.User
+
+  method onCreate(b: android.os.Bundle): void {
+    this.setContentView(@layout/main)
+  }
+
+  method onRestart(): void {
+    ut = this.findViewById(@id/username)
+    local unameText: android.widget.EditText
+    unameText = (android.widget.EditText) ut
+    pt = this.findViewById(@id/pwdString)
+    local pwdText: android.widget.EditText
+    pwdText = (android.widget.EditText) pt
+    uname = unameText.getText()
+    pwd = pwdText.getText()
+    if * goto skip
+    u = new com.example.leakage.User(uname, pwd)
+    this.user = u
+  skip:
+    return
+  }
+
+  // Declared in res/layout/main.xml via android:onClick.
+  method sendMessage(v: android.view.View): void {
+    u = this.user
+    if * goto out
+    pwd = u.getpwd()
+    obf = pwd + "_"
+    name = u.getName()
+    msg = "User: " + name
+    msg2 = msg + obf
+    sms = android.telephony.SmsManager.getDefault()
+    sms.sendTextMessage("+44 020 7321 0905", null, msg2, null, null)
+  out:
+    return
+  }
+}
+
+class com.example.leakage.DisabledActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    return
+  }
+}
+`,
+}
+
+// LocationApp has its activity implement LocationListener and register
+// itself imperatively (the common pattern DroidBench's LocationLeak tests
+// use). The framework feeds location data to onLocationChanged, which
+// stores it in an activity field; an XML-declared click handler leaks it
+// to the log. Exercises imperative callback discovery and
+// callback-parameter sources.
+var LocationApp = map[string]string{
+	"AndroidManifest.xml": `<manifest package="com.example.loc">
+  <application><activity android:name=".LocActivity"/></application>
+</manifest>`,
+	"res/layout/main.xml": `<LinearLayout>
+  <Button android:id="@+id/go" android:onClick="leakIt"/>
+</LinearLayout>`,
+	"classes.ir": `
+class com.example.loc.LocActivity extends android.app.Activity
+    implements android.location.LocationListener {
+  field last: java.lang.String
+
+  method onCreate(b: android.os.Bundle): void {
+    this.setContentView(@layout/main)
+    lmRaw = this.getSystemService("location")
+    local lm: android.location.LocationManager
+    lm = (android.location.LocationManager) lmRaw
+    lm.requestLocationUpdates("gps", 0, 0, this)
+  }
+
+  method onLocationChanged(l: android.location.Location): void {
+    s = l.toString()
+    this.last = s
+  }
+  method onProviderEnabled(p: java.lang.String): void {
+    return
+  }
+  method onProviderDisabled(p: java.lang.String): void {
+    return
+  }
+  method onStatusChanged(p: java.lang.String, st: int): void {
+    return
+  }
+
+  method leakIt(v: android.view.View): void {
+    s = this.last
+    android.util.Log.i("loc", s)
+    return
+  }
+}
+`,
+}

@@ -17,6 +17,7 @@
 package flowdroid_test
 
 import (
+	"context"
 	"testing"
 
 	"flowdroid/internal/apk"
@@ -66,7 +67,7 @@ func BenchmarkFigure1DummyMain(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cbs := callbacks.Discover(app)
+		cbs := callbacks.Discover(context.Background(), app)
 		if _, err := lifecycle.Generate(app, cbs, lifecycle.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +121,7 @@ func BenchmarkFigure2Aliasing(b *testing.B) {
 		b.Fatal(err)
 	}
 	entry := prog.Class("Main").Method("main", 0)
-	graph := pta.Build(prog, entry).Graph
+	graph := pta.Build(context.Background(), prog, entry).Graph
 	icfg := cfg.NewICFG(prog, graph)
 	mgr, err := sourcesink.Parse(prog,
 		"source <Src: secret/0> -> return\nsink <Snk: leak/1> -> arg0\n")
@@ -130,7 +131,7 @@ func BenchmarkFigure2Aliasing(b *testing.B) {
 	var leaks int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := taint.Analyze(icfg, mgr, taint.DefaultConfig(), entry)
+		res := taint.Analyze(context.Background(), icfg, mgr, taint.DefaultConfig(), entry)
 		leaks = len(res.DistinctSourceSinkPairs())
 	}
 	b.ReportMetric(float64(leaks), "leaks")
@@ -142,7 +143,7 @@ func BenchmarkFigure2Aliasing(b *testing.B) {
 func BenchmarkInsecureBank(b *testing.B) {
 	var leaks int
 	for i := 0; i < b.N; i++ {
-		res, err := core.AnalyzeFiles(insecurebank.Files, core.DefaultOptions())
+		res, err := core.AnalyzeFiles(context.Background(), insecurebank.Files, core.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -240,17 +241,17 @@ func BenchmarkPipelineStages(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			cbs := callbacks.Discover(app)
+			cbs := callbacks.Discover(context.Background(), app)
 			entry, err := lifecycle.Generate(app, cbs, lifecycle.DefaultOptions())
 			if err != nil {
 				b.Fatal(err)
 			}
-			pta.Build(app.Program, entry)
+			pta.Build(context.Background(), app.Program, entry)
 		}
 	})
 	b.Run("full", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.AnalyzeFiles(insecurebank.Files, core.DefaultOptions()); err != nil {
+			if _, err := core.AnalyzeFiles(context.Background(), insecurebank.Files, core.DefaultOptions()); err != nil {
 				b.Fatal(err)
 			}
 		}

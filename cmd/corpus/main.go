@@ -4,13 +4,19 @@
 // 6.3 reports them (apps leaking, leaks per app, sink distribution,
 // per-app analysis times).
 //
+// Per-app failures never abort the batch: a panicking, timed-out or
+// budget-exhausted app is counted in the abnormal-outcomes section of the
+// summary and the remaining apps are analyzed normally.
+//
 // Usage:
 //
 //	corpus -profile play -n 500 -seed 1
 //	corpus -profile malware -n 1000 -seed 2
+//	corpus -n 50 -timeout 2s -max-propagations 500000 -degrade
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +26,14 @@ import (
 
 func main() {
 	var (
-		profile = flag.String("profile", "malware", "population profile: play or malware")
-		n       = flag.Int("n", 100, "number of apps to generate and analyze")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		export  = flag.String("export", "", "also write the generated app packages under this directory")
+		profile    = flag.String("profile", "malware", "population profile: play, malware, or stress")
+		n          = flag.Int("n", 100, "number of apps to generate and analyze")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		export     = flag.String("export", "", "also write the generated app packages under this directory")
+		timeout    = flag.Duration("timeout", 0, "per-app analysis deadline (0 = none)")
+		maxProps   = flag.Int("max-propagations", 0, "per-app taint-propagation budget (0 = unlimited)")
+		degrade    = flag.Bool("degrade", false, "retry budget-exhausted apps with cheaper configurations")
+		forcePanic = flag.String("force-panic", "", "inject a panic while analyzing the named app (tests batch isolation)")
 	)
 	flag.Parse()
 
@@ -33,9 +43,11 @@ func main() {
 		p = appgen.Play
 	case "malware":
 		p = appgen.Malware
+	case "stress":
+		p = appgen.Stress
 	default:
-		fmt.Fprintf(os.Stderr, "unknown profile %q (want play or malware)\n", *profile)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown profile %q (want play, malware, or stress)\n", *profile)
+		os.Exit(64)
 	}
 	if *export != "" {
 		if _, err := appgen.ExportCorpus(p, *n, *seed, *export); err != nil {
@@ -44,7 +56,13 @@ func main() {
 		}
 		fmt.Printf("wrote %d app packages under %s\n", *n, *export)
 	}
-	stats, err := appgen.RunCorpus(p, *n, *seed)
+	ro := appgen.RunOptions{
+		Timeout:         *timeout,
+		MaxPropagations: *maxProps,
+		Degrade:         *degrade,
+		FaultInject:     *forcePanic,
+	}
+	stats, err := appgen.RunCorpusWith(context.Background(), p, *n, *seed, ro)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "corpus:", err)
 		os.Exit(2)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,7 +45,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cbs := callbacks.Discover(app)
+	cbs := callbacks.Discover(context.Background(), app)
 	for _, comp := range app.Components() {
 		fmt.Printf("component %s (%s):\n", comp.Class, comp.Kind)
 		for _, cb := range cbs.CallbacksOf(comp.Class) {

@@ -9,10 +9,21 @@
 //
 // The default configuration matches the paper: access-path length 5, full
 // lifecycle model, on-demand alias analysis with activation statements,
-// taint wrapper enabled.
+// taint wrapper enabled. Runs can be bounded with -timeout and
+// -max-propagations; -degrade retries a budget-exhausted run with
+// cheaper configurations (CHA call graph, then shorter access paths).
+//
+// Exit codes distinguish the outcomes corpus scripts branch on:
+//
+//	0  analysis complete, no leaks
+//	1  analysis complete, leaks found
+//	2  analysis error or incomplete result (timeout, exhausted budget,
+//	   recovered panic)
+//	64 usage error (bad flags or arguments)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,27 +35,67 @@ import (
 	"flowdroid/internal/lifecycle"
 )
 
+const (
+	exitClean    = 0
+	exitLeaks    = 1
+	exitAnalysis = 2
+	exitUsage    = 64
+)
+
+// jsonReport is the machine-readable envelope of a run: the leak report
+// plus the resilience metadata scripts branch on.
+type jsonReport struct {
+	Status   string   `json:"status"`
+	Failure  string   `json:"failure,omitempty"`
+	Degraded []string `json:"degraded,omitempty"`
+	Counters struct {
+		CallGraphEdges   int `json:"callGraphEdges"`
+		PTAPropagations  int `json:"ptaPropagations"`
+		Propagations     int `json:"propagations"`
+		PathEdges        int `json:"pathEdges"`
+		Summaries        int `json:"summaries"`
+		PeakAbstractions int `json:"peakAbstractions"`
+	} `json:"counters"`
+	Leaks any `json:"leaks"`
+}
+
+// flags is the program's flag set. A package-level ContinueOnError set
+// (instead of the flag package's default, which exits 2 on a bad flag)
+// lets main route parse failures to the usage exit code.
+var flags = flag.NewFlagSet("flowdroid", flag.ContinueOnError)
+
 func main() {
 	var (
-		apLength    = flag.Int("ap-length", 5, "maximal access-path length")
-		noAlias     = flag.Bool("no-alias", false, "disable the on-demand alias analysis")
-		noAct       = flag.Bool("no-activation", false, "disable activation statements (Andromeda-style aliasing)")
-		noLifecycle = flag.Bool("no-lifecycle", false, "model only component creation, not the full lifecycle")
-		flat        = flag.Bool("flat-lifecycle", false, "single-pass lifecycle in canonical order")
-		useCHA      = flag.Bool("cha", false, "use the CHA call graph instead of points-to")
-		rulesFile   = flag.String("rules", "", "replace the built-in source/sink rules with this file")
-		showPaths   = flag.Bool("paths", false, "print the reconstructed statement path of each leak")
-		jsonOut     = flag.Bool("json", false, "emit the leak report as JSON")
-		showStats   = flag.Bool("stats", false, "print solver statistics and timings")
-		bank        = flag.Bool("insecurebank", false, "analyze the built-in InsecureBank app (RQ2)")
+		apLength    = flags.Int("ap-length", 5, "maximal access-path length")
+		noAlias     = flags.Bool("no-alias", false, "disable the on-demand alias analysis")
+		noAct       = flags.Bool("no-activation", false, "disable activation statements (Andromeda-style aliasing)")
+		noLifecycle = flags.Bool("no-lifecycle", false, "model only component creation, not the full lifecycle")
+		flat        = flags.Bool("flat-lifecycle", false, "single-pass lifecycle in canonical order")
+		useCHA      = flags.Bool("cha", false, "use the CHA call graph instead of points-to")
+		rulesFile   = flags.String("rules", "", "replace the built-in source/sink rules with this file")
+		showPaths   = flags.Bool("paths", false, "print the reconstructed statement path of each leak")
+		jsonOut     = flags.Bool("json", false, "emit the leak report as JSON")
+		showStats   = flags.Bool("stats", false, "print solver statistics and timings")
+		bank        = flags.Bool("insecurebank", false, "analyze the built-in InsecureBank app (RQ2)")
+		timeout     = flags.Duration("timeout", 0, "abort the analysis after this long and report the partial result (0 = no limit)")
+		maxProps    = flags.Int("max-propagations", 0, "taint-propagation budget; 0 = unlimited")
+		degrade     = flags.Bool("degrade", false, "on budget exhaustion retry with cheaper configurations (CHA, shorter access paths)")
 	)
-	flag.Parse()
+	flags.SetOutput(os.Stderr)
+	if err := flags.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(exitClean)
+		}
+		os.Exit(exitUsage)
+	}
 
 	opts := core.DefaultOptions()
 	opts.Taint.APLength = *apLength
 	opts.Taint.EnableAliasing = !*noAlias
 	opts.Taint.EnableActivation = !*noAct
 	opts.UseCHA = *useCHA
+	opts.MaxPropagations = *maxProps
+	opts.Degrade = *degrade
 	if *noLifecycle {
 		opts.Lifecycle.Mode = lifecycle.CreateOnly
 	}
@@ -54,46 +105,74 @@ func main() {
 	if *rulesFile != "" {
 		data, err := os.ReadFile(*rulesFile)
 		if err != nil {
-			fatal(err)
+			usageError(err.Error())
 		}
 		opts.SourceSinkRules = string(data)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var res *core.Result
 	var err error
 	switch {
 	case *bank:
-		res, err = core.AnalyzeFiles(insecurebank.Files, opts)
-	case flag.NArg() == 1:
-		path := flag.Arg(0)
+		res, err = core.AnalyzeFiles(ctx, insecurebank.Files, opts)
+	case flags.NArg() == 1:
+		path := flags.Arg(0)
 		if strings.HasSuffix(path, ".zip") || strings.HasSuffix(path, ".apk") {
-			res, err = core.AnalyzeZip(path, opts)
+			res, err = core.AnalyzeZip(ctx, path, opts)
 		} else {
-			res, err = core.AnalyzeDir(path, opts)
+			res, err = core.AnalyzeDir(ctx, path, opts)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: flowdroid [flags] <app-dir-or-zip>  (or -insecurebank)")
-		flag.PrintDefaults()
-		os.Exit(2)
+		usageError("usage: flowdroid [flags] <app-dir-or-zip>  (or -insecurebank)")
 	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "flowdroid:", err)
+		os.Exit(exitAnalysis)
 	}
 
 	if *jsonOut {
+		rep := jsonReport{Status: res.Status.String(), Degraded: res.Degraded, Leaks: res.Taint.Report()}
+		if res.Failure != nil {
+			rep.Failure = res.Failure.Error()
+		}
+		rep.Counters.CallGraphEdges = res.Counters.CallGraphEdges
+		rep.Counters.PTAPropagations = res.Counters.PTAPropagations
+		rep.Counters.Propagations = res.Counters.Propagations
+		rep.Counters.PathEdges = res.Counters.PathEdges
+		rep.Counters.Summaries = res.Counters.Summaries
+		rep.Counters.PeakAbstractions = res.Counters.PeakAbstractions
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res.Taint.Report()); err != nil {
-			fatal(err)
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "flowdroid:", err)
+			os.Exit(exitAnalysis)
 		}
-		if len(res.Leaks()) > 0 {
-			os.Exit(1)
-		}
-		return
+		os.Exit(exitCode(res))
 	}
-	fmt.Printf("analyzed %s: %d components, %d callbacks, %d call edges\n",
-		res.App.Package, len(res.App.Components()), res.Callbacks.Total(), res.CallGraph.NumEdges())
+
+	if res.App != nil && res.CallGraph != nil && res.Callbacks != nil {
+		fmt.Printf("analyzed %s: %d components, %d callbacks, %d call edges\n",
+			res.App.Package, len(res.App.Components()), res.Callbacks.Total(), res.CallGraph.NumEdges())
+	}
 	fmt.Print(res.Taint.Render())
+	if res.Status != core.Complete {
+		c := res.Counters
+		fmt.Printf("analysis incomplete: %s (propagations %d, path edges %d, summaries %d, peak abstractions %d)\n",
+			res.Status, c.Propagations, c.PathEdges, c.Summaries, c.PeakAbstractions)
+		if res.Failure != nil {
+			fmt.Fprintf(os.Stderr, "flowdroid: %v\n%s", res.Failure, res.Failure.Stack)
+		}
+	}
+	if len(res.Degraded) > 0 {
+		fmt.Printf("degraded configuration: %s\n", strings.Join(res.Degraded, ", "))
+	}
 	if *showPaths {
 		for i, l := range res.Leaks() {
 			fmt.Printf("\npath of leak %d:\n", i+1)
@@ -105,15 +184,27 @@ func main() {
 	if *showStats {
 		st := res.Taint.Stats
 		fmt.Printf("\nsetup %v, taint analysis %v\n", res.SetupTime, res.TaintTime)
-		fmt.Printf("forward edges %d, backward edges %d, alias queries %d\n",
-			st.ForwardEdges, st.BackwardEdges, st.AliasQueries)
+		fmt.Printf("forward edges %d, backward edges %d, alias queries %d, summaries %d, peak abstractions %d\n",
+			st.ForwardEdges, st.BackwardEdges, st.AliasQueries, st.Summaries, st.PeakAbstractions)
 	}
-	if len(res.Leaks()) > 0 {
-		os.Exit(1)
-	}
+	os.Exit(exitCode(res))
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "flowdroid:", err)
-	os.Exit(2)
+// exitCode maps a result onto the documented exit codes: an incomplete
+// run is an analysis error even when partial leaks were found, so that
+// scripts never mistake a truncated report for a clean verdict.
+func exitCode(res *core.Result) int {
+	if res.Status != core.Complete {
+		return exitAnalysis
+	}
+	if len(res.Leaks()) > 0 {
+		return exitLeaks
+	}
+	return exitClean
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	flags.PrintDefaults()
+	os.Exit(exitUsage)
 }

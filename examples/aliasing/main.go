@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -83,13 +84,13 @@ func run(entryClass string, conf taint.Config) *taint.Results {
 		log.Fatal(err)
 	}
 	entry := prog.Class(entryClass).Method("main", 0)
-	res := pta.Build(prog, entry)
+	res := pta.Build(context.Background(), prog, entry)
 	icfg := cfg.NewICFG(prog, res.Graph)
 	mgr, err := sourcesink.Parse(prog, rules)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return taint.Analyze(icfg, mgr, conf, entry)
+	return taint.Analyze(context.Background(), icfg, mgr, conf, entry)
 }
 
 func report(title string, r *taint.Results) {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -88,7 +89,7 @@ func main() {
 	conf.Wrapper = taint.MergeWrappers(conf.Wrapper, extra)
 
 	entry := prog.Class("acme.Main").Method("main", 0)
-	res, err := core.AnalyzeJava(prog, rules, conf, entry)
+	res, err := core.AnalyzeJava(context.Background(), prog, rules, conf, entry)
 	if err != nil {
 		log.Fatal(err)
 	}

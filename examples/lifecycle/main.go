@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -31,7 +32,7 @@ func main() {
 
 	// 1. Callback discovery: the sendMessage handler comes from the
 	// layout XML, not from any code-level registration.
-	cbs := callbacks.Discover(app)
+	cbs := callbacks.Discover(context.Background(), app)
 	fmt.Println("discovered callbacks:")
 	for _, comp := range app.Components() {
 		for _, cb := range cbs.CallbacksOf(comp.Class) {
@@ -52,13 +53,13 @@ func main() {
 
 	// 3. Why it matters: the same app under a lifecycle-unaware entry
 	// point (onCreate only) loses the leak entirely.
-	precise, err := core.AnalyzeFiles(testapps.LeakageApp, core.DefaultOptions())
+	precise, err := core.AnalyzeFiles(context.Background(), testapps.LeakageApp, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	coarseOpts := core.DefaultOptions()
 	coarseOpts.Lifecycle.Mode = lifecycle.CreateOnly
-	coarse, err := core.AnalyzeFiles(testapps.LeakageApp, coarseOpts)
+	coarse, err := core.AnalyzeFiles(context.Background(), testapps.LeakageApp, coarseOpts)
 	if err != nil {
 		log.Fatal(err)
 	}

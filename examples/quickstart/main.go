@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	// Analyze an in-memory app package with the paper's default
 	// configuration (access-path length 5, full lifecycle, alias
 	// analysis with activation statements, taint wrapper on).
-	res, err := core.AnalyzeFiles(testapps.LeakageApp, core.DefaultOptions())
+	res, err := core.AnalyzeFiles(context.Background(), testapps.LeakageApp, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -83,6 +83,25 @@ var Malware = Profile{
 	PImeiToNet:      0.40,
 }
 
+// Stress is a deliberately oversized profile, an order of magnitude above
+// Play: every leak pattern enabled, dozens of helper classes. The
+// scalability and resilience tests use it as the app that is expensive
+// enough for deadlines and propagation budgets to bite mid-analysis.
+var Stress = Profile{
+	Name:         "stress",
+	Activities:   minMax{12, 12},
+	Services:     minMax{4, 4},
+	Receivers:    minMax{3, 3},
+	Helpers:      minMax{25, 25},
+	NoiseMethods: minMax{8, 8},
+	NoiseStmts:   minMax{15, 25},
+	PImeiToLog:   1.0,
+	PLocToPrefs:  1.0,
+	PImeiToSms:   1.0,
+	PImeiToNet:   1.0,
+	PPwdToLog:    1.0,
+}
+
 // App is one generated application with its injected ground truth.
 type App struct {
 	Name  string

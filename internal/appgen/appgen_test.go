@@ -1,6 +1,7 @@
 package appgen
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestGroundTruthRecovered(t *testing.T) {
 	for _, p := range []Profile{Play, Malware} {
 		apps := GenerateCorpus(p, 15, 7)
 		for _, app := range apps {
-			res, err := core.AnalyzeFiles(app.Files, core.DefaultOptions())
+			res, err := core.AnalyzeFiles(context.Background(), app.Files, core.DefaultOptions())
 			if err != nil {
 				t.Fatalf("%s: %v", app.Name, err)
 			}

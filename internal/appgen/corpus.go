@@ -1,6 +1,7 @@
 package appgen
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -23,6 +24,32 @@ type CorpusStats struct {
 	MinTime, MaxTime, TotalTime time.Duration
 	SlowestApp                  string
 	Errors                      int
+
+	// Resilience accounting: apps whose analysis was cut short. A
+	// truncated or recovered app never aborts the batch; it is counted
+	// here and detailed in Failures.
+	Recovered  int
+	TimedOut   int
+	Exhausted  int
+	Degraded   int
+	Failures   []string
+	Incomplete int // batch stopped early: apps never attempted
+}
+
+// RunOptions bound and harden a corpus run. The zero value reproduces
+// the unbounded historical behaviour.
+type RunOptions struct {
+	// Timeout bounds each app's analysis (0 = none).
+	Timeout time.Duration
+	// MaxPropagations is the per-app taint propagation budget (0 =
+	// unlimited).
+	MaxPropagations int
+	// Degrade enables the CHA/access-path degradation ladder on budget
+	// exhaustion.
+	Degrade bool
+	// FaultInject names an app whose analysis is made to panic, for
+	// exercising the batch isolation path (chaos testing).
+	FaultInject string
 }
 
 // AvgLeaksPerApp is the paper's "1.85 leaks per application" figure.
@@ -42,26 +69,33 @@ func (s CorpusStats) AvgTime() time.Duration {
 }
 
 // RunCorpus generates and analyzes n apps of a profile with FlowDroid's
-// default configuration.
+// default configuration and no per-app bounds.
 func RunCorpus(p Profile, n int, seed int64) (CorpusStats, error) {
+	return RunCorpusWith(context.Background(), p, n, seed, RunOptions{})
+}
+
+// RunCorpusWith generates and analyzes n apps under the given bounds.
+// Per-app failures — panics, timeouts, exhausted budgets, load errors —
+// are isolated: the offending app is counted and described in
+// stats.Failures while the rest of the batch proceeds normally. The
+// batch-level context stops the whole run early; apps never attempted
+// are counted in stats.Incomplete.
+func RunCorpusWith(ctx context.Context, p Profile, n int, seed int64, ro RunOptions) (CorpusStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	stats := CorpusStats{Profile: p.Name, BySink: make(map[string]int)}
-	for _, app := range GenerateCorpus(p, n, seed) {
-		start := time.Now()
-		res, err := core.AnalyzeFiles(app.Files, core.DefaultOptions())
-		el := time.Since(start)
-		if err != nil {
-			return stats, fmt.Errorf("appgen: %s: %w", app.Name, err)
+	apps := GenerateCorpus(p, n, seed)
+	for i, app := range apps {
+		if ctx.Err() != nil {
+			stats.Incomplete = len(apps) - i
+			break
 		}
-		leaks := res.Leaks()
+		start := time.Now()
+		res, err := analyzeOne(ctx, app, ro)
+		el := time.Since(start)
 		stats.Apps++
 		stats.TotalInjected += app.InjectedLeaks
-		stats.TotalFound += len(leaks)
-		if len(leaks) > 0 {
-			stats.AppsWithLeaks++
-		}
-		for _, l := range leaks {
-			stats.BySink[l.SinkSpec.Label]++
-		}
 		stats.TotalTime += el
 		if stats.MinTime == 0 || el < stats.MinTime {
 			stats.MinTime = el
@@ -70,8 +104,71 @@ func RunCorpus(p Profile, n int, seed int64) (CorpusStats, error) {
 			stats.MaxTime = el
 			stats.SlowestApp = app.Name
 		}
+		if err != nil {
+			if pe, ok := err.(*panicErr); ok {
+				stats.Recovered++
+				stats.Failures = append(stats.Failures, fmt.Sprintf("%s: recovered from %v", app.Name, pe.value))
+			} else {
+				stats.Errors++
+				stats.Failures = append(stats.Failures, fmt.Sprintf("%s: %v", app.Name, err))
+			}
+			continue
+		}
+		switch res.Status {
+		case core.Recovered:
+			stats.Recovered++
+			stats.Failures = append(stats.Failures, fmt.Sprintf("%s: recovered from panic in stage %s", app.Name, res.Failure.Stage))
+		case core.DeadlineExceeded:
+			stats.TimedOut++
+			stats.Failures = append(stats.Failures, fmt.Sprintf("%s: deadline exceeded (%d propagations done)", app.Name, res.Counters.Propagations))
+		case core.BudgetExhausted:
+			stats.Exhausted++
+			stats.Failures = append(stats.Failures, fmt.Sprintf("%s: propagation budget exhausted", app.Name))
+		}
+		if len(res.Degraded) > 0 {
+			stats.Degraded++
+		}
+		leaks := res.Leaks()
+		stats.TotalFound += len(leaks)
+		if len(leaks) > 0 {
+			stats.AppsWithLeaks++
+		}
+		for _, l := range leaks {
+			stats.BySink[l.SinkSpec.Label]++
+		}
 	}
 	return stats, nil
+}
+
+// panicErr marks a panic the batch driver recovered from itself (as
+// opposed to one the core pipeline already converted into a Recovered
+// result).
+type panicErr struct{ value any }
+
+func (e *panicErr) Error() string { return fmt.Sprintf("panic: %v", e.value) }
+
+// analyzeOne analyzes a single app under the per-app bounds, converting
+// any panic that escapes the core pipeline's own stage recovery (or is
+// injected via RunOptions.FaultInject) into an error so the batch
+// survives.
+func analyzeOne(ctx context.Context, app App, ro RunOptions) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &panicErr{r}
+		}
+	}()
+	if ro.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ro.Timeout)
+		defer cancel()
+	}
+	if ro.FaultInject != "" && ro.FaultInject == app.Name {
+		panic("appgen: injected fault in " + app.Name)
+	}
+	opts := core.DefaultOptions()
+	opts.MaxPropagations = ro.MaxPropagations
+	opts.Degrade = ro.Degrade
+	return core.AnalyzeFiles(ctx, app.Files, opts)
 }
 
 // Render prints the RQ3 summary in the style of Section 6.3.
@@ -92,6 +189,13 @@ func (s CorpusStats) Render() string {
 	sort.Strings(sinks)
 	for _, k := range sinks {
 		fmt.Fprintf(&sb, "  leaks into %-12s %d\n", k+":", s.BySink[k])
+	}
+	if s.Recovered+s.TimedOut+s.Exhausted+s.Errors+s.Degraded+s.Incomplete > 0 {
+		fmt.Fprintf(&sb, "  abnormal outcomes: %d recovered, %d timed out, %d budget-exhausted, %d errors, %d degraded, %d never attempted\n",
+			s.Recovered, s.TimedOut, s.Exhausted, s.Errors, s.Degraded, s.Incomplete)
+		for _, f := range s.Failures {
+			fmt.Fprintf(&sb, "    %s\n", f)
+		}
 	}
 	return sb.String()
 }

@@ -1,6 +1,7 @@
 package appgen
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -15,27 +16,13 @@ import (
 // (Samsung Push Service at 4.5 minutes): the largest app must stay within
 // an interactive budget, not blow up combinatorially.
 func TestLargeAppScalability(t *testing.T) {
-	big := Profile{
-		Name:         "stress",
-		Activities:   minMax{12, 12},
-		Services:     minMax{4, 4},
-		Receivers:    minMax{3, 3},
-		Helpers:      minMax{25, 25},
-		NoiseMethods: minMax{8, 8},
-		NoiseStmts:   minMax{15, 25},
-		PImeiToLog:   1.0,
-		PLocToPrefs:  1.0,
-		PImeiToSms:   1.0,
-		PImeiToNet:   1.0,
-		PPwdToLog:    1.0,
-	}
 	r := rand.New(rand.NewSource(99))
-	app := Generate(r, big, 0)
+	app := Generate(r, Stress, 0)
 	if app.Classes < 40 {
 		t.Fatalf("stress app too small: %d classes", app.Classes)
 	}
 	start := time.Now()
-	res, err := core.AnalyzeFiles(app.Files, core.DefaultOptions())
+	res, err := core.AnalyzeFiles(context.Background(), app.Files, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,9 @@
 package baseline
 
 import (
+	"context"
+	"fmt"
+
 	"flowdroid/internal/core"
 	"flowdroid/internal/droidbench"
 	"flowdroid/internal/lifecycle"
@@ -45,18 +48,30 @@ func FortifyOptions() core.Options {
 	return opts
 }
 
-// analyzer wraps a core configuration into a DroidBench analyzer.
+// analyzer wraps a core configuration into a DroidBench analyzer. The
+// run is isolated: a panicking configuration yields a per-case error,
+// never a crashed sweep.
 func analyzer(name string, opts func() core.Options) droidbench.Analyzer {
 	return droidbench.Analyzer{
 		Name: name,
-		Run: func(files map[string]string) (int, error) {
-			res, err := core.AnalyzeFiles(files, opts())
-			if err != nil {
-				return 0, err
-			}
-			return len(res.Leaks()), nil
-		},
+		Run:  func(files map[string]string) (int, error) { return safeAnalyze(files, opts()) },
 	}
+}
+
+// safeAnalyze runs one app through the pipeline, converting panics that
+// escape the core stage guards into errors so ablation sweeps and tool
+// comparisons always finish.
+func safeAnalyze(files map[string]string, opts core.Options) (found int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			found, err = 0, fmt.Errorf("baseline: panic: %v", r)
+		}
+	}()
+	res, err := core.AnalyzeFiles(context.Background(), files, opts)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Leaks()), nil
 }
 
 // AppScanLike is the AppScan Source stand-in.
@@ -96,11 +111,7 @@ func AblationAnalyzer(a Ablation) droidbench.Analyzer {
 		Run: func(files map[string]string) (int, error) {
 			opts := core.DefaultOptions()
 			a.Mutate(&opts)
-			res, err := core.AnalyzeFiles(files, opts)
-			if err != nil {
-				return 0, err
-			}
-			return len(res.Leaks()), nil
+			return safeAnalyze(files, opts)
 		},
 	}
 }
@@ -113,11 +124,7 @@ func APLengthAnalyzer(k int) droidbench.Analyzer {
 		Run: func(files map[string]string) (int, error) {
 			opts := core.DefaultOptions()
 			opts.Taint.APLength = k
-			res, err := core.AnalyzeFiles(files, opts)
-			if err != nil {
-				return 0, err
-			}
-			return len(res.Leaks()), nil
+			return safeAnalyze(files, opts)
 		},
 	}
 }

@@ -13,6 +13,7 @@
 package callbacks
 
 import (
+	"context"
 	"sort"
 
 	"flowdroid/internal/apk"
@@ -54,20 +55,25 @@ func (r *Result) Total() int {
 	return n
 }
 
-// Discover runs callback discovery for every enabled component of the app.
-func Discover(app *apk.App) *Result {
+// Discover runs callback discovery for every enabled component of the
+// app. A cancelled context cuts the fixed-point iteration short; the
+// result then covers the components processed so far.
+func Discover(ctx context.Context, app *apk.App) *Result {
 	res := &Result{
 		ByComponent: make(map[string][]*ir.Method),
 		Origins:     make(map[*ir.Method]Origin),
 	}
 	for _, comp := range app.Components() {
-		cbs := discoverComponent(app, comp, res.Origins)
+		if ctx.Err() != nil {
+			break
+		}
+		cbs := discoverComponent(ctx, app, comp, res.Origins)
 		res.ByComponent[comp.Class] = cbs
 	}
 	return res
 }
 
-func discoverComponent(app *apk.App, comp *apk.Component, origins map[*ir.Method]Origin) []*ir.Method {
+func discoverComponent(ctx context.Context, app *apk.App, comp *apk.Component, origins map[*ir.Method]Origin) []*ir.Method {
 	prog := app.Program
 	cls := prog.Class(comp.Class)
 	if cls == nil {
@@ -98,7 +104,7 @@ func discoverComponent(app *apk.App, comp *apk.Component, origins map[*ir.Method
 	}
 
 	// XML-declared click handlers of the layouts this component inflates.
-	for _, layout := range inflatedLayouts(app, entries) {
+	for _, layout := range inflatedLayouts(ctx, app, entries) {
 		for _, handler := range layout.ClickHandlers() {
 			if m := cls.Method(handler, 1); m != nil && !m.Abstract() {
 				found[m] = true
@@ -110,12 +116,12 @@ func discoverComponent(app *apk.App, comp *apk.Component, origins map[*ir.Method
 	// Fixed point: scan the component call graph for imperative
 	// registrations; discovered handlers become entry points themselves
 	// (handlers may register further callbacks).
-	for {
+	for ctx.Err() == nil {
 		roots := append([]*ir.Method(nil), entries...)
 		for m := range found {
 			roots = append(roots, m)
 		}
-		g := callgraph.BuildCHA(prog, roots...)
+		g := callgraph.BuildCHA(ctx, prog, roots...)
 		added := false
 		for _, m := range g.Reachable() {
 			for _, s := range m.Body() {
@@ -160,10 +166,10 @@ func overridesFramework(prog *ir.Program, cls *ir.Class, m *ir.Method) bool {
 // inflatedLayouts returns the layouts referenced by setContentView calls
 // with constant ids in the given methods (and only those — a button click
 // handler is only valid for the activity that hosts the button).
-func inflatedLayouts(app *apk.App, entries []*ir.Method) []*apk.Layout {
+func inflatedLayouts(ctx context.Context, app *apk.App, entries []*ir.Method) []*apk.Layout {
 	var out []*apk.Layout
 	seen := make(map[string]bool)
-	g := callgraph.BuildCHA(app.Program, entries...)
+	g := callgraph.BuildCHA(ctx, app.Program, entries...)
 	for _, m := range g.Reachable() {
 		for _, s := range m.Body() {
 			call := ir.CallOf(s)

@@ -1,6 +1,7 @@
 package callbacks
 
 import (
+	"context"
 	"testing"
 
 	"flowdroid/internal/apk"
@@ -12,7 +13,7 @@ func TestXMLCallbacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Discover(app)
+	res := Discover(context.Background(), app)
 	cbs := res.CallbacksOf("com.example.leakage.LeakageApp")
 	if len(cbs) != 1 {
 		t.Fatalf("callbacks = %v, want just sendMessage", cbs)
@@ -34,7 +35,7 @@ func TestImperativeCallbacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Discover(app)
+	res := Discover(context.Background(), app)
 	cbs := res.CallbacksOf("com.example.loc.LocActivity")
 	names := map[string]bool{}
 	for _, m := range cbs {
@@ -82,7 +83,7 @@ func TestOverriddenFrameworkMethods(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Discover(app)
+	res := Discover(context.Background(), app)
 	cbs := res.CallbacksOf("com.x.Main")
 	if len(cbs) != 1 || cbs[0].Name != "onLowMemory" {
 		t.Errorf("callbacks = %v, want onLowMemory only", cbs)
@@ -126,7 +127,7 @@ func TestChainedRegistrationFixedPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Discover(app)
+	res := Discover(context.Background(), app)
 	cbs := res.CallbacksOf("com.x.Main")
 	classes := map[string]bool{}
 	for _, m := range cbs {

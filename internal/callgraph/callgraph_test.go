@@ -1,6 +1,7 @@
 package callgraph
 
 import (
+	"context"
 	"testing"
 
 	"flowdroid/internal/ir"
@@ -73,7 +74,7 @@ func callIn(m *ir.Method) ir.Stmt {
 func TestCHADispatchOverApex(t *testing.T) {
 	prog := parse(t)
 	main := prog.Class("Main").Method("viaAnimal", 0)
-	g := BuildCHA(prog, main)
+	g := BuildCHA(context.Background(), prog, main)
 	targets := g.CalleesOf(callIn(main))
 	names := map[string]bool{}
 	for _, m := range targets {
@@ -90,7 +91,7 @@ func TestCHADispatchOverApex(t *testing.T) {
 func TestCHAInheritedDispatch(t *testing.T) {
 	prog := parse(t)
 	main := prog.Class("Main").Method("viaDog", 0)
-	g := BuildCHA(prog, main)
+	g := BuildCHA(context.Background(), prog, main)
 	targets := g.CalleesOf(callIn(main))
 	// Puppy inherits Dog.speak; the subtree of Dog excludes Cat and the
 	// Animal root's version is not reachable through a Dog-typed
@@ -118,7 +119,7 @@ func TestStaticResolution(t *testing.T) {
 func TestGraphBookkeeping(t *testing.T) {
 	prog := parse(t)
 	main := prog.Class("Main").Method("viaAnimal", 0)
-	g := BuildCHA(prog, main)
+	g := BuildCHA(context.Background(), prog, main)
 	if !g.IsReachable(main) {
 		t.Error("entry must be reachable")
 	}
@@ -156,7 +157,7 @@ func TestGraphBookkeeping(t *testing.T) {
 func TestReachesTransitivelySelf(t *testing.T) {
 	prog := parse(t)
 	main := prog.Class("Main").Method("direct", 0)
-	g := BuildCHA(prog, main)
+	g := BuildCHA(context.Background(), prog, main)
 	site := callIn(main)
 	helper := prog.Class("Main").Method("helper", 0)
 	if !g.ReachesTransitively(site, helper) {

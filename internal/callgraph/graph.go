@@ -6,6 +6,7 @@
 package callgraph
 
 import (
+	"context"
 	"sort"
 
 	"flowdroid/internal/ir"
@@ -210,13 +211,20 @@ func (r *Resolver) DispatchOn(runtimeClass string, e *ir.InvokeExpr) *ir.Method 
 }
 
 // BuildCHA constructs a call graph by class-hierarchy analysis from the
-// given entry points, exploring only methods with bodies.
-func BuildCHA(prog *ir.Program, entries ...*ir.Method) *Graph {
+// given entry points, exploring only methods with bodies. A cancelled
+// context stops the exploration early and yields the partial graph built
+// so far.
+func BuildCHA(ctx context.Context, prog *ir.Program, entries ...*ir.Method) *Graph {
 	g := NewGraph(entries...)
 	r := NewResolver(prog)
 	seen := make(map[*ir.Method]bool)
 	work := append([]*ir.Method(nil), entries...)
+	steps := 0
 	for len(work) > 0 {
+		steps++
+		if steps%256 == 0 && ctx.Err() != nil {
+			return g
+		}
 		m := work[len(work)-1]
 		work = work[:len(work)-1]
 		if seen[m] {

@@ -1,6 +1,7 @@
 package cfg
 
 import (
+	"context"
 	"testing"
 
 	"flowdroid/internal/ir"
@@ -77,7 +78,7 @@ func TestICFG(t *testing.T) {
 	}
 	main := prog.Class("A").Method("main", 0)
 	callee := prog.Class("A").Method("callee", 1)
-	res := pta.Build(prog, main)
+	res := pta.Build(context.Background(), prog, main)
 	g := NewICFG(prog, res.Graph)
 
 	var callSite ir.Stmt

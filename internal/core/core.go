@@ -2,9 +2,15 @@
 // app package (manifest, layout XMLs, code), detect entry points, sources
 // and sinks, generate the dummy main method, build the call graph and
 // interprocedural CFG, and run the bidirectional taint analysis.
+//
+// Every entry point is bounded: the context's deadline and the options'
+// propagation budget cut a runaway analysis short, and a panicking stage
+// is recovered into an explained result. A run therefore always returns
+// either a load error or a Result whose Status says how far it got.
 package core
 
 import (
+	"context"
 	"fmt"
 	"io/fs"
 	"time"
@@ -35,6 +41,16 @@ type Options struct {
 	// UseCHA selects the class-hierarchy call graph instead of the
 	// points-to-refined one (faster, less precise).
 	UseCHA bool
+	// MaxPropagations bounds the taint solver's attempted propagations;
+	// 0 is unlimited. Exhausting the budget yields Status ==
+	// BudgetExhausted with the partial leak set.
+	MaxPropagations int
+	// Degrade enables the graceful-degradation ladder: when the
+	// propagation budget runs out and the context still has time, the
+	// analysis is retried with cheaper configurations (CHA call graph,
+	// then access-path length 3, then 1), recording each downgrade in
+	// Result.Degraded.
+	Degrade bool
 }
 
 // DefaultOptions mirrors the paper's FlowDroid configuration.
@@ -53,6 +69,18 @@ type Result struct {
 	CallGraph  *callgraph.Graph
 	Taint      *taint.Results
 
+	// Status says whether the run completed or how it was cut short.
+	// Fields above are populated up to the stage that was reached; Taint
+	// is never nil.
+	Status Status
+	// Failure carries the panic a Recovered run was cut short by.
+	Failure *Failure
+	// Degraded lists the degradation-ladder rungs applied before this
+	// result was produced (empty for a first-attempt result).
+	Degraded []string
+	// Counters are the per-stage effort counters, partial on truncation.
+	Counters Counters
+
 	// Timings per pipeline stage.
 	SetupTime time.Duration
 	TaintTime time.Duration
@@ -61,43 +89,126 @@ type Result struct {
 // Leaks returns the distinct (source, sink) leaks found.
 func (r *Result) Leaks() []*taint.Leak { return r.Taint.DistinctSourceSinkPairs() }
 
-// AnalyzeApp runs the pipeline on an already loaded app.
-func AnalyzeApp(app *apk.App, opts Options) (*Result, error) {
-	start := time.Now()
+// AnalyzeApp runs the pipeline on an already loaded app. The context
+// bounds the whole run: on expiry the current stage stops cleanly and the
+// partial result is returned with Status == DeadlineExceeded. A panic in
+// any stage is recovered into Status == Recovered. Load and
+// configuration problems are still reported as ordinary errors.
+func AnalyzeApp(ctx context.Context, app *apk.App, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := analyzeOnce(ctx, app, opts)
+	if err != nil || !opts.Degrade {
+		return res, err
+	}
+	// Graceful degradation: a budget-exhausted attempt is retried down
+	// the ladder while the context still has time. (A deadline overrun
+	// cannot be retried — the clock is already spent.)
+	var degraded []string
+	for _, step := range degradeLadder(opts) {
+		if res.Status != BudgetExhausted || ctx.Err() != nil {
+			break
+		}
+		step.apply(&opts)
+		next, err := analyzeOnce(ctx, app, opts)
+		if err != nil {
+			break // keep the best partial result we have
+		}
+		degraded = append(degraded, step.name)
+		res = next
+	}
+	res.Degraded = degraded
+	return res, nil
+}
 
-	cbs := callbacks.Discover(app)
-	entry, err := lifecycle.Generate(app, cbs, opts.Lifecycle)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+// analyzeOnce is one pipeline attempt under one configuration. Panics in
+// any stage are converted into a Recovered result carrying the stages
+// that finished before the panic.
+func analyzeOnce(ctx context.Context, app *apk.App, opts Options) (res *Result, err error) {
+	start := time.Now()
+	res = &Result{App: app, Status: Complete, Taint: &taint.Results{}}
+	stage := "callbacks"
+	defer func() {
+		if r := recover(); r != nil {
+			res.Status = Recovered
+			res.Failure = &Failure{Stage: stage, Value: r, Stack: stackTrace()}
+			res.SetupTime = time.Since(start)
+			err = nil
+		}
+	}()
+	truncated := func() *Result {
+		res.Status = DeadlineExceeded
+		res.SetupTime = time.Since(start)
+		return res
 	}
 
+	cbs := callbacks.Discover(ctx, app)
+	res.Callbacks = cbs
+	if ctx.Err() != nil {
+		return truncated(), nil
+	}
+
+	stage = "lifecycle"
+	// A degradation retry analyzes the same loaded app again; the dummy
+	// main is already registered in its program and the lifecycle options
+	// never change between rungs, so reuse it instead of regenerating.
+	var entry *ir.Method
+	if c := app.Program.Class(lifecycle.DummyMainClass); c != nil {
+		entry = c.Method("dummyMain", 0)
+	}
+	if entry == nil {
+		entry, err = lifecycle.Generate(app, cbs, opts.Lifecycle)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	res.EntryPoint = entry
+
+	stage = "callgraph"
 	var graph *callgraph.Graph
 	if opts.UseCHA {
-		graph = callgraph.BuildCHA(app.Program, entry)
+		graph = callgraph.BuildCHA(ctx, app.Program, entry)
 	} else {
-		graph = pta.Build(app.Program, entry).Graph
+		ptaRes := pta.Build(ctx, app.Program, entry)
+		graph = ptaRes.Graph
+		res.Counters.PTAPropagations = ptaRes.Propagations
 	}
+	res.CallGraph = graph
+	res.Counters.CallGraphEdges = graph.NumEdges()
+	if ctx.Err() != nil {
+		return truncated(), nil
+	}
+
+	stage = "icfg"
 	icfg := cfg.NewICFG(app.Program, graph)
 
+	stage = "sourcesink"
 	mgr, err := manager(app.Program, opts)
 	if err != nil {
 		return nil, err
 	}
 	mgr.AttachApp(app)
 
-	setup := time.Since(start)
+	res.SetupTime = time.Since(start)
 	tstart := time.Now()
-	res := taint.Analyze(icfg, mgr, opts.Taint, entry)
 
-	return &Result{
-		App:        app,
-		EntryPoint: entry,
-		Callbacks:  cbs,
-		CallGraph:  graph,
-		Taint:      res,
-		SetupTime:  setup,
-		TaintTime:  time.Since(tstart),
-	}, nil
+	stage = "taint"
+	tc := opts.Taint
+	if opts.MaxPropagations > 0 {
+		tc.MaxPropagations = opts.MaxPropagations
+	}
+	tres := taint.Analyze(ctx, icfg, mgr, tc, entry)
+	res.Taint = tres
+	res.TaintTime = time.Since(tstart)
+	countersFromTaint(&res.Counters, tres.Stats)
+	switch tres.Status {
+	case taint.Cancelled:
+		res.Status = DeadlineExceeded
+	case taint.BudgetExhausted:
+		res.Status = BudgetExhausted
+	}
+	return res, nil
 }
 
 func manager(prog *ir.Program, opts Options) (*sourcesink.Manager, error) {
@@ -112,53 +223,57 @@ func manager(prog *ir.Program, opts Options) (*sourcesink.Manager, error) {
 }
 
 // AnalyzeFiles loads an in-memory app package and runs the pipeline.
-func AnalyzeFiles(files map[string]string, opts Options) (*Result, error) {
+func AnalyzeFiles(ctx context.Context, files map[string]string, opts Options) (*Result, error) {
 	app, err := apk.LoadFiles(files)
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeApp(app, opts)
+	return AnalyzeApp(ctx, app, opts)
 }
 
 // AnalyzeDir loads an app package from a directory and runs the pipeline.
-func AnalyzeDir(dir string, opts Options) (*Result, error) {
+func AnalyzeDir(ctx context.Context, dir string, opts Options) (*Result, error) {
 	app, err := apk.LoadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeApp(app, opts)
+	return AnalyzeApp(ctx, app, opts)
 }
 
 // AnalyzeZip loads an app package from a zip archive and runs the
 // pipeline.
-func AnalyzeZip(path string, opts Options) (*Result, error) {
+func AnalyzeZip(ctx context.Context, path string, opts Options) (*Result, error) {
 	app, err := apk.LoadZip(path)
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeApp(app, opts)
+	return AnalyzeApp(ctx, app, opts)
 }
 
 // AnalyzeFS loads an app package from any fs.FS and runs the pipeline.
-func AnalyzeFS(fsys fs.FS, opts Options) (*Result, error) {
+func AnalyzeFS(ctx context.Context, fsys fs.FS, opts Options) (*Result, error) {
 	app, err := apk.Load(fsys)
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeApp(app, opts)
+	return AnalyzeApp(ctx, app, opts)
 }
 
 // AnalyzeJava runs the taint analysis on a plain Java-style program (no
 // Android lifecycle): custom entry points, custom source/sink rules. This
-// is the SecuriBench Micro use case of RQ4.
-func AnalyzeJava(prog *ir.Program, rules string, conf taint.Config, entries ...*ir.Method) (*taint.Results, error) {
+// is the SecuriBench Micro use case of RQ4. The context bounds the run
+// the same way AnalyzeApp's does.
+func AnalyzeJava(ctx context.Context, prog *ir.Program, rules string, conf taint.Config, entries ...*ir.Method) (*taint.Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mgr, err := sourcesink.Parse(prog, rules)
 	if err != nil {
 		return nil, err
 	}
-	graph := pta.Build(prog, entries...).Graph
+	graph := pta.Build(ctx, prog, entries...).Graph
 	icfg := cfg.NewICFG(prog, graph)
-	return taint.Analyze(icfg, mgr, conf, entries...), nil
+	return taint.Analyze(ctx, icfg, mgr, conf, entries...), nil
 }
 
 // ParseJava builds a linked plain-Java program (framework stubs plus the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 // callback wiring, layout sources, field sensitivity and the alias
 // analysis all working together.
 func TestLeakageAppEndToEnd(t *testing.T) {
-	res, err := AnalyzeFiles(testapps.LeakageApp, DefaultOptions())
+	res, err := AnalyzeFiles(context.Background(), testapps.LeakageApp, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestLeakageAppEndToEnd(t *testing.T) {
 // only the password half of the User object is a source; the username
 // flows to the same sink but must not be reported.
 func TestLeakageAppUsernameNotLeaked(t *testing.T) {
-	res, err := AnalyzeFiles(testapps.LeakageApp, DefaultOptions())
+	res, err := AnalyzeFiles(context.Background(), testapps.LeakageApp, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestLeakageAppUsernameNotLeaked(t *testing.T) {
 func TestLifecycleUnawareMisses(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Lifecycle.ModelLifecycle = false
-	res, err := AnalyzeFiles(testapps.LeakageApp, opts)
+	res, err := AnalyzeFiles(context.Background(), testapps.LeakageApp, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestLifecycleUnawareMisses(t *testing.T) {
 // TestLocationCallback exercises imperative callback registration plus
 // callback-parameter sources end to end.
 func TestLocationCallback(t *testing.T) {
-	res, err := AnalyzeFiles(testapps.LocationApp, DefaultOptions())
+	res, err := AnalyzeFiles(context.Background(), testapps.LocationApp, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestLocationCallback(t *testing.T) {
 func TestCHAModeStillFindsLeak(t *testing.T) {
 	opts := DefaultOptions()
 	opts.UseCHA = true
-	res, err := AnalyzeFiles(testapps.LeakageApp, opts)
+	res, err := AnalyzeFiles(context.Background(), testapps.LeakageApp, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestCustomRules(t *testing.T) {
 	opts := DefaultOptions()
 	// With an empty-but-valid rule set nothing is a source, so no leaks.
 	opts.SourceSinkRules = "# nothing\n"
-	res, err := AnalyzeFiles(testapps.LeakageApp, opts)
+	res, err := AnalyzeFiles(context.Background(), testapps.LeakageApp, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestCustomRules(t *testing.T) {
 }
 
 func TestResultMetadata(t *testing.T) {
-	res, err := AnalyzeFiles(testapps.LeakageApp, DefaultOptions())
+	res, err := AnalyzeFiles(context.Background(), testapps.LeakageApp, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ class Main {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := AnalyzeJava(prog,
+	res, err := AnalyzeJava(context.Background(), prog,
 		"source <S: src/0> -> return\nsink <S: snk/1> -> arg0\n",
 		taint.DefaultConfig(),
 		prog.Class("Main").Method("main", 0))

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"flowdroid/internal/taint"
+)
+
+// Status classifies how a pipeline run ended. Every entry point returns a
+// partial, explained result instead of hanging or crashing: a truncated
+// run still carries the stages it finished and their counters.
+type Status int
+
+const (
+	// Complete means every stage ran to its fixed point.
+	Complete Status = iota
+	// DeadlineExceeded means the context expired or was cancelled before
+	// the pipeline finished; the result holds what was computed so far.
+	DeadlineExceeded
+	// BudgetExhausted means the propagation budget (Options.
+	// MaxPropagations) ran out during the taint solve.
+	BudgetExhausted
+	// Recovered means a stage panicked; the panic was converted into
+	// Result.Failure and the stages completed before it are preserved.
+	Recovered
+)
+
+func (s Status) String() string {
+	switch s {
+	case Complete:
+		return "Complete"
+	case DeadlineExceeded:
+		return "DeadlineExceeded"
+	case BudgetExhausted:
+		return "BudgetExhausted"
+	case Recovered:
+		return "Recovered"
+	}
+	return "Unknown"
+}
+
+// Failure describes a panic that a pipeline stage recovered from.
+type Failure struct {
+	// Stage is the pipeline stage that panicked (callbacks, lifecycle,
+	// callgraph, icfg, sourcesink, taint).
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("core: stage %s panicked: %v", f.Stage, f.Value)
+}
+
+// Counters are the per-stage effort counters of a run. A truncated run
+// reports what it did finish; zero fields belong to stages never reached.
+type Counters struct {
+	// CallGraphEdges is the number of call edges in the final graph.
+	CallGraphEdges int
+	// PTAPropagations counts points-to set insertions (zero under CHA).
+	PTAPropagations int
+	// Propagations counts the taint solver's attempted propagations, the
+	// unit MaxPropagations charges.
+	Propagations int
+	// PathEdges counts distinct forward plus backward path edges.
+	PathEdges int
+	// Summaries counts method summaries the taint solver installed.
+	Summaries int
+	// PeakAbstractions is the taint solver's interned fact count.
+	PeakAbstractions int
+}
+
+func countersFromTaint(c *Counters, st taint.Stats) {
+	c.Propagations = st.Propagations
+	c.PathEdges = st.PathEdges()
+	c.Summaries = st.Summaries
+	c.PeakAbstractions = st.PeakAbstractions
+}
+
+// stackTrace captures the panicking goroutine's stack for Failure.Stack.
+func stackTrace() []byte { return debug.Stack() }
+
+// degradeStep is one rung of the graceful-degradation ladder.
+type degradeStep struct {
+	name  string
+	apply func(*Options)
+}
+
+// degradeLadder returns the downgrade rungs applicable to opts, cheapest
+// precision loss first: swap points-to for CHA, then shorten access
+// paths. Each rung is cumulative with the previous ones.
+func degradeLadder(opts Options) []degradeStep {
+	var steps []degradeStep
+	if !opts.UseCHA {
+		steps = append(steps, degradeStep{"cha-callgraph", func(o *Options) { o.UseCHA = true }})
+	}
+	if opts.Taint.APLength > 3 || opts.Taint.APLength <= 0 {
+		steps = append(steps, degradeStep{"ap-length=3", func(o *Options) { o.Taint.APLength = 3 }})
+	}
+	if opts.Taint.APLength > 1 || opts.Taint.APLength <= 0 {
+		steps = append(steps, degradeStep{"ap-length=1", func(o *Options) { o.Taint.APLength = 1 }})
+	}
+	return steps
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"archive/zip"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -45,15 +46,15 @@ func TestAnalyzeDirAndZipAndFS(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fromDir, err := AnalyzeDir(appDir, DefaultOptions())
+	fromDir, err := AnalyzeDir(context.Background(), appDir, DefaultOptions())
 	if err != nil {
 		t.Fatalf("AnalyzeDir: %v", err)
 	}
-	fromZip, err := AnalyzeZip(zipPath, DefaultOptions())
+	fromZip, err := AnalyzeZip(context.Background(), zipPath, DefaultOptions())
 	if err != nil {
 		t.Fatalf("AnalyzeZip: %v", err)
 	}
-	fromFS, err := AnalyzeFS(os.DirFS(appDir), DefaultOptions())
+	fromFS, err := AnalyzeFS(context.Background(), os.DirFS(appDir), DefaultOptions())
 	if err != nil {
 		t.Fatalf("AnalyzeFS: %v", err)
 	}
@@ -64,13 +65,13 @@ func TestAnalyzeDirAndZipAndFS(t *testing.T) {
 }
 
 func TestAnalyzeErrors(t *testing.T) {
-	if _, err := AnalyzeDir(t.TempDir(), DefaultOptions()); err == nil {
+	if _, err := AnalyzeDir(context.Background(), t.TempDir(), DefaultOptions()); err == nil {
 		t.Error("empty directory should fail (no manifest)")
 	}
-	if _, err := AnalyzeZip("/nonexistent.zip", DefaultOptions()); err == nil {
+	if _, err := AnalyzeZip(context.Background(), "/nonexistent.zip", DefaultOptions()); err == nil {
 		t.Error("missing zip should fail")
 	}
-	if _, err := AnalyzeFiles(map[string]string{
+	if _, err := AnalyzeFiles(context.Background(), map[string]string{
 		"AndroidManifest.xml": "not xml",
 	}, DefaultOptions()); err == nil {
 		t.Error("bad manifest should fail")
@@ -78,11 +79,11 @@ func TestAnalyzeErrors(t *testing.T) {
 	// Bad source/sink rules surface as errors.
 	opts := DefaultOptions()
 	opts.SourceSinkRules = "source nonsense"
-	if _, err := AnalyzeFiles(testapps.LeakageApp, opts); err == nil {
+	if _, err := AnalyzeFiles(context.Background(), testapps.LeakageApp, opts); err == nil {
 		t.Error("bad rules should fail")
 	}
 	// Bad IR surfaces as errors.
-	if _, err := AnalyzeFiles(map[string]string{
+	if _, err := AnalyzeFiles(context.Background(), map[string]string{
 		"AndroidManifest.xml": `<manifest package="x"><application>
 			<activity android:name=".A"/></application></manifest>`,
 		"c.ir": "class x.A extends android.app.Activity { method m(: }",
@@ -92,14 +93,14 @@ func TestAnalyzeErrors(t *testing.T) {
 	if _, err := ParseJava("class {", "bad.ir"); err == nil {
 		t.Error("bad java IR should fail")
 	}
-	if _, err := AnalyzeJava(nil, "bad rules", DefaultOptions().Taint); err == nil {
+	if _, err := AnalyzeJava(context.Background(), nil, "bad rules", DefaultOptions().Taint); err == nil {
 		t.Error("bad java rules should fail")
 	}
 }
 
 // TestJSONReport exercises the serialization path end to end.
 func TestJSONReport(t *testing.T) {
-	res, err := AnalyzeFiles(testapps.LeakageApp, DefaultOptions())
+	res, err := AnalyzeFiles(context.Background(), testapps.LeakageApp, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestJSONReport(t *testing.T) {
 // must contain statements from both the lifecycle method that read the
 // password (onRestart) and the callback that sent it (sendMessage).
 func TestPathCrossesMethods(t *testing.T) {
-	res, err := AnalyzeFiles(testapps.LeakageApp, DefaultOptions())
+	res, err := AnalyzeFiles(context.Background(), testapps.LeakageApp, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package droidbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -19,7 +20,7 @@ func FlowDroid() Analyzer {
 	return Analyzer{
 		Name: "FlowDroid",
 		Run: func(files map[string]string) (int, error) {
-			res, err := core.AnalyzeFiles(files, core.DefaultOptions())
+			res, err := core.AnalyzeFiles(context.Background(), files, core.DefaultOptions())
 			if err != nil {
 				return 0, err
 			}
@@ -48,17 +49,29 @@ func score(c Case, found int) CaseResult {
 	return r
 }
 
-// RunSuite evaluates the analyzer on every case.
+// RunSuite evaluates the analyzer on every case. A case that panics or
+// errors is scored as ERR and never aborts the rest of the suite.
 func RunSuite(a Analyzer) []CaseResult {
 	cases := Cases()
 	out := make([]CaseResult, 0, len(cases))
 	for _, c := range cases {
-		found, err := a.Run(c.Files)
+		found, err := runCase(a, c)
 		r := score(c, found)
 		r.Err = err
 		out = append(out, r)
 	}
 	return out
+}
+
+// runCase isolates one analyzer invocation: a panic inside the analyzer
+// becomes this case's error instead of taking the batch down.
+func runCase(a Analyzer, c Case) (found int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			found, err = 0, fmt.Errorf("droidbench: %s on %s: panic: %v", a.Name, c.Name, r)
+		}
+	}()
+	return a.Run(c.Files)
 }
 
 // SuiteScore aggregates a suite run into the bottom rows of Table 1.

@@ -1,6 +1,7 @@
 package ifds
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -17,20 +18,49 @@ import (
 // The computed fact sets are identical to Solve's — the exploded-graph
 // reachability is confluent — only the discovery order differs.
 func (s *Solver[D]) SolveParallel(workers int) {
+	s.SolveParallelCtx(context.Background(), workers, Limits{})
+}
+
+// SolveParallelCtx is SolveParallel with cancellation and a propagation
+// budget. When the context is done or the budget runs out, workers stop
+// picking up queue items, finish their in-flight item, and exit; the call
+// returns only after every worker goroutine has terminated, so no
+// goroutines leak past it.
+func (s *Solver[D]) SolveParallelCtx(ctx context.Context, workers int, lim Limits) SolveStatus {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	if workers == 1 {
-		s.Solve()
-		return
+		return s.SolveCtx(ctx, lim)
 	}
-	p := &parallelRun[D]{s: s}
+	p := &parallelRun[D]{s: s, lim: lim}
 	p.cond = sync.NewCond(&p.mu)
 
 	zero := s.Problem.Zero()
 	for _, seed := range s.Problem.Seeds() {
 		p.propagate(zero, seed, zero)
 	}
+
+	// A context that is already dead cancels the run before any worker
+	// starts; only the seeds have been planted.
+	if ctx.Err() != nil {
+		return SolveCancelled
+	}
+
+	// The watcher turns context expiry into a queue shutdown. It is
+	// released via watchDone once the workers are finished, so the solve
+	// never leaves a goroutine behind.
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		select {
+		case <-ctx.Done():
+			p.stop(SolveCancelled)
+		case <-watchDone:
+		}
+	}()
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -41,21 +71,43 @@ func (s *Solver[D]) SolveParallel(workers int) {
 		}()
 	}
 	wg.Wait()
+	close(watchDone)
+	watchWG.Wait()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.status
 }
 
 // parallelRun wraps the solver state with a lock and a condition-variable
 // work queue. pending counts queued plus in-flight items; the run is done
-// when it reaches zero with an empty queue.
+// when it reaches zero with an empty queue, when the context is
+// cancelled, or when the propagation budget is exhausted.
 type parallelRun[D comparable] struct {
 	s       *Solver[D]
+	lim     Limits
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []workItem[D]
 	pending int
 	done    bool
+	status  SolveStatus
+}
+
+// stop aborts the run with the given status and wakes every worker.
+func (p *parallelRun[D]) stop(st SolveStatus) {
+	p.mu.Lock()
+	if !p.done {
+		p.done = true
+		p.status = st
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
 
 // propagate inserts a path edge under the lock and enqueues it if new.
+// It also charges the propagation budget: crossing the limit flips the
+// run into the done state so workers abandon the remaining queue.
 func (p *parallelRun[D]) propagate(d1 D, n ir.Stmt, d2 D) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -70,6 +122,12 @@ func (p *parallelRun[D]) propagate(d1 D, n ir.Stmt, d2 D) {
 	}
 	edges[pe] = true
 	p.s.PropagateCount++
+	if p.lim.MaxPropagations > 0 && p.s.PropagateCount >= p.lim.MaxPropagations && !p.done {
+		p.done = true
+		p.status = SolveBudgetExhausted
+		p.cond.Broadcast()
+		return
+	}
 	p.queue = append(p.queue, workItem[D]{n, d1, d2})
 	p.pending++
 	p.cond.Signal()
@@ -86,7 +144,9 @@ func (p *parallelRun[D]) worker() {
 			}
 			p.cond.Wait()
 		}
-		if p.done && len(p.queue) == 0 {
+		// An aborted run (cancellation, budget) abandons the queue; a
+		// completed run exits once the queue is empty.
+		if p.done && (p.status != SolveComplete || len(p.queue) == 0) {
 			p.mu.Unlock()
 			return
 		}

@@ -1,6 +1,7 @@
 package ifds
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestParallelEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	main := prog.Class("T").Method("main", 0)
-	res := pta.Build(prog, main)
+	res := pta.Build(context.Background(), prog, main)
 	icfg := cfg.NewICFG(prog, res.Graph)
 
 	seqProblem := &localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)}
@@ -85,7 +86,7 @@ func TestParallelSingleWorkerDelegates(t *testing.T) {
 		t.Fatal(err)
 	}
 	main := prog.Class("T").Method("main", 0)
-	res := pta.Build(prog, main)
+	res := pta.Build(context.Background(), prog, main)
 	icfg := cfg.NewICFG(prog, res.Graph)
 	problem := &localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)}
 	s := NewSolver[*ir.Local](icfg, problem)

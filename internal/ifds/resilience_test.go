@@ -1,0 +1,134 @@
+package ifds
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/ir"
+	"flowdroid/internal/irtext"
+	"flowdroid/internal/pta"
+)
+
+// bigTaintICFG builds a program whose main has n source/sink pairs. Every
+// source fact survives to the end of the method, so the solve costs
+// O(n^2) path edges — enough work that budgets and cancellation bite
+// mid-run instead of after the fixed point.
+func bigTaintICFG(t testing.TB, n int) (*cfg.ICFG, *ir.Method) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("class T {\n")
+	sb.WriteString("  static method source(): java.lang.String;\n")
+	sb.WriteString("  static method sink(x: java.lang.String): void;\n")
+	sb.WriteString("  static method main(): void {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "    v%d = T.source()\n", i)
+		fmt.Fprintf(&sb, "    T.sink(v%d)\n", i)
+	}
+	sb.WriteString("    return\n  }\n}\n")
+	prog, err := irtext.ParseProgram(sb.String(), "big.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Class("T").Method("main", 0)
+	res := pta.Build(context.Background(), prog, main)
+	return cfg.NewICFG(prog, res.Graph), main
+}
+
+func TestSolveCtxBudgetExhausted(t *testing.T) {
+	icfg, main := bigTaintICFG(t, 100)
+	problem := &localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)}
+	s := NewSolver[*ir.Local](icfg, problem)
+	const budget = 50
+	if st := s.SolveCtx(context.Background(), Limits{MaxPropagations: budget}); st != SolveBudgetExhausted {
+		t.Fatalf("status = %v, want %v", st, SolveBudgetExhausted)
+	}
+	if s.PropagateCount < budget {
+		t.Errorf("stopped after %d propagations, budget was %d", s.PropagateCount, budget)
+	}
+	// The partial state must still be a consistent prefix: a fresh
+	// unbounded solve does strictly more work.
+	full := NewSolver[*ir.Local](icfg, &localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)})
+	full.Solve()
+	if s.PropagateCount >= full.PropagateCount {
+		t.Errorf("budgeted run did %d propagations, full run only %d", s.PropagateCount, full.PropagateCount)
+	}
+}
+
+func TestSolveCtxCancelled(t *testing.T) {
+	icfg, main := bigTaintICFG(t, 100)
+	problem := &localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)}
+	s := NewSolver[*ir.Local](icfg, problem)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if st := s.SolveCtx(ctx, Limits{}); st != SolveCancelled {
+		t.Fatalf("status = %v, want %v", st, SolveCancelled)
+	}
+	if s.PropagateCount == 0 {
+		t.Error("cancelled run recorded no partial work")
+	}
+}
+
+// TestSolveParallelCtxShutdown checks the two abort paths of the parallel
+// solver — cancellation and budget exhaustion — and that neither leaves a
+// worker or watcher goroutine behind.
+func TestSolveParallelCtxShutdown(t *testing.T) {
+	icfg, main := bigTaintICFG(t, 100)
+	before := runtime.NumGoroutine()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	pc := &syncedTaint{localTaint: localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)}}
+	sc := NewSolver[*ir.Local](icfg, pc)
+	if st := sc.SolveParallelCtx(cancelled, 4, Limits{}); st != SolveCancelled {
+		t.Errorf("cancelled run: status = %v, want %v", st, SolveCancelled)
+	}
+
+	pb := &syncedTaint{localTaint: localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)}}
+	sb := NewSolver[*ir.Local](icfg, pb)
+	if st := sb.SolveParallelCtx(context.Background(), 4, Limits{MaxPropagations: 50}); st != SolveBudgetExhausted {
+		t.Errorf("budgeted run: status = %v, want %v", st, SolveBudgetExhausted)
+	}
+	if sb.PropagateCount < 50 {
+		t.Errorf("budgeted run stopped after %d propagations, budget was 50", sb.PropagateCount)
+	}
+
+	// Both solves returned, so every worker and watcher must be gone.
+	// NumGoroutine can lag a hair behind a goroutine's final return; give
+	// the scheduler a moment before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+	}
+}
+
+// TestSolveParallelCtxCompletes: bounded runs that never hit their bounds
+// behave exactly like unbounded ones.
+func TestSolveParallelCtxCompletes(t *testing.T) {
+	icfg, main := bigTaintICFG(t, 20)
+	seq := NewSolver[*ir.Local](icfg, &localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)})
+	seq.Solve()
+
+	p := &syncedTaint{localTaint: localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)}}
+	s := NewSolver[*ir.Local](icfg, p)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if st := s.SolveParallelCtx(ctx, 4, Limits{MaxPropagations: seq.PropagateCount * 2}); st != SolveComplete {
+		t.Fatalf("status = %v, want %v", st, SolveComplete)
+	}
+	if s.PropagateCount != seq.PropagateCount {
+		t.Errorf("parallel run did %d propagations, sequential %d", s.PropagateCount, seq.PropagateCount)
+	}
+	if len(p.leaks) != 20 {
+		t.Errorf("leaks = %d, want 20", len(p.leaks))
+	}
+}

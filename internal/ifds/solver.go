@@ -12,9 +12,49 @@
 package ifds
 
 import (
+	"context"
+
 	"flowdroid/internal/cfg"
 	"flowdroid/internal/ir"
 )
+
+// SolveStatus reports how a solve run ended.
+type SolveStatus int
+
+const (
+	// SolveComplete means the worklist drained to a fixed point.
+	SolveComplete SolveStatus = iota
+	// SolveCancelled means the context expired or was cancelled before
+	// the fixed point; the recorded facts are a sound partial view of the
+	// work done so far.
+	SolveCancelled
+	// SolveBudgetExhausted means the propagation budget ran out first.
+	SolveBudgetExhausted
+)
+
+func (s SolveStatus) String() string {
+	switch s {
+	case SolveComplete:
+		return "complete"
+	case SolveCancelled:
+		return "cancelled"
+	case SolveBudgetExhausted:
+		return "budget-exhausted"
+	}
+	return "unknown"
+}
+
+// Limits bounds a solve run. The zero value means unlimited.
+type Limits struct {
+	// MaxPropagations stops the solve after this many path-edge
+	// insertions (0 = unlimited). Exhausting the budget leaves the solver
+	// in a consistent but incomplete state.
+	MaxPropagations int
+}
+
+// ctxCheckEvery is how many worklist items are processed between context
+// polls; checking every iteration would dominate the tight loop.
+const ctxCheckEvery = 256
 
 // Problem defines an IFDS dataflow problem over facts of type D. Flow
 // functions are distributive: they are applied to one fact at a time, and
@@ -97,15 +137,30 @@ func NewSolver[D comparable](icfg *cfg.ICFG, p Problem[D]) *Solver[D] {
 
 // Solve plants the seeds and runs the worklist to exhaustion.
 func (s *Solver[D]) Solve() {
+	s.SolveCtx(context.Background(), Limits{})
+}
+
+// SolveCtx plants the seeds and runs the worklist until a fixed point,
+// the context is done, or the propagation budget is exhausted. When it
+// returns early the recorded facts are the partial view computed so far.
+func (s *Solver[D]) SolveCtx(ctx context.Context, lim Limits) SolveStatus {
 	zero := s.Problem.Zero()
 	for _, seed := range s.Problem.Seeds() {
 		s.propagate(zero, seed, zero)
 	}
-	s.drain()
+	return s.drain(ctx, lim)
 }
 
-func (s *Solver[D]) drain() {
+func (s *Solver[D]) drain(ctx context.Context, lim Limits) SolveStatus {
+	steps := 0
 	for len(s.work) > 0 {
+		if lim.MaxPropagations > 0 && s.PropagateCount >= lim.MaxPropagations {
+			return SolveBudgetExhausted
+		}
+		steps++
+		if steps%ctxCheckEvery == 0 && ctx.Err() != nil {
+			return SolveCancelled
+		}
 		it := s.work[len(s.work)-1]
 		s.work = s.work[:len(s.work)-1]
 		switch {
@@ -117,6 +172,7 @@ func (s *Solver[D]) drain() {
 			s.processNormal(it)
 		}
 	}
+	return SolveComplete
 }
 
 // propagate inserts the path edge ⟨sp(method(n)), d1⟩ → ⟨n, d2⟩ if new.

@@ -1,6 +1,7 @@
 package ifds
 
 import (
+	"context"
 	"testing"
 
 	"flowdroid/internal/cfg"
@@ -142,7 +143,7 @@ func runLocalTaint(t *testing.T) (*localTaint, *ir.Method) {
 		t.Fatal(err)
 	}
 	main := prog.Class("T").Method("main", 0)
-	res := pta.Build(prog, main)
+	res := pta.Build(context.Background(), prog, main)
 	icfg := cfg.NewICFG(prog, res.Graph)
 	problem := &localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)}
 	s := NewSolver[*ir.Local](icfg, problem)
@@ -195,7 +196,7 @@ func TestIFDSFactsAt(t *testing.T) {
 		t.Fatal(err)
 	}
 	main := prog.Class("T").Method("main", 0)
-	res := pta.Build(prog, main)
+	res := pta.Build(context.Background(), prog, main)
 	icfg := cfg.NewICFG(prog, res.Graph)
 	problem := &localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)}
 	s := NewSolver[*ir.Local](icfg, problem)

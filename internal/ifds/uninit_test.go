@@ -1,6 +1,7 @@
 package ifds
 
 import (
+	"context"
 	"testing"
 
 	"flowdroid/internal/cfg"
@@ -122,7 +123,7 @@ func TestUninitializedVariables(t *testing.T) {
 		t.Fatal(err)
 	}
 	main := prog.Class("U").Method("main", 0)
-	res := pta.Build(prog, main)
+	res := pta.Build(context.Background(), prog, main)
 	icfg := cfg.NewICFG(prog, res.Graph)
 	p := &uninit{entry: main.EntryStmt()}
 	s := NewSolver[*ir.Local](icfg, p)

@@ -1,6 +1,7 @@
 package insecurebank
 
 import (
+	"context"
 	"testing"
 
 	"flowdroid/internal/core"
@@ -9,7 +10,7 @@ import (
 // TestRQ2AllSevenLeaks reproduces RQ2: FlowDroid finds all seven planted
 // leaks in InsecureBank with no false positives and no false negatives.
 func TestRQ2AllSevenLeaks(t *testing.T) {
-	res, err := core.AnalyzeFiles(Files, core.DefaultOptions())
+	res, err := core.AnalyzeFiles(context.Background(), Files, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestRQ2AllSevenLeaks(t *testing.T) {
 func TestCoarseToolsMissLeaks(t *testing.T) {
 	opts := core.DefaultOptions()
 	opts.Lifecycle.InvokeCallbacks = false
-	res, err := core.AnalyzeFiles(Files, opts)
+	res, err := core.AnalyzeFiles(context.Background(), Files, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

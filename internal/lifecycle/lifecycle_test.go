@@ -1,6 +1,7 @@
 package lifecycle
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func genLeakage(t *testing.T, opts Options) (*apk.App, *ir.Method) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cbs := callbacks.Discover(app)
+	cbs := callbacks.Discover(context.Background(), app)
 	main, err := Generate(app, cbs, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +133,7 @@ func TestDummyMainIsAnalyzable(t *testing.T) {
 	app, main := genLeakage(t, DefaultOptions())
 	// The generated method must produce a usable call graph: sendMessage
 	// and the lifecycle overrides of the app must be reachable.
-	res := pta.Build(app.Program, main)
+	res := pta.Build(context.Background(), app.Program, main)
 	var haveSend, haveRestart bool
 	for _, m := range res.Graph.Reachable() {
 		if m.Class.Name == "com.example.leakage.LeakageApp" {
@@ -175,7 +176,7 @@ func TestGenerateTwiceFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cbs := callbacks.Discover(app)
+	cbs := callbacks.Discover(context.Background(), app)
 	if _, err := Generate(app, cbs, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ class com.x.Prv extends android.content.ContentProvider {
 	if err != nil {
 		t.Fatal(err)
 	}
-	main, err := Generate(app, callbacks.Discover(app), DefaultOptions())
+	main, err := Generate(app, callbacks.Discover(context.Background(), app), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestXMLCallbacksOnlyMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cbs := callbacks.Discover(app)
+	cbs := callbacks.Discover(context.Background(), app)
 	opts := DefaultOptions()
 	opts.XMLCallbacksOnly = true
 	main, err := Generate(app, cbs, opts)
@@ -309,7 +310,7 @@ func TestIncludeDisabledMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cbs := callbacks.Discover(app)
+	cbs := callbacks.Discover(context.Background(), app)
 	opts := DefaultOptions()
 	opts.IncludeDisabled = true
 	main, err := Generate(app, cbs, opts)
@@ -358,7 +359,7 @@ class com.x.Main extends android.app.Activity {
 	if app.Manifest.Application != "com.x.MyApp" {
 		t.Fatalf("manifest application = %q", app.Manifest.Application)
 	}
-	main, err := Generate(app, callbacks.Discover(app), DefaultOptions())
+	main, err := Generate(app, callbacks.Discover(context.Background(), app), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

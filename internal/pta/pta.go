@@ -14,6 +14,7 @@
 package pta
 
 import (
+	"context"
 	"sort"
 
 	"flowdroid/internal/callgraph"
@@ -40,6 +41,14 @@ type node struct {
 // Result holds the computed points-to sets and the call graph.
 type Result struct {
 	Graph *callgraph.Graph
+
+	// Truncated is set when the context expired before the constraint
+	// system reached its fixed point; the call graph is then a sound
+	// partial view (edges discovered so far) but may miss targets.
+	Truncated bool
+	// Propagations counts points-to set insertions, the solver's unit of
+	// work, for the pipeline's stage counters.
+	Propagations int
 
 	a *analysis
 }
@@ -103,6 +112,7 @@ type callC struct {
 }
 
 type analysis struct {
+	ctx     context.Context
 	prog    *ir.Program
 	res     *callgraph.Resolver
 	graph   *callgraph.Graph
@@ -118,6 +128,9 @@ type analysis struct {
 	visited map[*ir.Method]bool
 	// bound remembers (site, target) pairs already wired up.
 	bound map[edgeKey]bool
+
+	propagations int
+	truncated    bool
 }
 
 type edgeKey struct {
@@ -126,9 +139,12 @@ type edgeKey struct {
 }
 
 // Build runs the analysis from the given entry methods and returns the
-// points-to result with its on-the-fly call graph.
-func Build(prog *ir.Program, entries ...*ir.Method) *Result {
+// points-to result with its on-the-fly call graph. When the context is
+// cancelled mid-solve the result is marked Truncated and carries the
+// partial call graph computed so far.
+func Build(ctx context.Context, prog *ir.Program, entries ...*ir.Method) *Result {
 	a := &analysis{
+		ctx:     ctx,
 		prog:    prog,
 		res:     callgraph.NewResolver(prog),
 		graph:   callgraph.NewGraph(entries...),
@@ -150,10 +166,10 @@ func Build(prog *ir.Program, entries ...*ir.Method) *Result {
 	// allocation site (library stub results, unmodeled values). The
 	// fallback can make new methods reachable, so iterate to a fixed
 	// point.
-	for a.applyFallback() {
+	for !a.truncated && a.applyFallback() {
 		a.solve()
 	}
-	return &Result{Graph: a.graph, a: a}
+	return &Result{Graph: a.graph, Truncated: a.truncated, Propagations: a.propagations, a: a}
 }
 
 func localNode(l *ir.Local) node  { return node{kind: 0, local: l} }
@@ -178,6 +194,7 @@ func (a *analysis) addObj(n node, id int) {
 	}
 	if !s[id] {
 		s[id] = true
+		a.propagations++
 		a.enqueue(n)
 	}
 }
@@ -320,8 +337,17 @@ func (a *analysis) bindCall(site ir.Stmt, call *ir.InvokeExpr, target *ir.Method
 	}
 }
 
+// ctxCheckEvery is how many worklist pops happen between context polls.
+const ctxCheckEvery = 256
+
 func (a *analysis) solve() {
+	steps := 0
 	for len(a.work) > 0 {
+		steps++
+		if steps%ctxCheckEvery == 0 && a.ctx.Err() != nil {
+			a.truncated = true
+			return
+		}
 		n := a.work[len(a.work)-1]
 		a.work = a.work[:len(a.work)-1]
 		a.inWork[n] = false

@@ -1,6 +1,7 @@
 package pta
 
 import (
+	"context"
 	"testing"
 
 	"flowdroid/internal/callgraph"
@@ -63,14 +64,14 @@ func TestPTADispatchSingle(t *testing.T) {
 		t.Fatal(err)
 	}
 	main := prog.Class("Main").Method("main", 0)
-	res := Build(prog, main)
+	res := Build(context.Background(), prog, main)
 	site := findCallTo(main, "who")
 	targets := res.Graph.CalleesOf(site)
 	if len(targets) != 1 || targets[0].Class.Name != "B" {
 		t.Errorf("PTA should resolve x.who() to exactly B.who, got %v", targets)
 	}
 	// CHA, by contrast, sees all three implementations.
-	cha := callgraph.BuildCHA(prog, main)
+	cha := callgraph.BuildCHA(context.Background(), prog, main)
 	if got := len(cha.CalleesOf(site)); got != 3 {
 		t.Errorf("CHA should see 3 targets, got %d", got)
 	}
@@ -82,7 +83,7 @@ func TestPTADispatchPoly(t *testing.T) {
 		t.Fatal(err)
 	}
 	poly := prog.Class("Main").Method("poly", 0)
-	res := Build(prog, poly)
+	res := Build(context.Background(), prog, poly)
 	site := findCallTo(poly, "who")
 	targets := res.Graph.CalleesOf(site)
 	if len(targets) != 2 {
@@ -162,7 +163,7 @@ func TestPTAHeapFieldSensitivity(t *testing.T) {
 		t.Fatal(err)
 	}
 	main := prog.Class("Main").Method("main", 0)
-	res := Build(prog, main)
+	res := Build(context.Background(), prog, main)
 	site := findCallTo(main, "fire")
 	targets := res.Graph.CalleesOf(site)
 	if len(targets) != 1 || targets[0].Class.Name != "Payload" {
@@ -185,7 +186,7 @@ func TestPTAContextInsensitiveMerge(t *testing.T) {
 		t.Fatal(err)
 	}
 	merged := prog.Class("Main").Method("merged", 0)
-	res := Build(prog, merged)
+	res := Build(context.Background(), prog, merged)
 	pp := merged.LookupLocal("pp")
 	objs := res.PointsTo(pp)
 	if len(objs) != 2 {
@@ -220,7 +221,7 @@ func TestPTAStubFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	main := prog.Class("Main").Method("main", 0)
-	res := Build(prog, main)
+	res := Build(context.Background(), prog, main)
 	site := findCallTo(main, "go")
 	targets := res.Graph.CalleesOf(site)
 	if len(targets) != 1 || targets[0].Class.Name != "Gadget" {
@@ -234,7 +235,7 @@ func TestReachesTransitively(t *testing.T) {
 		t.Fatal(err)
 	}
 	main := prog.Class("Main").Method("main", 0)
-	res := Build(prog, main)
+	res := Build(context.Background(), prog, main)
 	site := findCallTo(main, "who")
 	bWho := prog.Class("B").Method("who", 0)
 	aWho := prog.Class("A").Method("who", 0)
@@ -285,7 +286,7 @@ func TestPTAStaticFields(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := prog.Class("Main").Method("viaStatic", 0)
-	res := Build(prog, m)
+	res := Build(context.Background(), prog, m)
 	targets := res.Graph.CalleesOf(findCallTo(m, "go"))
 	if len(targets) != 1 || targets[0].Class.Name != "Thing" {
 		t.Errorf("static-field flow should resolve u.go() to Thing only, got %v", targets)
@@ -300,7 +301,7 @@ func TestPTAArrayContents(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := prog.Class("Main").Method("viaArray", 0)
-	res := Build(prog, m)
+	res := Build(context.Background(), prog, m)
 	targets := res.Graph.CalleesOf(findCallTo(m, "go"))
 	if len(targets) != 1 || targets[0].Class.Name != "Thing" {
 		t.Errorf("array flow should resolve u.go() to Thing, got %v", targets)

@@ -13,6 +13,7 @@
 package securibench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -115,7 +116,13 @@ func Config() taint.Config {
 }
 
 // Run analyzes one case and returns the number of distinct leaks found.
-func Run(c Case) (int, error) {
+// A panic anywhere in the pipeline is recovered into the case's error.
+func Run(c Case) (found int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			found, err = 0, fmt.Errorf("securibench %s: panic: %v", c.Name, r)
+		}
+	}()
 	prog, err := core.ParseJava(servletStubs+c.Source, c.Name+".ir")
 	if err != nil {
 		return 0, fmt.Errorf("securibench %s: %w", c.Name, err)
@@ -129,7 +136,7 @@ func Run(c Case) (int, error) {
 	if len(entries) == 0 {
 		return 0, fmt.Errorf("securibench %s: no doGet entry points", c.Name)
 	}
-	res, err := core.AnalyzeJava(prog, rules, Config(), entries...)
+	res, err := core.AnalyzeJava(context.Background(), prog, rules, Config(), entries...)
 	if err != nil {
 		return 0, err
 	}
@@ -142,6 +149,9 @@ type CategoryResult struct {
 	TP       int
 	Expected int
 	FP       int
+	// Errors counts cases in this category that failed to analyze; the
+	// suite keeps going and scores them as finding nothing.
+	Errors int
 }
 
 // RunSuite analyzes every case and aggregates per category.
@@ -152,10 +162,13 @@ func RunSuite() ([]CategoryResult, error) {
 	}
 	for _, c := range Cases() {
 		found, err := Run(c)
-		if err != nil {
-			return nil, err
-		}
 		r := agg[c.Category]
+		if err != nil {
+			// Per-case isolation: a failing case scores zero findings
+			// instead of aborting the suite.
+			r.Errors++
+			found = 0
+		}
 		r.Expected += c.ExpectedLeaks
 		r.TP += min(found, c.ExpectedLeaks)
 		r.FP += max(0, found-c.ExpectedLeaks)
@@ -182,6 +195,13 @@ func RenderTable(results []CategoryResult) string {
 	fmt.Fprintf(&sb, "%-18s %8s %4s\n", "Reflection", "n/a", "n/a")
 	fmt.Fprintf(&sb, "%-18s %8s %4s\n", "Sanitizer", "n/a", "n/a")
 	fmt.Fprintf(&sb, "%-18s %4d/%-4d %4d\n", "Sum", totTP, totExp, totFP)
+	errs := 0
+	for _, r := range results {
+		errs += r.Errors
+	}
+	if errs > 0 {
+		fmt.Fprintf(&sb, "%d case(s) failed to analyze and scored zero findings\n", errs)
+	}
 	if totExp > 0 {
 		fmt.Fprintf(&sb, "Recall %.0f%% with %d false positives\n",
 			100*float64(totTP)/float64(totExp), totFP)

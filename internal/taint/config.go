@@ -1,6 +1,7 @@
 package taint
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -46,6 +47,11 @@ type Config struct {
 	Wrapper *Wrapper
 	// MaxLeaks aborts after this many distinct leaks (0 = unlimited).
 	MaxLeaks int
+	// MaxPropagations bounds the solver's total path-edge insertions
+	// (forward plus backward); 0 is unlimited. When the budget runs out
+	// the analysis stops cleanly with Status == BudgetExhausted and the
+	// leaks found so far.
+	MaxPropagations int
 }
 
 // DefaultConfig mirrors the paper's FlowDroid configuration.
@@ -97,19 +103,62 @@ func (l *Leak) Path() []ir.Stmt {
 	return path
 }
 
+// Status reports how a taint analysis run ended.
+type Status int
+
+const (
+	// Completed means the solver reached its fixed point (or the MaxLeaks
+	// cutoff, which is a configured success condition).
+	Completed Status = iota
+	// Cancelled means the context expired or was cancelled mid-solve; the
+	// reported leaks are the partial set found so far.
+	Cancelled
+	// BudgetExhausted means MaxPropagations ran out before the fixed
+	// point.
+	BudgetExhausted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Completed:
+		return "completed"
+	case Cancelled:
+		return "cancelled"
+	case BudgetExhausted:
+		return "budget-exhausted"
+	}
+	return "unknown"
+}
+
 // Results is the outcome of a taint analysis run.
 type Results struct {
 	Leaks []*Leak
 	// Stats carries solver counters for the benchmark harness.
 	Stats Stats
+	// Status tells whether the run completed or was truncated; a
+	// truncated run's Leaks and Stats describe the work actually done.
+	Status Status
 }
 
 // Stats are solver effort counters.
 type Stats struct {
+	// ForwardEdges and BackwardEdges count distinct path edges inserted
+	// into the two solvers' jump tables.
 	ForwardEdges  int
 	BackwardEdges int
 	AliasQueries  int
+	// Propagations counts attempted propagations (including duplicates
+	// the jump tables absorbed); this is the unit MaxPropagations charges.
+	Propagations int
+	// Summaries counts method summaries (end-of-method records) installed.
+	Summaries int
+	// PeakAbstractions is the number of distinct taint abstractions
+	// interned over the run — the solver's fact-domain footprint.
+	PeakAbstractions int
 }
+
+// PathEdges is the total of distinct forward and backward path edges.
+func (s Stats) PathEdges() int { return s.ForwardEdges + s.BackwardEdges }
 
 // DistinctSourceSinkPairs collapses leaks to unique (source stmt, sink
 // stmt) pairs, the unit DroidBench-style scoring counts.
@@ -152,7 +201,10 @@ func (r *Results) Render() string {
 
 // Analyze runs the full taint analysis over the ICFG with the given
 // sources/sinks and configuration, seeding at the given entry methods.
-func Analyze(icfg *cfg.ICFG, mgr *sourcesink.Manager, cfgc Config, entries ...*ir.Method) *Results {
+// The context bounds the run: when it is cancelled or its deadline
+// passes, the solver stops cleanly and returns the partial results with
+// Status == Cancelled.
+func Analyze(ctx context.Context, icfg *cfg.ICFG, mgr *sourcesink.Manager, cfgc Config, entries ...*ir.Method) *Results {
 	e := newEngine(icfg, mgr, cfgc)
-	return e.run(entries)
+	return e.run(ctx, entries)
 }

@@ -1,6 +1,7 @@
 package taint
 
 import (
+	"context"
 	"fmt"
 
 	"flowdroid/internal/cfg"
@@ -134,7 +135,11 @@ func (e *engine) indexField(v int64) *ir.Field {
 	return f
 }
 
-func (e *engine) run(entries []*ir.Method) *Results {
+// ctxCheckEvery is how many worklist items are processed between context
+// polls; polling every iteration would dominate the tight loop.
+const ctxCheckEvery = 256
+
+func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
 	for _, m := range entries {
 		if sp := m.EntryStmt(); sp != nil {
 			e.fwPropagate(e.zero, sp, e.zero)
@@ -154,8 +159,19 @@ func (e *engine) run(entries []*ir.Method) *Results {
 		}
 	}
 
+	status := Completed
+	steps := 0
 	for len(e.fwWork) > 0 || len(e.bwWork) > 0 {
 		if e.conf.MaxLeaks > 0 && len(e.leaks) >= e.conf.MaxLeaks {
+			break
+		}
+		if e.conf.MaxPropagations > 0 && e.stats.Propagations >= e.conf.MaxPropagations {
+			status = BudgetExhausted
+			break
+		}
+		steps++
+		if steps%ctxCheckEvery == 0 && ctx.Err() != nil {
+			status = Cancelled
 			break
 		}
 		if len(e.fwWork) > 0 {
@@ -169,10 +185,12 @@ func (e *engine) run(entries []*ir.Method) *Results {
 		e.processBackward(it)
 	}
 
-	return &Results{Leaks: e.leaks, Stats: e.stats}
+	e.stats.PeakAbstractions = len(e.ai.abs)
+	return &Results{Leaks: e.leaks, Stats: e.stats, Status: status}
 }
 
 func (e *engine) fwPropagate(d1 *Abstraction, n ir.Stmt, d2 *Abstraction) {
+	e.stats.Propagations++
 	edges := e.fwJump[n]
 	if edges == nil {
 		edges = make(map[edge]bool)
@@ -188,6 +206,7 @@ func (e *engine) fwPropagate(d1 *Abstraction, n ir.Stmt, d2 *Abstraction) {
 }
 
 func (e *engine) bwPropagate(d1 *Abstraction, n ir.Stmt, d2 *Abstraction) {
+	e.stats.Propagations++
 	edges := e.bwJump[n]
 	if edges == nil {
 		edges = make(map[edge]bool)
@@ -281,6 +300,7 @@ func (e *engine) fwExit(it item) {
 	key := methodCtx{m, it.d1}
 	ep := exitRec{it.n, it.d2}
 	e.endSum[key] = append(e.endSum[key], ep)
+	e.stats.Summaries++
 	for cc := range e.incoming[key] {
 		e.applyReturn(cc, m, ep)
 	}

@@ -1,6 +1,7 @@
 package taint
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -44,13 +45,13 @@ func analyze(t *testing.T, src string, conf Config) *Results {
 	if main == nil {
 		t.Fatal("Main.main/0 not found")
 	}
-	res := pta.Build(prog, main)
+	res := pta.Build(context.Background(), prog, main)
 	icfg := cfg.NewICFG(prog, res.Graph)
 	mgr, err := sourcesink.Parse(prog, testRules)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Analyze(icfg, mgr, conf, main)
+	return Analyze(context.Background(), icfg, mgr, conf, main)
 }
 
 // leakLines returns the source line numbers of the sink statements of all

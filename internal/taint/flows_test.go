@@ -1,6 +1,7 @@
 package taint
 
 import (
+	"context"
 	"testing"
 
 	"flowdroid/internal/cfg"
@@ -23,7 +24,7 @@ func newTestEngine(t *testing.T, src string) (*engine, *ir.Program) {
 		t.Fatal(err)
 	}
 	main := prog.Class("F").Method("m", 0)
-	graph := pta.Build(prog, main).Graph
+	graph := pta.Build(context.Background(), prog, main).Graph
 	icfg := cfg.NewICFG(prog, graph)
 	mgr, err := sourcesink.Parse(prog, "")
 	if err != nil {

@@ -1,0 +1,20 @@
+#!/bin/sh
+# ci.sh — the repository's verification gate.
+#
+# Runs the static checks, builds every package, and runs the full test
+# suite under the race detector (the parallel IFDS solver is the main
+# concurrency surface). Any failure fails the gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "CI OK"

@@ -1,0 +1,156 @@
+package flowdroid_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"flowdroid/internal/apk"
+	"flowdroid/internal/appgen"
+	"flowdroid/internal/callbacks"
+	"flowdroid/internal/callgraph"
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/core"
+	"flowdroid/internal/ir"
+	"flowdroid/internal/lifecycle"
+	"flowdroid/internal/pta"
+	"flowdroid/internal/scene"
+	"flowdroid/internal/sourcesink"
+	"flowdroid/internal/taint"
+)
+
+// The smoke benchmarks quantify the Scene refactor: the same hierarchy
+// queries and the same end-to-end corpus analysis, once against the raw
+// ir.Program (the pre-Scene substrate, which re-walks the class graph per
+// query) and once against the Scene's precomputed sets. Each reports
+// "walks/op" — class-graph nodes visited by Program.subtypeOf — so the
+// query-avoidance claim is a counted fact, not a timing artifact.
+//
+// Run via: make bench-smoke   (go test -bench=Smoke -benchtime=1x)
+
+// smokeProgram loads one oversized appgen app and returns its program.
+func smokeProgram(b *testing.B) *ir.Program {
+	b.Helper()
+	gen := appgen.Generate(rand.New(rand.NewSource(7)), appgen.Stress, 0)
+	app, err := apk.LoadFiles(gen.Files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return app.Program
+}
+
+// virtualCalls collects the virtual invoke expressions of the program.
+func virtualCalls(prog *ir.Program) []*ir.InvokeExpr {
+	var out []*ir.InvokeExpr
+	for _, m := range prog.Methods() {
+		for _, s := range m.Body() {
+			if call := ir.CallOf(s); call != nil && call.Kind == ir.VirtualInvoke {
+				out = append(out, call)
+			}
+		}
+	}
+	return out
+}
+
+// hierarchyQueries runs the query mix every analysis phase issues —
+// pairwise subtype tests, subtype enumeration, and virtual-dispatch
+// target resolution — against one hierarchy implementation.
+func hierarchyQueries(h ir.Hierarchy, calls []*ir.InvokeExpr) int {
+	n := 0
+	classes := h.Classes()
+	for _, c := range classes {
+		for _, d := range classes {
+			if h.SubtypeOf(c.Name, d.Name) {
+				n++
+			}
+		}
+		n += len(h.SubtypesOf(c.Name))
+	}
+	r := callgraph.ResolverFor(h)
+	for _, call := range calls {
+		n += len(r.VirtualTargets(call))
+	}
+	return n
+}
+
+// benchHierarchy measures the query mix, reporting subtype walks and the
+// answer checksum (identical across substrates by construction).
+func benchHierarchy(b *testing.B, mk func(*ir.Program) ir.Hierarchy) {
+	prog := smokeProgram(b)
+	calls := virtualCalls(prog)
+	total := 0
+	b.ResetTimer()
+	walks0 := ir.SubtypeWalks()
+	for i := 0; i < b.N; i++ {
+		total += hierarchyQueries(mk(prog), calls)
+	}
+	b.ReportMetric(float64(ir.SubtypeWalks()-walks0)/float64(b.N), "walks/op")
+	b.ReportMetric(float64(total/b.N), "answers")
+}
+
+func BenchmarkSmokeHierarchy(b *testing.B) {
+	b.Run("program", func(b *testing.B) {
+		benchHierarchy(b, func(p *ir.Program) ir.Hierarchy { return p })
+	})
+	b.Run("scene", func(b *testing.B) {
+		benchHierarchy(b, func(p *ir.Program) ir.Hierarchy { return scene.New(p) })
+	})
+}
+
+// smokeCorpus is the small end-to-end population: large enough for the
+// walk counts to be meaningful, small enough for -benchtime=1x smoke runs.
+const smokeCorpusN = 8
+
+// analyzeLegacy reproduces the pre-Scene pipeline shape: every phase
+// resolves against the raw program, so each re-walks the class graph.
+func analyzeLegacy(b *testing.B, files map[string]string) int {
+	b.Helper()
+	ctx := context.Background()
+	app, err := apk.LoadFiles(files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cbs := callbacks.Discover(ctx, app)
+	entry, err := lifecycle.Generate(app, cbs, lifecycle.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	graph := pta.Build(ctx, app.Program, entry).Graph
+	icfg := cfg.NewICFG(app.Program, graph)
+	mgr := sourcesink.Default(app.Program)
+	mgr.AttachApp(app)
+	res := taint.Analyze(ctx, icfg, mgr, taint.DefaultConfig(), entry)
+	return len(res.DistinctSourceSinkPairs())
+}
+
+// benchCorpus analyzes the corpus end to end with the given per-app
+// analyzer, reporting walks and leaks per op.
+func benchCorpus(b *testing.B, analyze func(*testing.B, map[string]string) int) {
+	apps := appgen.GenerateCorpus(appgen.Malware, smokeCorpusN, 1)
+	leaks := 0
+	b.ResetTimer()
+	walks0 := ir.SubtypeWalks()
+	for i := 0; i < b.N; i++ {
+		leaks = 0
+		for _, app := range apps {
+			leaks += analyze(b, app.Files)
+		}
+	}
+	b.ReportMetric(float64(ir.SubtypeWalks()-walks0)/float64(b.N), "walks/op")
+	b.ReportMetric(float64(leaks), "leaks")
+}
+
+func BenchmarkSmokeCorpus(b *testing.B) {
+	b.Run("legacy", func(b *testing.B) {
+		benchCorpus(b, analyzeLegacy)
+	})
+	b.Run("scene", func(b *testing.B) {
+		benchCorpus(b, func(b *testing.B, files map[string]string) int {
+			res, err := core.AnalyzeFiles(context.Background(), files, core.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return len(res.Leaks())
+		})
+	})
+}

@@ -56,7 +56,10 @@ type jsonReport struct {
 		Summaries        int `json:"summaries"`
 		PeakAbstractions int `json:"peakAbstractions"`
 	} `json:"counters"`
-	Leaks any `json:"leaks"`
+	// Passes reports per-pipeline-pass execution vs. memoized-artifact
+	// reuse (runs/hits), non-trivial when -degrade retried the analysis.
+	Passes core.PassStats `json:"passes,omitempty"`
+	Leaks  any            `json:"leaks"`
 }
 
 // flags is the program's flag set. A package-level ContinueOnError set
@@ -138,7 +141,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		rep := jsonReport{Status: res.Status.String(), Degraded: res.Degraded, Leaks: res.Taint.Report()}
+		rep := jsonReport{Status: res.Status.String(), Degraded: res.Degraded, Passes: res.Passes, Leaks: res.Taint.Report()}
 		if res.Failure != nil {
 			rep.Failure = res.Failure.Error()
 		}
@@ -186,6 +189,9 @@ func main() {
 		fmt.Printf("\nsetup %v, taint analysis %v\n", res.SetupTime, res.TaintTime)
 		fmt.Printf("forward edges %d, backward edges %d, alias queries %d, summaries %d, peak abstractions %d\n",
 			st.ForwardEdges, st.BackwardEdges, st.AliasQueries, st.Summaries, st.PeakAbstractions)
+		if len(res.Passes) > 0 {
+			fmt.Printf("passes: %s\n", res.Passes)
+		}
 	}
 	os.Exit(exitCode(res))
 }

@@ -27,6 +27,10 @@ import (
 // minMax is an inclusive integer range.
 type minMax struct{ Min, Max int }
 
+// MinMax builds an inclusive integer range for Profile fields, letting
+// callers derive custom profiles from the built-in ones.
+func MinMax(min, max int) minMax { return minMax{min, max} }
+
 func (m minMax) pick(r *rand.Rand) int {
 	if m.Max <= m.Min {
 		return m.Min

@@ -34,6 +34,11 @@ type CorpusStats struct {
 	Degraded   int
 	Failures   []string
 	Incomplete int // batch stopped early: apps never attempted
+
+	// Passes aggregates the per-pass run/hit counters across all apps:
+	// cache hits appear whenever the degradation ladder reused memoized
+	// artifacts instead of rebuilding them.
+	Passes core.PassStats
 }
 
 // RunOptions bound and harden a corpus run. The zero value reproduces
@@ -84,7 +89,7 @@ func RunCorpusWith(ctx context.Context, p Profile, n int, seed int64, ro RunOpti
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	stats := CorpusStats{Profile: p.Name, BySink: make(map[string]int)}
+	stats := CorpusStats{Profile: p.Name, BySink: make(map[string]int), Passes: make(core.PassStats)}
 	apps := GenerateCorpus(p, n, seed)
 	for i, app := range apps {
 		if ctx.Err() != nil {
@@ -127,6 +132,12 @@ func RunCorpusWith(ctx context.Context, p Profile, n int, seed int64, ro RunOpti
 		}
 		if len(res.Degraded) > 0 {
 			stats.Degraded++
+		}
+		for pass, st := range res.Passes {
+			agg := stats.Passes[pass]
+			agg.Runs += st.Runs
+			agg.Hits += st.Hits
+			stats.Passes[pass] = agg
 		}
 		leaks := res.Leaks()
 		stats.TotalFound += len(leaks)
@@ -189,6 +200,10 @@ func (s CorpusStats) Render() string {
 	sort.Strings(sinks)
 	for _, k := range sinks {
 		fmt.Fprintf(&sb, "  leaks into %-12s %d\n", k+":", s.BySink[k])
+	}
+	if len(s.Passes) > 0 {
+		fmt.Fprintf(&sb, "  pipeline passes: %d runs, %d artifact reuses (%s)\n",
+			s.Passes.TotalRuns(), s.Passes.TotalHits(), s.Passes)
 	}
 	if s.Recovered+s.TimedOut+s.Exhausted+s.Errors+s.Degraded+s.Incomplete > 0 {
 		fmt.Fprintf(&sb, "  abnormal outcomes: %d recovered, %d timed out, %d budget-exhausted, %d errors, %d degraded, %d never attempted\n",

@@ -56,9 +56,18 @@ func (r *Result) Total() int {
 }
 
 // Discover runs callback discovery for every enabled component of the
-// app. A cancelled context cuts the fixed-point iteration short; the
-// result then covers the components processed so far.
+// app, resolving against the app's raw program. A cancelled context cuts
+// the fixed-point iteration short; the result then covers the components
+// processed so far.
 func Discover(ctx context.Context, app *apk.App) *Result {
+	return DiscoverWith(ctx, app, app.Program)
+}
+
+// DiscoverWith runs callback discovery resolving hierarchy and member
+// queries against h — pass a scene.Scene to reuse its precomputed
+// subtype sets and shared resolver across the per-component call graphs
+// the fixed point rebuilds.
+func DiscoverWith(ctx context.Context, app *apk.App, h ir.Hierarchy) *Result {
 	res := &Result{
 		ByComponent: make(map[string][]*ir.Method),
 		Origins:     make(map[*ir.Method]Origin),
@@ -67,14 +76,13 @@ func Discover(ctx context.Context, app *apk.App) *Result {
 		if ctx.Err() != nil {
 			break
 		}
-		cbs := discoverComponent(ctx, app, comp, res.Origins)
+		cbs := discoverComponent(ctx, app, h, comp, res.Origins)
 		res.ByComponent[comp.Class] = cbs
 	}
 	return res
 }
 
-func discoverComponent(ctx context.Context, app *apk.App, comp *apk.Component, origins map[*ir.Method]Origin) []*ir.Method {
-	prog := app.Program
+func discoverComponent(ctx context.Context, app *apk.App, prog ir.Hierarchy, comp *apk.Component, origins map[*ir.Method]Origin) []*ir.Method {
 	cls := prog.Class(comp.Class)
 	if cls == nil {
 		return nil
@@ -104,7 +112,7 @@ func discoverComponent(ctx context.Context, app *apk.App, comp *apk.Component, o
 	}
 
 	// XML-declared click handlers of the layouts this component inflates.
-	for _, layout := range inflatedLayouts(ctx, app, entries) {
+	for _, layout := range inflatedLayouts(ctx, app, prog, entries) {
 		for _, handler := range layout.ClickHandlers() {
 			if m := cls.Method(handler, 1); m != nil && !m.Abstract() {
 				found[m] = true
@@ -149,7 +157,7 @@ func discoverComponent(ctx context.Context, app *apk.App, comp *apk.Component, o
 
 // overridesFramework reports whether m overrides a method declared on a
 // framework (synthetic/stub) superclass.
-func overridesFramework(prog *ir.Program, cls *ir.Class, m *ir.Method) bool {
+func overridesFramework(prog ir.Hierarchy, cls *ir.Class, m *ir.Method) bool {
 	for super := cls.Super; super != ""; {
 		sc := prog.Class(super)
 		if sc == nil {
@@ -166,10 +174,10 @@ func overridesFramework(prog *ir.Program, cls *ir.Class, m *ir.Method) bool {
 // inflatedLayouts returns the layouts referenced by setContentView calls
 // with constant ids in the given methods (and only those — a button click
 // handler is only valid for the activity that hosts the button).
-func inflatedLayouts(ctx context.Context, app *apk.App, entries []*ir.Method) []*apk.Layout {
+func inflatedLayouts(ctx context.Context, app *apk.App, prog ir.Hierarchy, entries []*ir.Method) []*apk.Layout {
 	var out []*apk.Layout
 	seen := make(map[string]bool)
-	g := callgraph.BuildCHA(ctx, app.Program, entries...)
+	g := callgraph.BuildCHA(ctx, prog, entries...)
 	for _, m := range g.Reachable() {
 		for _, s := range m.Body() {
 			call := ir.CallOf(s)
@@ -200,7 +208,7 @@ func inflatedLayouts(ctx context.Context, app *apk.App, entries []*ir.Method) []
 // registrationsAt inspects a single statement for a call to a framework
 // method that takes a callback interface as a formal parameter, and
 // returns the callback methods of the actual argument's class.
-func registrationsAt(prog *ir.Program, s ir.Stmt) []*ir.Method {
+func registrationsAt(prog ir.Hierarchy, s ir.Stmt) []*ir.Method {
 	call := ir.CallOf(s)
 	if call == nil {
 		return nil
@@ -240,7 +248,7 @@ func registrationsAt(prog *ir.Program, s ir.Stmt) []*ir.Method {
 
 // resolveDeclared resolves the invocation's static target from declared
 // type information.
-func resolveDeclared(prog *ir.Program, call *ir.InvokeExpr) *ir.Method {
+func resolveDeclared(prog ir.Hierarchy, call *ir.InvokeExpr) *ir.Method {
 	cls := call.Ref.Class
 	if call.Kind == ir.VirtualInvoke && call.Base != nil && call.Base.Type.IsRef() {
 		cls = call.Base.Type.Name
@@ -255,7 +263,7 @@ func resolveDeclared(prog *ir.Program, call *ir.InvokeExpr) *ir.Method {
 // may be: the argument's declared class if it implements the interface,
 // otherwise every non-framework implementor of the interface (coarse but
 // sound fallback).
-func implementorsOf(prog *ir.Program, arg *ir.Local, iface string) []string {
+func implementorsOf(prog ir.Hierarchy, arg *ir.Local, iface string) []string {
 	if arg.Type.IsRef() && prog.SubtypeOf(arg.Type.Name, iface) {
 		if c := prog.Class(arg.Type.Name); c != nil && !c.Interface {
 			return []string{arg.Type.Name}

@@ -8,6 +8,7 @@ package callgraph
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"flowdroid/internal/ir"
 )
@@ -121,14 +122,19 @@ func callsIn(m *ir.Method) []ir.Stmt {
 }
 
 // Resolver resolves the possible runtime targets of invocation
-// expressions against a program using declared types and the class
+// expressions against a program model using declared types and the class
 // hierarchy (CHA). The PTA builder refines virtual calls; everything else
-// shares this logic.
+// shares this logic. Resolution is memoized per declared (class, name,
+// arity) site, so a resolver is cheapest when long-lived — the scene
+// layer keeps one per program and hands it to every phase.
 type Resolver struct {
-	prog *ir.Program
+	h ir.Hierarchy
 	// nameIndex maps (name, nargs) to all concrete declarations, for the
 	// fallback when no declared type is available.
 	nameIndex map[nameKey][]*ir.Method
+
+	mu        sync.Mutex
+	virtCache map[virtKey][]*ir.Method
 }
 
 type nameKey struct {
@@ -136,10 +142,26 @@ type nameKey struct {
 	nargs int
 }
 
-// NewResolver builds a resolver (and its name index) for prog.
-func NewResolver(prog *ir.Program) *Resolver {
-	r := &Resolver{prog: prog, nameIndex: make(map[nameKey][]*ir.Method)}
-	for _, c := range prog.Classes() {
+// virtKey identifies a virtual dispatch question: the declared receiver
+// class plus the invoked signature. Every call site with the same key has
+// the same CHA target set.
+type virtKey struct {
+	class string
+	name  string
+	nargs int
+}
+
+// NewResolver builds a resolver (and its name index) over a program
+// model. Passing a cached hierarchy (scene.Scene) makes the subtype and
+// member lookups O(1); passing *ir.Program preserves the historical
+// walk-per-query behaviour.
+func NewResolver(h ir.Hierarchy) *Resolver {
+	r := &Resolver{
+		h:         h,
+		nameIndex: make(map[nameKey][]*ir.Method),
+		virtCache: make(map[virtKey][]*ir.Method),
+	}
+	for _, c := range h.Classes() {
 		for _, m := range c.Methods() {
 			k := nameKey{m.Name, len(m.Params)}
 			r.nameIndex[k] = append(r.nameIndex[k], m)
@@ -148,12 +170,31 @@ func NewResolver(prog *ir.Program) *Resolver {
 	return r
 }
 
+// ResolverProvider is implemented by program models that keep a shared,
+// long-lived resolver (the scene layer). ResolverFor adopts it so the
+// name index and dispatch cache are built once per program instead of
+// once per call-graph construction.
+type ResolverProvider interface {
+	Resolver() *Resolver
+}
+
+// ResolverFor returns h's shared resolver when it provides one, and a
+// fresh resolver otherwise.
+func ResolverFor(h ir.Hierarchy) *Resolver {
+	if rp, ok := h.(ResolverProvider); ok {
+		if r := rp.Resolver(); r != nil {
+			return r
+		}
+	}
+	return NewResolver(h)
+}
+
 // StaticTargets resolves non-virtual calls (static and special invokes)
 // and returns nil for virtual ones.
 func (r *Resolver) StaticTargets(e *ir.InvokeExpr) []*ir.Method {
 	switch e.Kind {
 	case ir.StaticInvoke, ir.SpecialInvoke:
-		if m := r.prog.ResolveMethod(e.Ref.Class, e.Ref.Name, e.Ref.NArgs); m != nil {
+		if m := r.h.ResolveMethod(e.Ref.Class, e.Ref.Name, e.Ref.NArgs); m != nil {
 			return []*ir.Method{m}
 		}
 	}
@@ -163,19 +204,28 @@ func (r *Resolver) StaticTargets(e *ir.InvokeExpr) []*ir.Method {
 // VirtualTargets resolves a virtual call with CHA: every subtype of the
 // declared receiver class contributes the method it would dispatch to. If
 // the declared class is unknown or resolves nothing, it falls back to all
-// same-name declarations program-wide.
+// same-name declarations program-wide. Results are cached per declared
+// site and returned in deterministic (sorted) order; callers must not
+// mutate the returned slice.
 func (r *Resolver) VirtualTargets(e *ir.InvokeExpr) []*ir.Method {
 	declared := e.Ref.Class
 	if e.Base != nil && e.Base.Type.IsRef() {
 		declared = e.Base.Type.Name
 	}
+	k := virtKey{declared, e.Ref.Name, e.Ref.NArgs}
+	r.mu.Lock()
+	cached, ok := r.virtCache[k]
+	r.mu.Unlock()
+	if ok {
+		return cached
+	}
 	targets := make(map[*ir.Method]bool)
-	if declared != "" && r.prog.Class(declared) != nil {
-		for _, sub := range r.prog.SubtypesOf(declared) {
-			if c := r.prog.Class(sub); c != nil && c.Interface {
+	if declared != "" && r.h.Class(declared) != nil {
+		for _, sub := range r.h.SubtypesOf(declared) {
+			if c := r.h.Class(sub); c != nil && c.Interface {
 				continue
 			}
-			if m := r.prog.ResolveMethod(sub, e.Ref.Name, e.Ref.NArgs); m != nil {
+			if m := r.h.ResolveMethod(sub, e.Ref.Name, e.Ref.NArgs); m != nil {
 				targets[m] = true
 			}
 		}
@@ -190,6 +240,9 @@ func (r *Resolver) VirtualTargets(e *ir.InvokeExpr) []*ir.Method {
 		out = append(out, m)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	r.mu.Lock()
+	r.virtCache[k] = out
+	r.mu.Unlock()
 	return out
 }
 
@@ -207,16 +260,17 @@ func (r *Resolver) TargetsOf(e *ir.InvokeExpr) []*ir.Method {
 // DispatchOn resolves a virtual call for a single concrete receiver type,
 // as the points-to builder does per allocation site.
 func (r *Resolver) DispatchOn(runtimeClass string, e *ir.InvokeExpr) *ir.Method {
-	return r.prog.ResolveMethod(runtimeClass, e.Ref.Name, e.Ref.NArgs)
+	return r.h.ResolveMethod(runtimeClass, e.Ref.Name, e.Ref.NArgs)
 }
 
 // BuildCHA constructs a call graph by class-hierarchy analysis from the
 // given entry points, exploring only methods with bodies. A cancelled
 // context stops the exploration early and yields the partial graph built
-// so far.
-func BuildCHA(ctx context.Context, prog *ir.Program, entries ...*ir.Method) *Graph {
+// so far. When h carries a shared resolver (scene.Scene), it is reused
+// instead of re-indexing the program.
+func BuildCHA(ctx context.Context, h ir.Hierarchy, entries ...*ir.Method) *Graph {
 	g := NewGraph(entries...)
-	r := NewResolver(prog)
+	r := ResolverFor(h)
 	seen := make(map[*ir.Method]bool)
 	work := append([]*ir.Method(nil), entries...)
 	steps := 0

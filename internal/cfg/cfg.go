@@ -7,6 +7,9 @@
 package cfg
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"flowdroid/internal/callgraph"
 	"flowdroid/internal/ir"
 )
@@ -69,29 +72,96 @@ func (c *MethodCFG) stmtsAt(idx []int) []ir.Stmt {
 	return out
 }
 
-// ICFG is the interprocedural control-flow graph: per-method CFGs stitched
-// together by a call graph. CFGs are built lazily and cached.
-type ICFG struct {
-	Prog  *ir.Program
-	Graph *callgraph.Graph
-
+// Cache is a concurrency-safe store of per-method CFGs. It can be shared
+// across ICFGs (the scene layer shares one per program, so degrade-ladder
+// retries and call-graph swaps never rebuild a method's CFG) and is safe
+// for the parallel IFDS workers that reach CFGOf concurrently.
+type Cache struct {
+	mu   sync.RWMutex
 	cfgs map[*ir.Method]*MethodCFG
+
+	hits, misses atomic.Int64
 }
 
-// NewICFG wraps a program and call graph into an ICFG.
-func NewICFG(prog *ir.Program, g *callgraph.Graph) *ICFG {
-	return &ICFG{Prog: prog, Graph: g, cfgs: make(map[*ir.Method]*MethodCFG)}
+// NewCache creates an empty CFG cache.
+func NewCache() *Cache {
+	return &Cache{cfgs: make(map[*ir.Method]*MethodCFG)}
+}
+
+// CFGOf returns the cached CFG of m, building it on first use.
+func (c *Cache) CFGOf(m *ir.Method) *MethodCFG {
+	c.mu.RLock()
+	cached := c.cfgs[m]
+	c.mu.RUnlock()
+	if cached != nil {
+		c.hits.Add(1)
+		return cached
+	}
+	built := New(m)
+	c.mu.Lock()
+	if prior, ok := c.cfgs[m]; ok {
+		// Another goroutine built it first; keep one canonical CFG.
+		built = prior
+	} else {
+		c.cfgs[m] = built
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return built
+}
+
+// Prebuild populates the cache for the given methods up front.
+func (c *Cache) Prebuild(methods []*ir.Method) {
+	for _, m := range methods {
+		if !m.Abstract() {
+			c.CFGOf(m)
+		}
+	}
+}
+
+// Stats returns the cumulative hit and miss (= build) counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached CFGs.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.cfgs)
+}
+
+// CacheProvider is implemented by program models (the scene layer) that
+// carry a shared CFG cache; NewICFG adopts it instead of creating a
+// private one.
+type CacheProvider interface {
+	CFGs() *Cache
+}
+
+// ICFG is the interprocedural control-flow graph: per-method CFGs stitched
+// together by a call graph. CFGs are built lazily through a synchronized
+// cache, so the parallel IFDS workers may query concurrently.
+type ICFG struct {
+	Prog  ir.Hierarchy
+	Graph *callgraph.Graph
+
+	cache *Cache
+}
+
+// NewICFG wraps a program model and call graph into an ICFG. When the
+// model carries a shared CFG cache (scene.Scene does), that cache is
+// adopted, so successive ICFGs over the same program reuse every CFG
+// already built.
+func NewICFG(h ir.Hierarchy, g *callgraph.Graph) *ICFG {
+	cache := NewCache()
+	if cp, ok := h.(CacheProvider); ok {
+		cache = cp.CFGs()
+	}
+	return &ICFG{Prog: h, Graph: g, cache: cache}
 }
 
 // CFGOf returns the (cached) intraprocedural CFG of m.
-func (g *ICFG) CFGOf(m *ir.Method) *MethodCFG {
-	if c, ok := g.cfgs[m]; ok {
-		return c
-	}
-	c := New(m)
-	g.cfgs[m] = c
-	return c
-}
+func (g *ICFG) CFGOf(m *ir.Method) *MethodCFG { return g.cache.CFGOf(m) }
 
 // SuccsOf returns the intraprocedural successors of s (the return sites
 // when s is a call).

@@ -1,0 +1,82 @@
+package cfg
+
+import (
+	"sync"
+	"testing"
+
+	"flowdroid/internal/ir"
+	"flowdroid/internal/irtext"
+)
+
+const raceSrc = `
+class R {
+  static method a(): void {
+    R.b()
+    return
+  }
+  static method b(): void {
+    R.c()
+    return
+  }
+  static method c(): void {
+    x = 1
+    if * goto done
+    goto done
+  done:
+    return
+  }
+}
+`
+
+// TestCFGOfConcurrent is the -race regression test for the lazy CFG
+// cache: the parallel IFDS workers reach ICFG.CFGOf from many goroutines
+// at once, so the cache must be synchronized and must hand every caller
+// the same canonical CFG per method.
+func TestCFGOfConcurrent(t *testing.T) {
+	prog, err := irtext.ParseProgram(raceSrc, "race.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var methods []*ir.Method
+	for _, name := range []string{"a", "b", "c"} {
+		methods = append(methods, prog.Class("R").Method(name, 0))
+	}
+	cache := NewCache()
+	const workers = 16
+	got := make([][]*MethodCFG, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 100; round++ {
+				for _, m := range methods {
+					c := cache.CFGOf(m)
+					if round == 0 {
+						got[w] = append(got[w], c)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every worker must have observed the same canonical CFG pointers.
+	for w := 1; w < workers; w++ {
+		for i := range methods {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d saw a different CFG for %s", w, methods[i])
+			}
+		}
+	}
+	hits, misses := cache.Stats()
+	if misses < int64(len(methods)) {
+		t.Errorf("misses = %d, want >= %d (one build per method)", misses, len(methods))
+	}
+	if hits == 0 {
+		t.Error("expected cache hits after the first round")
+	}
+	if cache.Len() != len(methods) {
+		t.Errorf("cache holds %d CFGs, want %d", cache.Len(), len(methods))
+	}
+}

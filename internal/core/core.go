@@ -24,6 +24,7 @@ import (
 	"flowdroid/internal/irtext"
 	"flowdroid/internal/lifecycle"
 	"flowdroid/internal/pta"
+	"flowdroid/internal/scene"
 	"flowdroid/internal/sourcesink"
 	"flowdroid/internal/taint"
 )
@@ -80,6 +81,10 @@ type Result struct {
 	Degraded []string
 	// Counters are the per-stage effort counters, partial on truncation.
 	Counters Counters
+	// Passes records, per pipeline pass, how often it executed versus
+	// reused its memoized artifact across this run (including any
+	// degradation retries).
+	Passes PassStats
 
 	// Timings per pipeline stage.
 	SetupTime time.Duration
@@ -94,11 +99,17 @@ func (r *Result) Leaks() []*taint.Leak { return r.Taint.DistinctSourceSinkPairs(
 // partial result is returned with Status == DeadlineExceeded. A panic in
 // any stage is recovered into Status == Recovered. Load and
 // configuration problems are still reported as ordinary errors.
+//
+// The run is driven through one memoizing pipeline: the degradation
+// ladder re-executes only the passes each rung actually invalidates (the
+// CHA rung rebuilds call graph and ICFG; access-path-length rungs re-run
+// taint alone), which Result.Passes makes observable.
 func AnalyzeApp(ctx context.Context, app *apk.App, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res, err := analyzeOnce(ctx, app, opts)
+	pl := newPipeline(app)
+	res, err := pl.run(ctx, opts)
 	if err != nil || !opts.Degrade {
 		return res, err
 	}
@@ -111,7 +122,7 @@ func AnalyzeApp(ctx context.Context, app *apk.App, opts Options) (*Result, error
 			break
 		}
 		step.apply(&opts)
-		next, err := analyzeOnce(ctx, app, opts)
+		next, err := pl.run(ctx, opts)
 		if err != nil {
 			break // keep the best partial result we have
 		}
@@ -119,99 +130,11 @@ func AnalyzeApp(ctx context.Context, app *apk.App, opts Options) (*Result, error
 		res = next
 	}
 	res.Degraded = degraded
+	res.Passes = pl.snapshot()
 	return res, nil
 }
 
-// analyzeOnce is one pipeline attempt under one configuration. Panics in
-// any stage are converted into a Recovered result carrying the stages
-// that finished before the panic.
-func analyzeOnce(ctx context.Context, app *apk.App, opts Options) (res *Result, err error) {
-	start := time.Now()
-	res = &Result{App: app, Status: Complete, Taint: &taint.Results{}}
-	stage := "callbacks"
-	defer func() {
-		if r := recover(); r != nil {
-			res.Status = Recovered
-			res.Failure = &Failure{Stage: stage, Value: r, Stack: stackTrace()}
-			res.SetupTime = time.Since(start)
-			err = nil
-		}
-	}()
-	truncated := func() *Result {
-		res.Status = DeadlineExceeded
-		res.SetupTime = time.Since(start)
-		return res
-	}
-
-	cbs := callbacks.Discover(ctx, app)
-	res.Callbacks = cbs
-	if ctx.Err() != nil {
-		return truncated(), nil
-	}
-
-	stage = "lifecycle"
-	// A degradation retry analyzes the same loaded app again; the dummy
-	// main is already registered in its program and the lifecycle options
-	// never change between rungs, so reuse it instead of regenerating.
-	var entry *ir.Method
-	if c := app.Program.Class(lifecycle.DummyMainClass); c != nil {
-		entry = c.Method("dummyMain", 0)
-	}
-	if entry == nil {
-		entry, err = lifecycle.Generate(app, cbs, opts.Lifecycle)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-	}
-	res.EntryPoint = entry
-
-	stage = "callgraph"
-	var graph *callgraph.Graph
-	if opts.UseCHA {
-		graph = callgraph.BuildCHA(ctx, app.Program, entry)
-	} else {
-		ptaRes := pta.Build(ctx, app.Program, entry)
-		graph = ptaRes.Graph
-		res.Counters.PTAPropagations = ptaRes.Propagations
-	}
-	res.CallGraph = graph
-	res.Counters.CallGraphEdges = graph.NumEdges()
-	if ctx.Err() != nil {
-		return truncated(), nil
-	}
-
-	stage = "icfg"
-	icfg := cfg.NewICFG(app.Program, graph)
-
-	stage = "sourcesink"
-	mgr, err := manager(app.Program, opts)
-	if err != nil {
-		return nil, err
-	}
-	mgr.AttachApp(app)
-
-	res.SetupTime = time.Since(start)
-	tstart := time.Now()
-
-	stage = "taint"
-	tc := opts.Taint
-	if opts.MaxPropagations > 0 {
-		tc.MaxPropagations = opts.MaxPropagations
-	}
-	tres := taint.Analyze(ctx, icfg, mgr, tc, entry)
-	res.Taint = tres
-	res.TaintTime = time.Since(tstart)
-	countersFromTaint(&res.Counters, tres.Stats)
-	switch tres.Status {
-	case taint.Cancelled:
-		res.Status = DeadlineExceeded
-	case taint.BudgetExhausted:
-		res.Status = BudgetExhausted
-	}
-	return res, nil
-}
-
-func manager(prog *ir.Program, opts Options) (*sourcesink.Manager, error) {
+func manager(prog ir.Hierarchy, opts Options) (*sourcesink.Manager, error) {
 	if opts.SourceSinkRules == "" {
 		return sourcesink.Default(prog), nil
 	}
@@ -267,12 +190,13 @@ func AnalyzeJava(ctx context.Context, prog *ir.Program, rules string, conf taint
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	mgr, err := sourcesink.Parse(prog, rules)
+	sc := scene.New(prog)
+	mgr, err := sourcesink.Parse(sc, rules)
 	if err != nil {
 		return nil, err
 	}
-	graph := pta.Build(ctx, prog, entries...).Graph
-	icfg := cfg.NewICFG(prog, graph)
+	graph := pta.Build(ctx, sc, entries...).Graph
+	icfg := cfg.NewICFG(sc, graph)
 	return taint.Analyze(ctx, icfg, mgr, conf, entries...), nil
 }
 

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"flowdroid/internal/apk"
+	"flowdroid/internal/callbacks"
+	"flowdroid/internal/callgraph"
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/ir"
+	"flowdroid/internal/lifecycle"
+	"flowdroid/internal/pta"
+	"flowdroid/internal/scene"
+	"flowdroid/internal/sourcesink"
+	"flowdroid/internal/taint"
+)
+
+// PassStat counts how often a pipeline pass actually executed (Runs) and
+// how often its memoized artifact was reused instead (Hits). The degrade
+// ladder is the main consumer: an access-path-length rung must re-run
+// only the taint pass, so every upstream pass records a hit.
+type PassStat struct {
+	Runs int `json:"runs"`
+	Hits int `json:"hits"`
+}
+
+// PassStats maps pass names (scene, callbacks, lifecycle, callgraph,
+// icfg, sourcesink, taint) to their run/hit counters.
+type PassStats map[string]PassStat
+
+// TotalRuns sums the Runs of every pass.
+func (ps PassStats) TotalRuns() int {
+	n := 0
+	for _, st := range ps {
+		n += st.Runs
+	}
+	return n
+}
+
+// TotalHits sums the Hits of every pass.
+func (ps PassStats) TotalHits() int {
+	n := 0
+	for _, st := range ps {
+		n += st.Hits
+	}
+	return n
+}
+
+// String renders the stats as "pass runs/hits" pairs in name order.
+func (ps PassStats) String() string {
+	names := make([]string, 0, len(ps))
+	for n := range ps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s %d run(s)/%d hit(s)", n, ps[n].Runs, ps[n].Hits)
+	}
+	return out
+}
+
+// artifact is one memoized pass product. key fingerprints the
+// configuration the value was built under; a run whose key matches reuses
+// the value, a differing key invalidates and rebuilds. built is cleared
+// when a pass was cut short (context expiry) so a partial artifact is
+// never reused.
+type artifact[T any] struct {
+	built bool
+	key   string
+	val   T
+}
+
+// pipeline owns the per-app analysis state shared across attempts: the
+// scene (cached program model) plus the memoized artifacts of every
+// pass. AnalyzeApp creates one pipeline and re-runs it down the degrade
+// ladder; only passes whose configuration a rung actually changes are
+// re-executed. This is the explicit pass graph (Figure 4 of the paper)
+// with its dependency keys:
+//
+//	scene      : program identity (built once, refreshed after dummy main)
+//	callbacks  : no configuration
+//	lifecycle  : Options.Lifecycle
+//	callgraph  : Options.UseCHA
+//	icfg       : the call-graph artifact it stitches
+//	sourcesink : Options.SourceSinkRules
+//	taint      : always runs (it is the pass being retried)
+type pipeline struct {
+	app *apk.App
+	sc  *scene.Scene
+
+	stats map[string]*PassStat
+
+	cbs   artifact[*callbacks.Result]
+	entry artifact[*ir.Method]
+	graph artifact[cgArtifact]
+	icfg  artifact[*cfg.ICFG]
+	mgr   artifact[*sourcesink.Manager]
+}
+
+// cgArtifact is the call-graph pass product: the graph plus the
+// points-to effort spent building it (zero under CHA).
+type cgArtifact struct {
+	graph    *callgraph.Graph
+	ptaProps int
+}
+
+func newPipeline(app *apk.App) *pipeline {
+	return &pipeline{app: app, stats: make(map[string]*PassStat)}
+}
+
+func (pl *pipeline) stat(name string) *PassStat {
+	st := pl.stats[name]
+	if st == nil {
+		st = &PassStat{}
+		pl.stats[name] = st
+	}
+	return st
+}
+
+// snapshot copies the counters into an exported PassStats.
+func (pl *pipeline) snapshot() PassStats {
+	out := make(PassStats, len(pl.stats))
+	for n, st := range pl.stats {
+		out[n] = *st
+	}
+	return out
+}
+
+// memo returns the cached artifact when its key matches, otherwise runs
+// build and caches the result. Errors and panics leave the artifact
+// unbuilt.
+func memo[T any](pl *pipeline, name, key string, a *artifact[T], build func() (T, error)) (T, error) {
+	st := pl.stat(name)
+	if a.built && a.key == key {
+		st.Hits++
+		return a.val, nil
+	}
+	st.Runs++
+	a.built = false
+	v, err := build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	a.built, a.key, a.val = true, key, v
+	return v, nil
+}
+
+// run is one pipeline attempt under one configuration, reusing every
+// artifact the configuration does not invalidate. Panics in any pass are
+// converted into a Recovered result carrying the passes that finished
+// before the panic.
+func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err error) {
+	start := time.Now()
+	res = &Result{App: pl.app, Status: Complete, Taint: &taint.Results{}}
+	stage := "scene"
+	defer func() {
+		if r := recover(); r != nil {
+			res.Status = Recovered
+			res.Failure = &Failure{Stage: stage, Value: r, Stack: stackTrace()}
+			res.SetupTime = time.Since(start)
+			res.Passes = pl.snapshot()
+			err = nil
+		}
+	}()
+	truncated := func() *Result {
+		res.Status = DeadlineExceeded
+		res.SetupTime = time.Since(start)
+		res.Passes = pl.snapshot()
+		return res
+	}
+
+	// Scene: the shared program model, built once per app.
+	if pl.sc == nil {
+		pl.stat("scene").Runs++
+		pl.sc = scene.New(pl.app.Program)
+	} else {
+		pl.stat("scene").Hits++
+	}
+
+	stage = "callbacks"
+	cbs, _ := memo(pl, "callbacks", "", &pl.cbs, func() (*callbacks.Result, error) {
+		return callbacks.DiscoverWith(ctx, pl.app, pl.sc), nil
+	})
+	res.Callbacks = cbs
+	if ctx.Err() != nil {
+		pl.cbs.built = false // partial discovery must not be reused
+		return truncated(), nil
+	}
+
+	stage = "lifecycle"
+	entry, err := memo(pl, "lifecycle", fmt.Sprintf("%+v", opts.Lifecycle), &pl.entry,
+		func() (*ir.Method, error) {
+			// The dummy main may already exist in the program (a previous
+			// AnalyzeApp call on the same app); the lifecycle options
+			// never change between ladder rungs, so reuse it.
+			if c := pl.app.Program.Class(lifecycle.DummyMainClass); c != nil {
+				if m := c.Method("dummyMain", 0); m != nil {
+					return m, nil
+				}
+			}
+			m, err := lifecycle.GenerateWith(pl.app, cbs, pl.sc, opts.Lifecycle)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			// Generation added the dummy-main class to the program.
+			pl.sc.Refresh()
+			return m, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.EntryPoint = entry
+
+	stage = "callgraph"
+	cgKey := "pta"
+	if opts.UseCHA {
+		cgKey = "cha"
+	}
+	cg, _ := memo(pl, "callgraph", cgKey, &pl.graph, func() (cgArtifact, error) {
+		if opts.UseCHA {
+			return cgArtifact{graph: callgraph.BuildCHA(ctx, pl.sc, entry)}, nil
+		}
+		p := pta.Build(ctx, pl.sc, entry)
+		return cgArtifact{graph: p.Graph, ptaProps: p.Propagations}, nil
+	})
+	res.CallGraph = cg.graph
+	res.Counters.PTAPropagations = cg.ptaProps
+	res.Counters.CallGraphEdges = cg.graph.NumEdges()
+	if ctx.Err() != nil {
+		pl.graph.built = false // partial call graph must not be reused
+		return truncated(), nil
+	}
+
+	stage = "icfg"
+	// The ICFG is valid exactly as long as the graph artifact it
+	// stitches; the per-method CFGs inside it are shared via the scene
+	// regardless.
+	icfg, _ := memo(pl, "icfg", fmt.Sprintf("%s@%p", cgKey, cg.graph), &pl.icfg,
+		func() (*cfg.ICFG, error) {
+			return cfg.NewICFG(pl.sc, cg.graph), nil
+		})
+
+	stage = "sourcesink"
+	mgr, err := memo(pl, "sourcesink", opts.SourceSinkRules, &pl.mgr,
+		func() (*sourcesink.Manager, error) {
+			m, err := manager(pl.sc, opts)
+			if err != nil {
+				return nil, err
+			}
+			m.AttachApp(pl.app)
+			return m, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res.SetupTime = time.Since(start)
+	tstart := time.Now()
+
+	stage = "taint"
+	pl.stat("taint").Runs++
+	tc := opts.Taint
+	if opts.MaxPropagations > 0 {
+		tc.MaxPropagations = opts.MaxPropagations
+	}
+	tres := taint.Analyze(ctx, icfg, mgr, tc, entry)
+	res.Taint = tres
+	res.TaintTime = time.Since(tstart)
+	countersFromTaint(&res.Counters, tres.Stats)
+	switch tres.Status {
+	case taint.Cancelled:
+		res.Status = DeadlineExceeded
+	case taint.BudgetExhausted:
+		res.Status = BudgetExhausted
+	}
+	res.Passes = pl.snapshot()
+	return res, nil
+}

@@ -42,8 +42,8 @@ func (s Status) String() string {
 
 // Failure describes a panic that a pipeline stage recovered from.
 type Failure struct {
-	// Stage is the pipeline stage that panicked (callbacks, lifecycle,
-	// callgraph, icfg, sourcesink, taint).
+	// Stage is the pipeline stage that panicked (scene, callbacks,
+	// lifecycle, callgraph, icfg, sourcesink, taint).
 	Stage string
 	// Value is the recovered panic value.
 	Value any

@@ -17,10 +17,20 @@ import (
 
 // stressApp generates the oversized appgen app the resilience tests run
 // against: expensive enough that a millisecond deadline or a small
-// propagation budget interrupts the analysis mid-flight.
+// propagation budget interrupts the analysis mid-flight. The profile
+// doubles appgen.Stress: with the scene's cached hierarchy the stock
+// stress app completes in under a millisecond on a warm run, which would
+// let the deadline test race with a legitimately finished analysis.
 func stressApp(t testing.TB) appgen.App {
 	t.Helper()
-	return appgen.Generate(rand.New(rand.NewSource(99)), appgen.Stress, 0)
+	p := appgen.Stress
+	p.Activities = appgen.MinMax(24, 24)
+	p.Services = appgen.MinMax(8, 8)
+	p.Receivers = appgen.MinMax(6, 6)
+	p.Helpers = appgen.MinMax(50, 50)
+	p.NoiseMethods = appgen.MinMax(10, 10)
+	p.NoiseStmts = appgen.MinMax(20, 30)
+	return appgen.Generate(rand.New(rand.NewSource(99)), p, 0)
 }
 
 // TestDeadlineExceededPromptly: a 1ms deadline on the stress app must

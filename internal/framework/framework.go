@@ -70,7 +70,7 @@ func BaseClass(k ComponentKind) string {
 }
 
 // KindOf classifies a class by walking its superclass chain.
-func KindOf(prog *ir.Program, class string) ComponentKind {
+func KindOf(prog ir.Hierarchy, class string) ComponentKind {
 	switch {
 	case prog.SubtypeOf(class, ActivityClass):
 		return Activity

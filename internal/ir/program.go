@@ -56,6 +56,7 @@ func (p *Program) SubtypeOf(sub, super string) bool {
 }
 
 func (p *Program) subtypeOf(sub, super string, seen map[string]bool) bool {
+	subtypeWalks.Add(1)
 	if sub == super {
 		return true
 	}

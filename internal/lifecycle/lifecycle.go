@@ -84,6 +84,13 @@ func FlatOptions() Options {
 // Generate synthesizes the dummy main method for the app and registers its
 // class in the app's program. It returns the entry method.
 func Generate(app *apk.App, cbs *callbacks.Result, opts Options) (*ir.Method, error) {
+	return GenerateWith(app, cbs, app.Program, opts)
+}
+
+// GenerateWith is Generate resolving hierarchy queries against h — pass
+// a scene.Scene to reuse its caches. The scene must be Refreshed
+// afterwards, since generation adds the dummy-main class to the program.
+func GenerateWith(app *apk.App, cbs *callbacks.Result, h ir.Hierarchy, opts Options) (*ir.Method, error) {
 	prog := app.Program
 	if prog.Class(DummyMainClass) != nil {
 		return nil, fmt.Errorf("lifecycle: %s already generated", DummyMainClass)
@@ -92,7 +99,7 @@ func Generate(app *apk.App, cbs *callbacks.Result, opts Options) (*ir.Method, er
 	cb.Class().Synthetic = true
 	mb := cb.StaticMethod("dummyMain", ir.Void)
 
-	g := &generator{app: app, cbs: cbs, mb: mb, opts: opts}
+	g := &generator{app: app, h: h, cbs: cbs, mb: mb, opts: opts}
 	g.emit()
 
 	mb.Done()
@@ -107,6 +114,7 @@ func Generate(app *apk.App, cbs *callbacks.Result, opts Options) (*ir.Method, er
 
 type generator struct {
 	app  *apk.App
+	h    ir.Hierarchy
 	cbs  *callbacks.Result
 	mb   *ir.MethodBuilder
 	opts Options
@@ -188,10 +196,10 @@ func (g *generator) callbacksOf(comp *apk.Component) []*ir.Method {
 // emitted unconditionally at the head of the dummy main.
 func (g *generator) emitApplication() {
 	name := g.app.Manifest.Application
-	if name == "" || g.app.Program.Class(name) == nil {
+	if name == "" || g.h.Class(name) == nil {
 		return
 	}
-	if !g.app.Program.SubtypeOf(name, "android.app.Application") {
+	if !g.h.SubtypeOf(name, "android.app.Application") {
 		return
 	}
 	a := g.newLocal("app", name)

@@ -113,7 +113,7 @@ type callC struct {
 
 type analysis struct {
 	ctx     context.Context
-	prog    *ir.Program
+	prog    ir.Hierarchy
 	res     *callgraph.Resolver
 	graph   *callgraph.Graph
 	objs    []Obj
@@ -141,12 +141,14 @@ type edgeKey struct {
 // Build runs the analysis from the given entry methods and returns the
 // points-to result with its on-the-fly call graph. When the context is
 // cancelled mid-solve the result is marked Truncated and carries the
-// partial call graph computed so far.
-func Build(ctx context.Context, prog *ir.Program, entries ...*ir.Method) *Result {
+// partial call graph computed so far. Passing a cached hierarchy
+// (scene.Scene) reuses its shared resolver; passing *ir.Program builds a
+// private one.
+func Build(ctx context.Context, prog ir.Hierarchy, entries ...*ir.Method) *Result {
 	a := &analysis{
 		ctx:     ctx,
 		prog:    prog,
-		res:     callgraph.NewResolver(prog),
+		res:     callgraph.ResolverFor(prog),
 		graph:   callgraph.NewGraph(entries...),
 		objIDs:  make(map[ir.Stmt]int),
 		pts:     make(map[node]objset),

@@ -67,7 +67,7 @@ func (s Sink) String() string {
 // Manager answers "is this call a source/sink?" queries for the taint
 // analysis.
 type Manager struct {
-	prog    *ir.Program
+	prog    ir.Hierarchy
 	sources []Source
 	sinks   []Sink
 
@@ -78,8 +78,10 @@ type Manager struct {
 	pwdIDs         map[int64]bool
 }
 
-// NewManager creates a manager over prog with the given rules.
-func NewManager(prog *ir.Program, sources []Source, sinks []Sink) *Manager {
+// NewManager creates a manager over a program model with the given
+// rules. Pass a scene.Scene to answer the subtype checks of rule
+// matching from its precomputed sets.
+func NewManager(prog ir.Hierarchy, sources []Source, sinks []Sink) *Manager {
 	return &Manager{
 		prog:           prog,
 		sources:        sources,
@@ -91,7 +93,7 @@ func NewManager(prog *ir.Program, sources []Source, sinks []Sink) *Manager {
 }
 
 // Default creates a manager with the built-in Android source/sink rules.
-func Default(prog *ir.Program) *Manager {
+func Default(prog ir.Hierarchy) *Manager {
 	m, err := Parse(prog, DefaultRules)
 	if err != nil {
 		panic("sourcesink: built-in rules do not parse: " + err.Error())
@@ -268,7 +270,7 @@ func (m *Manager) ensureWidgets(method *ir.Method) {
 //
 // Lines starting with # and blank lines are ignored. An optional trailing
 // "label NAME" names the rule.
-func Parse(prog *ir.Program, text string) (*Manager, error) {
+func Parse(prog ir.Hierarchy, text string) (*Manager, error) {
 	m := NewManager(prog, nil, nil)
 	sc := bufio.NewScanner(strings.NewReader(text))
 	lineNo := 0

@@ -65,7 +65,7 @@ func (w *Wrapper) Add(r WrapperRule) {
 // if the method is not modeled (callers then fall back to the native-call
 // default). Class matching is by subtype in either direction, so a rule on
 // java.util.List applies to calls through ArrayList and vice versa.
-func (w *Wrapper) RulesFor(prog *ir.Program, call *ir.InvokeExpr) []WrapperRule {
+func (w *Wrapper) RulesFor(prog ir.Hierarchy, call *ir.InvokeExpr) []WrapperRule {
 	candidates := w.rules[ruleKey(call.Ref.Name, call.Ref.NArgs)]
 	if len(candidates) == 0 {
 		return nil
@@ -85,7 +85,7 @@ func (w *Wrapper) RulesFor(prog *ir.Program, call *ir.InvokeExpr) []WrapperRule 
 }
 
 // Has reports whether any rule exists for the invocation.
-func (w *Wrapper) Has(prog *ir.Program, call *ir.InvokeExpr) bool {
+func (w *Wrapper) Has(prog ir.Hierarchy, call *ir.InvokeExpr) bool {
 	return len(w.RulesFor(prog, call)) > 0
 }
 

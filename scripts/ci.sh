@@ -17,4 +17,7 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> bench smoke (one-shot, compile + run sanity)"
+go test -bench Smoke -benchtime=1x -run '^$' .
+
 echo "CI OK"

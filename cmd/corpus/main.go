@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"flowdroid/internal/appgen"
 )
@@ -33,6 +34,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "per-app analysis deadline (0 = none)")
 		maxProps   = flag.Int("max-propagations", 0, "per-app taint-propagation budget (0 = unlimited)")
 		degrade    = flag.Bool("degrade", false, "retry budget-exhausted apps with cheaper configurations")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "per-app taint solver worker-pool size (<=1 = sequential)")
 		forcePanic = flag.String("force-panic", "", "inject a panic while analyzing the named app (tests batch isolation)")
 	)
 	flag.Parse()
@@ -60,6 +62,7 @@ func main() {
 		Timeout:         *timeout,
 		MaxPropagations: *maxProps,
 		Degrade:         *degrade,
+		Workers:         *workers,
 		FaultInject:     *forcePanic,
 	}
 	stats, err := appgen.RunCorpusWith(context.Background(), p, *n, *seed, ro)

@@ -18,8 +18,16 @@
 //	0  analysis complete, no leaks
 //	1  analysis complete, leaks found
 //	2  analysis error or incomplete result (timeout, exhausted budget,
-//	   recovered panic)
+//	   leak cap reached, recovered panic)
 //	64 usage error (bad flags or arguments)
+//
+// A LeakLimitReached status (the -max-leaks style cap configured through
+// the library's Taint.MaxLeaks) exits 2 like any other truncated run: the
+// reported leaks are real but the set is not exhaustive.
+//
+// -workers sets the taint solver's worker-pool size (default GOMAXPROCS).
+// The distinct leak report is identical at any worker count; only the
+// path witnesses (-paths) may pick different derivations.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"flowdroid/internal/core"
@@ -55,6 +64,7 @@ type jsonReport struct {
 		PathEdges        int `json:"pathEdges"`
 		Summaries        int `json:"summaries"`
 		PeakAbstractions int `json:"peakAbstractions"`
+		Workers          int `json:"workers"`
 	} `json:"counters"`
 	// Passes reports per-pipeline-pass execution vs. memoized-artifact
 	// reuse (runs/hits), non-trivial when -degrade retried the analysis.
@@ -83,6 +93,7 @@ func main() {
 		timeout     = flags.Duration("timeout", 0, "abort the analysis after this long and report the partial result (0 = no limit)")
 		maxProps    = flags.Int("max-propagations", 0, "taint-propagation budget; 0 = unlimited")
 		degrade     = flags.Bool("degrade", false, "on budget exhaustion retry with cheaper configurations (CHA, shorter access paths)")
+		workers     = flags.Int("workers", runtime.GOMAXPROCS(0), "taint solver worker-pool size (<=1 = sequential)")
 	)
 	flags.SetOutput(os.Stderr)
 	if err := flags.Parse(os.Args[1:]); err != nil {
@@ -99,6 +110,7 @@ func main() {
 	opts.UseCHA = *useCHA
 	opts.MaxPropagations = *maxProps
 	opts.Degrade = *degrade
+	opts.Taint.Workers = *workers
 	if *noLifecycle {
 		opts.Lifecycle.Mode = lifecycle.CreateOnly
 	}
@@ -151,6 +163,7 @@ func main() {
 		rep.Counters.PathEdges = res.Counters.PathEdges
 		rep.Counters.Summaries = res.Counters.Summaries
 		rep.Counters.PeakAbstractions = res.Counters.PeakAbstractions
+		rep.Counters.Workers = res.Counters.Workers
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -186,7 +199,7 @@ func main() {
 	}
 	if *showStats {
 		st := res.Taint.Stats
-		fmt.Printf("\nsetup %v, taint analysis %v\n", res.SetupTime, res.TaintTime)
+		fmt.Printf("\nsetup %v, taint analysis %v (%d worker(s))\n", res.SetupTime, res.TaintTime, st.Workers)
 		fmt.Printf("forward edges %d, backward edges %d, alias queries %d, summaries %d, peak abstractions %d\n",
 			st.ForwardEdges, st.BackwardEdges, st.AliasQueries, st.Summaries, st.PeakAbstractions)
 		if len(res.Passes) > 0 {

@@ -28,12 +28,13 @@ type CorpusStats struct {
 	// Resilience accounting: apps whose analysis was cut short. A
 	// truncated or recovered app never aborts the batch; it is counted
 	// here and detailed in Failures.
-	Recovered  int
-	TimedOut   int
-	Exhausted  int
-	Degraded   int
-	Failures   []string
-	Incomplete int // batch stopped early: apps never attempted
+	Recovered   int
+	TimedOut    int
+	Exhausted   int
+	LeakLimited int
+	Degraded    int
+	Failures    []string
+	Incomplete  int // batch stopped early: apps never attempted
 
 	// Passes aggregates the per-pass run/hit counters across all apps:
 	// cache hits appear whenever the degradation ladder reused memoized
@@ -52,6 +53,10 @@ type RunOptions struct {
 	// Degrade enables the CHA/access-path degradation ladder on budget
 	// exhaustion.
 	Degrade bool
+	// Workers is the per-app taint solver worker-pool size (<=1 =
+	// sequential). The aggregated leak statistics are worker-count-
+	// independent.
+	Workers int
 	// FaultInject names an app whose analysis is made to panic, for
 	// exercising the batch isolation path (chaos testing).
 	FaultInject string
@@ -129,6 +134,9 @@ func RunCorpusWith(ctx context.Context, p Profile, n int, seed int64, ro RunOpti
 		case core.BudgetExhausted:
 			stats.Exhausted++
 			stats.Failures = append(stats.Failures, fmt.Sprintf("%s: propagation budget exhausted", app.Name))
+		case core.LeakLimitReached:
+			stats.LeakLimited++
+			stats.Failures = append(stats.Failures, fmt.Sprintf("%s: leak cap reached (truncated report)", app.Name))
 		}
 		if len(res.Degraded) > 0 {
 			stats.Degraded++
@@ -179,6 +187,7 @@ func analyzeOne(ctx context.Context, app App, ro RunOptions) (res *core.Result, 
 	opts := core.DefaultOptions()
 	opts.MaxPropagations = ro.MaxPropagations
 	opts.Degrade = ro.Degrade
+	opts.Taint.Workers = ro.Workers
 	return core.AnalyzeFiles(ctx, app.Files, opts)
 }
 
@@ -205,9 +214,9 @@ func (s CorpusStats) Render() string {
 		fmt.Fprintf(&sb, "  pipeline passes: %d runs, %d artifact reuses (%s)\n",
 			s.Passes.TotalRuns(), s.Passes.TotalHits(), s.Passes)
 	}
-	if s.Recovered+s.TimedOut+s.Exhausted+s.Errors+s.Degraded+s.Incomplete > 0 {
-		fmt.Fprintf(&sb, "  abnormal outcomes: %d recovered, %d timed out, %d budget-exhausted, %d errors, %d degraded, %d never attempted\n",
-			s.Recovered, s.TimedOut, s.Exhausted, s.Errors, s.Degraded, s.Incomplete)
+	if s.Recovered+s.TimedOut+s.Exhausted+s.LeakLimited+s.Errors+s.Degraded+s.Incomplete > 0 {
+		fmt.Fprintf(&sb, "  abnormal outcomes: %d recovered, %d timed out, %d budget-exhausted, %d leak-capped, %d errors, %d degraded, %d never attempted\n",
+			s.Recovered, s.TimedOut, s.Exhausted, s.LeakLimited, s.Errors, s.Degraded, s.Incomplete)
 		for _, f := range s.Failures {
 			fmt.Fprintf(&sb, "    %s\n", f)
 		}

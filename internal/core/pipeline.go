@@ -91,6 +91,12 @@ type artifact[T any] struct {
 //	icfg       : the call-graph artifact it stitches
 //	sourcesink : Options.SourceSinkRules
 //	taint      : always runs (it is the pass being retried)
+//
+// The taint configuration — including Taint.Workers — is deliberately
+// absent from every artifact key: the worker count only changes how the
+// solve is scheduled, never what any upstream pass computes, so changing
+// it between runs on the same pipeline reuses every artifact
+// (fingerprint-neutral).
 type pipeline struct {
 	app *apk.App
 	sc  *scene.Scene
@@ -280,6 +286,8 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 		res.Status = DeadlineExceeded
 	case taint.BudgetExhausted:
 		res.Status = BudgetExhausted
+	case taint.LeakLimitReached:
+		res.Status = LeakLimitReached
 	}
 	res.Passes = pl.snapshot()
 	return res, nil

@@ -24,6 +24,11 @@ const (
 	// Recovered means a stage panicked; the panic was converted into
 	// Result.Failure and the stages completed before it are preserved.
 	Recovered
+	// LeakLimitReached means the taint solve stopped at the configured
+	// MaxLeaks cap; the reported leaks are a truncated set and more may
+	// exist. Unlike BudgetExhausted this is not retried down the degrade
+	// ladder — the cap is a configured cutoff, not a resource failure.
+	LeakLimitReached
 )
 
 func (s Status) String() string {
@@ -36,6 +41,8 @@ func (s Status) String() string {
 		return "BudgetExhausted"
 	case Recovered:
 		return "Recovered"
+	case LeakLimitReached:
+		return "LeakLimitReached"
 	}
 	return "Unknown"
 }
@@ -62,8 +69,8 @@ type Counters struct {
 	CallGraphEdges int
 	// PTAPropagations counts points-to set insertions (zero under CHA).
 	PTAPropagations int
-	// Propagations counts the taint solver's attempted propagations, the
-	// unit MaxPropagations charges.
+	// Propagations counts the taint solver's novel path-edge insertions,
+	// the unit MaxPropagations charges.
 	Propagations int
 	// PathEdges counts distinct forward plus backward path edges.
 	PathEdges int
@@ -71,6 +78,8 @@ type Counters struct {
 	Summaries int
 	// PeakAbstractions is the taint solver's interned fact count.
 	PeakAbstractions int
+	// Workers is the taint solver's worker-pool size (1 = sequential).
+	Workers int
 }
 
 func countersFromTaint(c *Counters, st taint.Stats) {
@@ -78,6 +87,7 @@ func countersFromTaint(c *Counters, st taint.Stats) {
 	c.PathEdges = st.PathEdges()
 	c.Summaries = st.Summaries
 	c.PeakAbstractions = st.PeakAbstractions
+	c.Workers = st.Workers
 }
 
 // stackTrace captures the panicking goroutine's stack for Failure.Stack.

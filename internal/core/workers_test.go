@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"flowdroid/internal/core"
+)
+
+// TestWorkerCountEquivalenceOnApp: the full pipeline must produce a
+// byte-identical canonical leak report and identical solver-effort
+// counters whether the taint solve runs sequentially or on 8 workers.
+func TestWorkerCountEquivalenceOnApp(t *testing.T) {
+	app := stressApp(t)
+	var baseJSON []byte
+	var basePathEdges int
+	for _, w := range []int{1, 8} {
+		opts := core.DefaultOptions()
+		opts.Taint.Workers = w
+		res, err := core.AnalyzeFiles(context.Background(), app.Files, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != core.Complete {
+			t.Fatalf("workers=%d: status %v", w, res.Status)
+		}
+		if res.Counters.Workers != w {
+			t.Errorf("workers=%d: Counters.Workers = %d", w, res.Counters.Workers)
+		}
+		js, err := res.Taint.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w == 1 {
+			baseJSON, basePathEdges = js, res.Counters.PathEdges
+			continue
+		}
+		if !bytes.Equal(baseJSON, js) {
+			t.Errorf("workers=%d: canonical report differs from workers=1:\n%s\nvs\n%s", w, baseJSON, js)
+		}
+		if res.Counters.PathEdges != basePathEdges {
+			t.Errorf("workers=%d: path edges %d, want %d", w, res.Counters.PathEdges, basePathEdges)
+		}
+	}
+}
+
+// TestLeakLimitReachedPropagates: the taint solver's MaxLeaks cutoff must
+// surface as core.LeakLimitReached, and — unlike BudgetExhausted — must
+// not send the run down the degrade ladder even when -degrade is on.
+func TestLeakLimitReachedPropagates(t *testing.T) {
+	app := stressApp(t)
+	opts := core.DefaultOptions()
+	opts.Taint.MaxLeaks = 1
+	opts.Degrade = true
+	res, err := core.AnalyzeFiles(context.Background(), app.Files, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.LeakLimitReached {
+		t.Fatalf("status = %v, want LeakLimitReached", res.Status)
+	}
+	if n := len(res.Taint.Leaks); n != 1 {
+		t.Errorf("recorded %d leaks, want exactly the cap (1)", n)
+	}
+	if len(res.Degraded) != 0 {
+		t.Errorf("leak-capped run took degrade rungs %v; the cap is a cutoff, not a resource failure", res.Degraded)
+	}
+}

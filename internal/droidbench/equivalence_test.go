@@ -1,0 +1,40 @@
+package droidbench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"flowdroid/internal/core"
+)
+
+// TestWorkerCountEquivalence: every DroidBench case must produce a
+// byte-identical canonical leak report with the sequential and the
+// 8-worker taint solver.
+func TestWorkerCountEquivalence(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			var base []byte
+			for _, w := range []int{1, 8} {
+				opts := core.DefaultOptions()
+				opts.Taint.Workers = w
+				res, err := core.AnalyzeFiles(context.Background(), c.Files, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				js, err := res.Taint.CanonicalJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w == 1 {
+					base = js
+					continue
+				}
+				if !bytes.Equal(base, js) {
+					t.Errorf("workers=%d report differs from workers=1:\n%s\nvs\n%s", w, base, js)
+				}
+			}
+		})
+	}
+}

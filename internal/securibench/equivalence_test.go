@@ -1,0 +1,51 @@
+package securibench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"flowdroid/internal/core"
+	"flowdroid/internal/ir"
+)
+
+// TestWorkerCountEquivalence: every SecuriBench case must produce a
+// byte-identical canonical leak report with the sequential and the
+// 8-worker taint solver.
+func TestWorkerCountEquivalence(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			var base []byte
+			for _, w := range []int{1, 8} {
+				prog, err := core.ParseJava(servletStubs+c.Source, c.Name+".ir")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var entries []*ir.Method
+				for _, cls := range prog.Classes() {
+					if m := cls.Method("doGet", 2); m != nil && !m.Abstract() {
+						entries = append(entries, m)
+					}
+				}
+				conf := Config()
+				conf.Workers = w
+				res, err := core.AnalyzeJava(context.Background(), prog, rules, conf, entries...)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				js, err := res.CanonicalJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w == 1 {
+					base = js
+					continue
+				}
+				if !bytes.Equal(base, js) {
+					t.Errorf("workers=%d report differs from workers=1:\n%s\nvs\n%s", w, base, js)
+				}
+			}
+		})
+	}
+}

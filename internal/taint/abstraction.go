@@ -2,6 +2,7 @@ package taint
 
 import (
 	"fmt"
+	"sync"
 
 	"flowdroid/internal/ir"
 	"flowdroid/internal/sourcesink"
@@ -60,8 +61,10 @@ type absKey struct {
 	src    *SourceRecord
 }
 
-// absInterner deduplicates abstractions.
+// absInterner deduplicates abstractions. It is safe for concurrent use:
+// both solvers allocate facts through it from worker goroutines.
 type absInterner struct {
+	mu  sync.RWMutex
 	abs map[absKey]*Abstraction
 }
 
@@ -70,15 +73,32 @@ func newAbsInterner() *absInterner {
 }
 
 // get interns the abstraction with the given identity; pred/predStmt are
-// recorded only on first creation.
+// recorded only on first creation (whichever racer inserts first wins,
+// which is why path witnesses are schedule-dependent while the fact
+// domain itself is not).
 func (ai *absInterner) get(ap *AccessPath, active bool, act ir.Stmt, src *SourceRecord, pred *Abstraction, predStmt ir.Stmt) *Abstraction {
 	k := absKey{ap, active, act, src}
+	ai.mu.RLock()
+	a, ok := ai.abs[k]
+	ai.mu.RUnlock()
+	if ok {
+		return a
+	}
+	ai.mu.Lock()
+	defer ai.mu.Unlock()
 	if a, ok := ai.abs[k]; ok {
 		return a
 	}
-	a := &Abstraction{AP: ap, Active: active, Activation: act, Source: src, pred: pred, predStmt: predStmt}
+	a = &Abstraction{AP: ap, Active: active, Activation: act, Source: src, pred: pred, predStmt: predStmt}
 	ai.abs[k] = a
 	return a
+}
+
+// size returns the number of distinct abstractions interned so far.
+func (ai *absInterner) size() int {
+	ai.mu.RLock()
+	defer ai.mu.RUnlock()
+	return len(ai.abs)
 }
 
 // derive interns a successor abstraction of parent with a new access path

@@ -9,6 +9,7 @@ package taint
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"flowdroid/internal/ir"
 )
@@ -47,14 +48,36 @@ func (ap *AccessPath) String() string {
 func (ap *AccessPath) IsStatic() bool { return ap.StaticRoot != nil }
 
 // interner deduplicates access paths so the solvers can use pointer
-// equality in their fact maps.
+// equality in their fact maps. It is safe for concurrent use; the key is
+// built outside the lock so the critical sections stay short.
 type interner struct {
 	maxLen int
+	mu     sync.RWMutex
 	paths  map[string]*AccessPath
 }
 
 func newInterner(maxLen int) *interner {
 	return &interner{maxLen: maxLen, paths: make(map[string]*AccessPath)}
+}
+
+// intern returns the canonical path for key k, building it with mk when
+// absent. Double-checked under the RWMutex: the common hit path takes
+// only the read lock.
+func (in *interner) intern(k string, mk func() *AccessPath) *AccessPath {
+	in.mu.RLock()
+	ap, ok := in.paths[k]
+	in.mu.RUnlock()
+	if ok {
+		return ap
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if ap, ok := in.paths[k]; ok {
+		return ap
+	}
+	ap = mk()
+	in.paths[k] = ap
+	return ap
 }
 
 func (in *interner) key(base *ir.Local, static *ir.Field, fields []*ir.Field) string {
@@ -76,12 +99,9 @@ func (in *interner) local(base *ir.Local, fields ...*ir.Field) *AccessPath {
 		fields = fields[:in.maxLen]
 	}
 	k := in.key(base, nil, fields)
-	if ap, ok := in.paths[k]; ok {
-		return ap
-	}
-	ap := &AccessPath{Base: base, Fields: append([]*ir.Field(nil), fields...)}
-	in.paths[k] = ap
-	return ap
+	return in.intern(k, func() *AccessPath {
+		return &AccessPath{Base: base, Fields: append([]*ir.Field(nil), fields...)}
+	})
 }
 
 // static interns the path StaticRoot.fields.
@@ -90,12 +110,9 @@ func (in *interner) static(root *ir.Field, fields ...*ir.Field) *AccessPath {
 		fields = fields[:in.maxLen]
 	}
 	k := in.key(nil, root, fields)
-	if ap, ok := in.paths[k]; ok {
-		return ap
-	}
-	ap := &AccessPath{StaticRoot: root, Fields: append([]*ir.Field(nil), fields...)}
-	in.paths[k] = ap
-	return ap
+	return in.intern(k, func() *AccessPath {
+		return &AccessPath{StaticRoot: root, Fields: append([]*ir.Field(nil), fields...)}
+	})
 }
 
 // rebase re-roots the path onto a new local, keeping the field suffix:

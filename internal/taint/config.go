@@ -45,13 +45,22 @@ type Config struct {
 	// Wrapper is the library shortcut table; nil disables shortcuts and
 	// falls back to the native default everywhere.
 	Wrapper *Wrapper
-	// MaxLeaks aborts after this many distinct leaks (0 = unlimited).
+	// MaxLeaks aborts after this many distinct leaks (0 = unlimited). A
+	// capped run ends with Status == LeakLimitReached so it is
+	// distinguishable from an exhaustive one.
 	MaxLeaks int
-	// MaxPropagations bounds the solver's total path-edge insertions
-	// (forward plus backward); 0 is unlimited. When the budget runs out
-	// the analysis stops cleanly with Status == BudgetExhausted and the
-	// leaks found so far.
+	// MaxPropagations bounds the solver's novel path-edge insertions
+	// (forward plus backward); duplicates the jump tables absorb are
+	// free. 0 is unlimited. When the budget runs out the analysis stops
+	// cleanly with Status == BudgetExhausted and the leaks found so far.
 	MaxPropagations int
+	// Workers is the solver worker-pool size. Values <= 1 drain the work
+	// queue sequentially on the calling goroutine; higher values run that
+	// many concurrent workers over the shared queue. The distinct leak
+	// set and the edge counts are worker-count-independent — the
+	// exploded-supergraph closure is confluent — only discovery order
+	// (and hence path witnesses) may differ.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's FlowDroid configuration.
@@ -107,8 +116,8 @@ func (l *Leak) Path() []ir.Stmt {
 type Status int
 
 const (
-	// Completed means the solver reached its fixed point (or the MaxLeaks
-	// cutoff, which is a configured success condition).
+	// Completed means the solver reached its fixed point: every leak
+	// reachable under the configuration has been found.
 	Completed Status = iota
 	// Cancelled means the context expired or was cancelled mid-solve; the
 	// reported leaks are the partial set found so far.
@@ -116,6 +125,9 @@ const (
 	// BudgetExhausted means MaxPropagations ran out before the fixed
 	// point.
 	BudgetExhausted
+	// LeakLimitReached means the MaxLeaks cap cut the run short; exactly
+	// the cap's worth of distinct leaks was recorded, and more may exist.
+	LeakLimitReached
 )
 
 func (s Status) String() string {
@@ -126,6 +138,8 @@ func (s Status) String() string {
 		return "cancelled"
 	case BudgetExhausted:
 		return "budget-exhausted"
+	case LeakLimitReached:
+		return "leak-limit-reached"
 	}
 	return "unknown"
 }
@@ -147,41 +161,92 @@ type Stats struct {
 	ForwardEdges  int
 	BackwardEdges int
 	AliasQueries  int
-	// Propagations counts attempted propagations (including duplicates
-	// the jump tables absorbed); this is the unit MaxPropagations charges.
+	// Propagations counts novel path-edge insertions (forward plus
+	// backward); duplicates the jump tables absorb are not counted. This
+	// is the unit MaxPropagations charges, and it always equals
+	// ForwardEdges + BackwardEdges.
 	Propagations int
 	// Summaries counts method summaries (end-of-method records) installed.
 	Summaries int
 	// PeakAbstractions is the number of distinct taint abstractions
 	// interned over the run — the solver's fact-domain footprint.
 	PeakAbstractions int
+	// Workers is the worker-pool size the run used (1 = sequential drain).
+	Workers int
 }
 
 // PathEdges is the total of distinct forward and backward path edges.
 func (s Stats) PathEdges() int { return s.ForwardEdges + s.BackwardEdges }
 
+// leakOrd is the canonical sort key of a leak: (source method, source
+// stmt index, sink method, sink stmt index, access path). Statement
+// indices — not their rendered strings, which need not be unique within a
+// method — make the order total and independent of worklist discovery
+// order, so report output is stable across runs and worker counts.
+type leakOrd struct {
+	srcMethod string
+	srcIdx    int
+	snkMethod string
+	snkIdx    int
+	ap        string
+}
+
+func leakOrdOf(l *Leak) leakOrd {
+	o := leakOrd{srcIdx: -1, snkIdx: -1}
+	if s := l.Source(); s != nil && s.Stmt != nil {
+		o.srcMethod = s.Stmt.Method().String()
+		o.srcIdx = s.Stmt.Index()
+	}
+	if l.Sink != nil {
+		o.snkMethod = l.Sink.Method().String()
+		o.snkIdx = l.Sink.Index()
+	}
+	if l.Abstraction != nil && l.Abstraction.AP != nil {
+		o.ap = l.Abstraction.AP.String()
+	}
+	return o
+}
+
+func (a leakOrd) less(b leakOrd) bool {
+	switch {
+	case a.srcMethod != b.srcMethod:
+		return a.srcMethod < b.srcMethod
+	case a.srcIdx != b.srcIdx:
+		return a.srcIdx < b.srcIdx
+	case a.snkMethod != b.snkMethod:
+		return a.snkMethod < b.snkMethod
+	case a.snkIdx != b.snkIdx:
+		return a.snkIdx < b.snkIdx
+	default:
+		return a.ap < b.ap
+	}
+}
+
 // DistinctSourceSinkPairs collapses leaks to unique (source stmt, sink
-// stmt) pairs, the unit DroidBench-style scoring counts.
+// stmt) pairs, the unit DroidBench-style scoring counts. The full leak
+// set is put into canonical order before deduplication, so both the
+// output order and the representative chosen for each pair are
+// deterministic regardless of the order leaks were discovered in.
 func (r *Results) DistinctSourceSinkPairs() []*Leak {
+	sorted := append([]*Leak(nil), r.Leaks...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return leakOrdOf(sorted[i]).less(leakOrdOf(sorted[j]))
+	})
 	type pairKey struct{ src, snk ir.Stmt }
-	seen := make(map[pairKey]*Leak)
-	var order []pairKey
-	for _, l := range r.Leaks {
+	seen := make(map[pairKey]bool)
+	out := make([]*Leak, 0, len(sorted))
+	for _, l := range sorted {
 		var src ir.Stmt
 		if s := l.Source(); s != nil {
 			src = s.Stmt
 		}
 		k := pairKey{src, l.Sink}
-		if _, ok := seen[k]; !ok {
-			seen[k] = l
-			order = append(order, k)
+		if seen[k] {
+			continue
 		}
+		seen[k] = true
+		out = append(out, l)
 	}
-	out := make([]*Leak, 0, len(order))
-	for _, k := range order {
-		out = append(out, seen[k])
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
 }
 

@@ -3,6 +3,8 @@ package taint
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"flowdroid/internal/cfg"
 	"flowdroid/internal/ir"
@@ -28,6 +30,15 @@ import (
 //   - Backward, at a method's first statement: hand the edge to the
 //     forward solver and stop — the backward solver never returns into
 //     callers itself.
+//
+// Both directions feed one shared counting-tracked work queue, drained
+// either by the calling goroutine (Workers <= 1) or by a pool of workers
+// (see parallel.go). All state reachable from a flow function is
+// concurrency-safe: the jump tables are striped, incoming/endSum share
+// one lock whose critical sections keep the summary-application invariant
+// (see registerIncoming), the leak recorder and activation cache are
+// locked, the interners synchronize internally, and the counters are
+// atomic.
 type engine struct {
 	icfg *cfg.ICFG
 	mgr  *sourcesink.Manager
@@ -37,22 +48,43 @@ type engine struct {
 	ai   *absInterner
 	zero *Abstraction
 
-	fwJump   map[ir.Stmt]map[edge]bool
-	bwJump   map[ir.Stmt]map[edge]bool
-	fwWork   []item
-	bwWork   []item
+	fwJump *jumpTable
+	bwJump *jumpTable
+
+	// callMu guards incoming and endSum together: the pairing of caller
+	// contexts with end summaries must be atomic so no (caller, summary)
+	// combination is lost when both sides race (same discipline as the
+	// generic parallel solver).
+	callMu   sync.Mutex
 	incoming map[methodCtx]map[callerCtx]bool
 	endSum   map[methodCtx][]exitRec
 
+	leakMu   sync.Mutex
 	leaks    []*Leak
 	leakSeen map[leakKey]bool
+
+	actMu    sync.RWMutex
 	actCache map[actKey]bool
-	stats    Stats
+
+	stats engineStats
 
 	// idxFields interns the pseudo-fields that model constant array
 	// indices when ArrayIndexSensitive is on.
+	idxMu     sync.Mutex
 	idxFields map[int64]*ir.Field
 	idxClass  *ir.Class
+
+	q *workQueue
+}
+
+// engineStats are the live counters; workers update them with atomic
+// increments and run snapshots them into the exported Stats.
+type engineStats struct {
+	propagations  atomic.Int64
+	forwardEdges  atomic.Int64
+	backwardEdges atomic.Int64
+	aliasQueries  atomic.Int64
+	summaries     atomic.Int64
 }
 
 type edge struct{ d1, d2 *Abstraction }
@@ -88,14 +120,24 @@ type actKey struct {
 	m    *ir.Method
 }
 
-// recordLeak registers a (source, sink, access path) leak once.
+// recordLeak registers a (source, sink, access path) leak once. When the
+// MaxLeaks cap is configured, the recorder never stores more than the cap
+// and hitting it aborts the run with LeakLimitReached — a truncated
+// analysis is always distinguishable from an exhaustive one.
 func (e *engine) recordLeak(n ir.Stmt, snk sourcesink.Sink, d *Abstraction) {
 	k := leakKey{n, d.Source, d.AP}
-	if e.leakSeen[k] {
+	e.leakMu.Lock()
+	if e.leakSeen[k] || (e.conf.MaxLeaks > 0 && len(e.leaks) >= e.conf.MaxLeaks) {
+		e.leakMu.Unlock()
 		return
 	}
 	e.leakSeen[k] = true
 	e.leaks = append(e.leaks, &Leak{Sink: n, SinkSpec: snk, Abstraction: d})
+	capped := e.conf.MaxLeaks > 0 && len(e.leaks) >= e.conf.MaxLeaks
+	e.leakMu.Unlock()
+	if capped {
+		e.q.stop(LeakLimitReached)
+	}
 }
 
 func newEngine(icfg *cfg.ICFG, mgr *sourcesink.Manager, conf Config) *engine {
@@ -108,12 +150,13 @@ func newEngine(icfg *cfg.ICFG, mgr *sourcesink.Manager, conf Config) *engine {
 		conf:     conf,
 		in:       newInterner(conf.APLength),
 		ai:       newAbsInterner(),
-		fwJump:   make(map[ir.Stmt]map[edge]bool),
-		bwJump:   make(map[ir.Stmt]map[edge]bool),
+		fwJump:   newJumpTable(),
+		bwJump:   newJumpTable(),
 		incoming: make(map[methodCtx]map[callerCtx]bool),
 		endSum:   make(map[methodCtx][]exitRec),
 		leakSeen: make(map[leakKey]bool),
 		actCache: make(map[actKey]bool),
+		q:        newWorkQueue(),
 	}
 	e.zero = e.ai.get(nil, true, nil, nil, nil, nil)
 	e.idxFields = make(map[int64]*ir.Field)
@@ -123,6 +166,8 @@ func newEngine(icfg *cfg.ICFG, mgr *sourcesink.Manager, conf Config) *engine {
 
 // indexField interns the pseudo-field standing for a constant array index.
 func (e *engine) indexField(v int64) *ir.Field {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
 	if f, ok := e.idxFields[v]; ok {
 		return f
 	}
@@ -140,6 +185,11 @@ func (e *engine) indexField(v int64) *ir.Field {
 const ctxCheckEvery = 256
 
 func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
+	workers := e.conf.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+
 	for _, m := range entries {
 		if sp := m.EntryStmt(); sp != nil {
 			e.fwPropagate(e.zero, sp, e.zero)
@@ -159,66 +209,58 @@ func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
 		}
 	}
 
-	status := Completed
-	steps := 0
-	for len(e.fwWork) > 0 || len(e.bwWork) > 0 {
-		if e.conf.MaxLeaks > 0 && len(e.leaks) >= e.conf.MaxLeaks {
-			break
-		}
-		if e.conf.MaxPropagations > 0 && e.stats.Propagations >= e.conf.MaxPropagations {
-			status = BudgetExhausted
-			break
-		}
-		steps++
-		if steps%ctxCheckEvery == 0 && ctx.Err() != nil {
-			status = Cancelled
-			break
-		}
-		if len(e.fwWork) > 0 {
-			it := e.fwWork[len(e.fwWork)-1]
-			e.fwWork = e.fwWork[:len(e.fwWork)-1]
-			e.processForward(it)
-			continue
-		}
-		it := e.bwWork[len(e.bwWork)-1]
-		e.bwWork = e.bwWork[:len(e.bwWork)-1]
-		e.processBackward(it)
+	switch {
+	case ctx.Err() != nil:
+		e.q.stop(Cancelled)
+	case workers == 1:
+		e.drainSequential(ctx)
+	default:
+		e.drainParallel(ctx, workers)
 	}
 
-	e.stats.PeakAbstractions = len(e.ai.abs)
-	return &Results{Leaks: e.leaks, Stats: e.stats, Status: status}
+	stats := Stats{
+		ForwardEdges:     int(e.stats.forwardEdges.Load()),
+		BackwardEdges:    int(e.stats.backwardEdges.Load()),
+		AliasQueries:     int(e.stats.aliasQueries.Load()),
+		Propagations:     int(e.stats.propagations.Load()),
+		Summaries:        int(e.stats.summaries.Load()),
+		PeakAbstractions: e.ai.size(),
+		Workers:          workers,
+	}
+	return &Results{Leaks: e.leaks, Stats: stats, Status: e.q.finalStatus()}
 }
 
+// fwPropagate inserts a forward path edge. Only a novel edge is charged
+// against the propagation budget and enqueued; duplicates the jump table
+// absorbs are free, exactly like the generic solver's accounting.
 func (e *engine) fwPropagate(d1 *Abstraction, n ir.Stmt, d2 *Abstraction) {
-	e.stats.Propagations++
-	edges := e.fwJump[n]
-	if edges == nil {
-		edges = make(map[edge]bool)
-		e.fwJump[n] = edges
-	}
-	pe := edge{d1, d2}
-	if edges[pe] {
+	if !e.fwJump.insert(n, edge{d1, d2}) {
 		return
 	}
-	edges[pe] = true
-	e.stats.ForwardEdges++
-	e.fwWork = append(e.fwWork, item{n, d1, d2})
+	e.stats.forwardEdges.Add(1)
+	e.charge(task{backward: false, item: item{n, d1, d2}})
 }
 
+// bwPropagate is fwPropagate for the backward alias solver.
 func (e *engine) bwPropagate(d1 *Abstraction, n ir.Stmt, d2 *Abstraction) {
-	e.stats.Propagations++
-	edges := e.bwJump[n]
-	if edges == nil {
-		edges = make(map[edge]bool)
-		e.bwJump[n] = edges
-	}
-	pe := edge{d1, d2}
-	if edges[pe] {
+	if !e.bwJump.insert(n, edge{d1, d2}) {
 		return
 	}
-	edges[pe] = true
-	e.stats.BackwardEdges++
-	e.bwWork = append(e.bwWork, item{n, d1, d2})
+	e.stats.backwardEdges.Add(1)
+	e.charge(task{backward: true, item: item{n, d1, d2}})
+}
+
+// charge counts a novel path-edge insertion against MaxPropagations and
+// enqueues it. Crossing the budget aborts the run: the edge stays
+// recorded in the jump table but is never processed, and workers abandon
+// the remaining queue.
+func (e *engine) charge(t task) {
+	props := e.stats.propagations.Add(1)
+	if e.conf.MaxPropagations > 0 && props >= int64(e.conf.MaxPropagations) {
+		e.q.stop(BudgetExhausted)
+		return
+	}
+	e.q.push(t)
 }
 
 // ---------------------------------------------------------------- forward
@@ -276,21 +318,30 @@ func (e *engine) fwCall(it item) {
 }
 
 // registerIncoming records a caller context for (callee, entry fact) and
-// immediately applies any summaries already computed for that context.
-// The backward solver uses the same mechanism to inject contexts.
+// applies any summaries already computed for that context. The backward
+// solver uses the same mechanism to inject contexts.
+//
+// The critical section covers both the incoming insertion and the summary
+// snapshot so that no (caller, summary) pair is lost: whichever of
+// registerIncoming and fwExit enters the lock second observes the other's
+// write. Duplicate applications are harmless — propagate deduplicates.
 func (e *engine) registerIncoming(callee *ir.Method, d3 *Abstraction, site ir.Stmt, callerD1 *Abstraction) {
 	key := methodCtx{callee, d3}
+	cc := callerCtx{site, callerD1}
+	e.callMu.Lock()
 	inc := e.incoming[key]
 	if inc == nil {
 		inc = make(map[callerCtx]bool)
 		e.incoming[key] = inc
 	}
-	cc := callerCtx{site, callerD1}
 	if inc[cc] {
+		e.callMu.Unlock()
 		return
 	}
 	inc[cc] = true
-	for _, ep := range e.endSum[key] {
+	sums := append([]exitRec(nil), e.endSum[key]...)
+	e.callMu.Unlock()
+	for _, ep := range sums {
 		e.applyReturn(cc, callee, ep)
 	}
 }
@@ -299,9 +350,15 @@ func (e *engine) fwExit(it item) {
 	m := it.n.Method()
 	key := methodCtx{m, it.d1}
 	ep := exitRec{it.n, it.d2}
+	e.callMu.Lock()
 	e.endSum[key] = append(e.endSum[key], ep)
-	e.stats.Summaries++
+	callers := make([]callerCtx, 0, len(e.incoming[key]))
 	for cc := range e.incoming[key] {
+		callers = append(callers, cc)
+	}
+	e.callMu.Unlock()
+	e.stats.summaries.Add(1)
+	for _, cc := range callers {
 		e.applyReturn(cc, m, ep)
 	}
 }
@@ -334,14 +391,23 @@ func (e *engine) maybeActivateAtCall(site ir.Stmt, d *Abstraction) *Abstraction 
 	return d
 }
 
+// canActivate memoizes the call-graph reachability query. The underlying
+// ReachesTransitively walk is a pure read of the built call graph, so
+// concurrent workers may recompute a missing entry redundantly; the
+// result is identical and the last write wins.
 func (e *engine) canActivate(site ir.Stmt, act ir.Stmt) bool {
 	m := act.Method()
 	k := actKey{site, m}
-	if v, ok := e.actCache[k]; ok {
+	e.actMu.RLock()
+	v, ok := e.actCache[k]
+	e.actMu.RUnlock()
+	if ok {
 		return v
 	}
-	v := e.icfg.Graph.ReachesTransitively(site, m)
+	v = e.icfg.Graph.ReachesTransitively(site, m)
+	e.actMu.Lock()
 	e.actCache[k] = v
+	e.actMu.Unlock()
 	return v
 }
 
@@ -353,7 +419,7 @@ func (e *engine) spawnAliasSearch(n ir.Stmt, d1 *Abstraction, t *Abstraction) {
 	if !e.conf.EnableAliasing || t.AP == nil || t.AP.IsStatic() {
 		return
 	}
-	e.stats.AliasQueries++
+	e.stats.aliasQueries.Add(1)
 	var alias *Abstraction
 	if !e.conf.EnableActivation {
 		// Andromeda-style mode: aliases are active immediately

@@ -1,0 +1,225 @@
+package taint
+
+import (
+	"context"
+	"reflect"
+	"sync"
+
+	"flowdroid/internal/ir"
+)
+
+// This file holds the concurrency machinery of the bidirectional engine:
+// the shared counting-tracked work queue both solvers feed, the striped
+// path-edge tables, and the worker pool. The design mirrors
+// internal/ifds/parallel.go (the generic Heros-style parallel solver):
+// path-edge processing is independent work, the jump tables, incoming
+// sets and summaries are shared state, and the exploded-graph closure is
+// confluent — every schedule computes the same fact sets, only the
+// discovery order differs.
+
+// task is one queued path-edge processing step, tagged with the solver
+// direction it belongs to. Forward and backward items share one queue so
+// the worker pool never idles while either solver has work.
+type task struct {
+	backward bool
+	item
+}
+
+// workQueue is the counting-tracked LIFO queue. pending counts queued
+// plus in-flight items; the run is over when pending reaches zero (fixed
+// point) or when stop flips the queue into an aborted state
+// (cancellation, exhausted budget, leak cap).
+type workQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []task
+	pending int
+	done    bool
+	status  Status // Completed unless stop() recorded an abort reason
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a task and wakes one waiting worker.
+func (q *workQueue) push(t task) {
+	q.mu.Lock()
+	q.items = append(q.items, t)
+	q.pending++
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// stop aborts the run with the given status and wakes every worker; the
+// first recorded reason wins.
+func (q *workQueue) stop(st Status) {
+	q.mu.Lock()
+	if !q.done {
+		q.done = true
+		q.status = st
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// finalStatus reads the status after the run has settled.
+func (q *workQueue) finalStatus() Status {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.status
+}
+
+// drainSequential processes the queue to exhaustion on the calling
+// goroutine — the Workers <= 1 path. It pays only uncontended lock
+// overhead and keeps the historical single-threaded behaviour (modulo
+// item order, which the confluent closure makes irrelevant).
+func (e *engine) drainSequential(ctx context.Context) {
+	q := e.q
+	steps := 0
+	for {
+		q.mu.Lock()
+		if q.done && q.status != Completed {
+			q.mu.Unlock()
+			return
+		}
+		if len(q.items) == 0 {
+			q.done = true
+			q.mu.Unlock()
+			return
+		}
+		t := q.items[len(q.items)-1]
+		q.items = q.items[:len(q.items)-1]
+		q.pending--
+		q.mu.Unlock()
+		steps++
+		if steps%ctxCheckEvery == 0 && ctx.Err() != nil {
+			q.stop(Cancelled)
+			return
+		}
+		e.processTask(t)
+	}
+}
+
+// drainParallel runs the worker pool. A watcher goroutine turns context
+// expiry into a queue shutdown; the call returns only after every worker
+// has terminated, so no goroutine leaks past it.
+func (e *engine) drainParallel(ctx context.Context, workers int) {
+	q := e.q
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		select {
+		case <-ctx.Done():
+			q.stop(Cancelled)
+		case <-watchDone:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.worker()
+		}()
+	}
+	wg.Wait()
+	close(watchDone)
+	watchWG.Wait()
+}
+
+// worker drains the queue until the run completes or aborts. An aborted
+// run (cancellation, budget, leak cap) abandons the remaining queue; a
+// completed run exits once the queue is empty and nothing is in flight.
+func (e *engine) worker() {
+	q := e.q
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.done {
+			if q.pending == 0 {
+				q.done = true
+				q.cond.Broadcast()
+				break
+			}
+			q.cond.Wait()
+		}
+		if q.done && (q.status != Completed || len(q.items) == 0) {
+			q.mu.Unlock()
+			return
+		}
+		t := q.items[len(q.items)-1]
+		q.items = q.items[:len(q.items)-1]
+		q.mu.Unlock()
+
+		e.processTask(t)
+
+		q.mu.Lock()
+		q.pending--
+		if q.pending == 0 {
+			q.done = true
+			q.cond.Broadcast()
+		}
+		q.mu.Unlock()
+	}
+}
+
+func (e *engine) processTask(t task) {
+	if t.backward {
+		e.processBackward(t.item)
+	} else {
+		e.processForward(t.item)
+	}
+}
+
+// jumpShards is the stripe count of the path-edge tables. Striping by
+// statement keeps workers that process different program points off each
+// other's locks; 64 stripes make collisions rare at any realistic worker
+// count.
+const jumpShards = 64
+
+type jumpShard struct {
+	mu sync.Mutex
+	m  map[ir.Stmt]map[edge]bool
+}
+
+// jumpTable is a striped set of path edges ⟨d1⟩ → ⟨n, d2⟩.
+type jumpTable struct {
+	shards [jumpShards]jumpShard
+}
+
+func newJumpTable() *jumpTable {
+	t := &jumpTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[ir.Stmt]map[edge]bool)
+	}
+	return t
+}
+
+// insert adds the path edge at n and reports whether it was novel.
+func (t *jumpTable) insert(n ir.Stmt, pe edge) bool {
+	sh := &t.shards[stmtShard(n)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	edges := sh.m[n]
+	if edges == nil {
+		edges = make(map[edge]bool)
+		sh.m[n] = edges
+	}
+	if edges[pe] {
+		return false
+	}
+	edges[pe] = true
+	return true
+}
+
+// stmtShard hashes a statement's identity onto a stripe. Every ir.Stmt
+// implementation is a pointer, so the interface data word is a stable
+// identity; the low bits are shifted off because allocations are aligned.
+func stmtShard(n ir.Stmt) uintptr {
+	return (reflect.ValueOf(n).Pointer() >> 4) % jumpShards
+}

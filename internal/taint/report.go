@@ -1,6 +1,9 @@
 package taint
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // LeakReport is a serialization-friendly view of one leak, used by the
 // CLI's JSON output and any downstream tooling.
@@ -15,8 +18,11 @@ type LeakReport struct {
 	SinkMethod   string `json:"sinkMethod"`
 	// AccessPath is the tainted access path observed at the sink.
 	AccessPath string `json:"accessPath"`
-	// Path is the reconstructed statement trace, source first.
-	Path []string `json:"path"`
+	// Path is the reconstructed statement trace, source first. It is a
+	// witness, not part of the leak's identity: the trace follows the
+	// abstraction's predecessor chain, which records whichever derivation
+	// was discovered first, so it may differ across worker counts.
+	Path []string `json:"path,omitempty"`
 }
 
 // Report converts the distinct leaks into serializable records.
@@ -45,4 +51,22 @@ func (r *Results) Report() []LeakReport {
 		out = append(out, rep)
 	}
 	return out
+}
+
+// CanonicalReport is Report with the path witnesses stripped: the
+// schedule-independent identity of the leak set. Two runs over the same
+// app under the same configuration produce identical canonical reports at
+// any worker count.
+func (r *Results) CanonicalReport() []LeakReport {
+	out := r.Report()
+	for i := range out {
+		out[i].Path = nil
+	}
+	return out
+}
+
+// CanonicalJSON renders the canonical report as indented JSON — the form
+// the cross-worker-count equivalence tests compare byte for byte.
+func (r *Results) CanonicalJSON() ([]byte, error) {
+	return json.MarshalIndent(r.CanonicalReport(), "", "  ")
 }

@@ -1,0 +1,89 @@
+// Command checkbench validates the schema of the BENCH_taint.json
+// artifact that `make bench-smoke` produces, so CI fails loudly when the
+// bench stops persisting its trajectory (the failure mode that motivated
+// the artifact) or emits a malformed record.
+//
+// Usage: go run ./scripts/checkbench BENCH_taint.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type run struct {
+	Workers      int     `json:"workers"`
+	WallMS       float64 `json:"wall_ms"`
+	Propagations int     `json:"propagations"`
+	Leaks        int     `json:"leaks"`
+}
+
+type report struct {
+	Bench      string  `json:"bench"`
+	Profile    string  `json:"profile"`
+	Apps       int     `json:"apps"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Runs       []run   `json:"runs"`
+	Speedup    float64 `json:"speedup"`
+	Note       string  `json:"note"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checkbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: checkbench <BENCH_taint.json>")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var r report
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		fail("%s: %v", os.Args[1], err)
+	}
+	if r.Bench == "" || r.Profile == "" {
+		fail("bench/profile missing")
+	}
+	if r.Apps <= 0 || r.GOMAXPROCS <= 0 || r.NumCPU <= 0 {
+		fail("apps/gomaxprocs/num_cpu must be positive (got %d/%d/%d)", r.Apps, r.GOMAXPROCS, r.NumCPU)
+	}
+	if len(r.Runs) < 2 {
+		fail("want at least a sequential and a parallel run, got %d", len(r.Runs))
+	}
+	workers := map[int]bool{}
+	for i, ru := range r.Runs {
+		if ru.Workers <= 0 || workers[ru.Workers] {
+			fail("run %d: invalid or duplicate worker count %d", i, ru.Workers)
+		}
+		workers[ru.Workers] = true
+		if ru.WallMS <= 0 {
+			fail("run %d (workers=%d): wall_ms must be positive", i, ru.Workers)
+		}
+		if ru.Propagations <= 0 {
+			fail("run %d (workers=%d): propagations must be positive", i, ru.Workers)
+		}
+		if ru.Propagations != r.Runs[0].Propagations || ru.Leaks != r.Runs[0].Leaks {
+			fail("run %d (workers=%d): propagations/leaks differ across worker counts (%d/%d vs %d/%d) — the solver lost its schedule-independence",
+				i, ru.Workers, ru.Propagations, ru.Leaks, r.Runs[0].Propagations, r.Runs[0].Leaks)
+		}
+	}
+	if !workers[1] {
+		fail("no sequential (workers=1) baseline run")
+	}
+	if r.Speedup <= 0 {
+		fail("speedup must be positive, got %v", r.Speedup)
+	}
+	if r.Speedup < 1.5 && r.Note == "" {
+		fail("speedup %.2fx is below 1.5x and no note documents why", r.Speedup)
+	}
+	fmt.Printf("checkbench: %s OK (%d runs, speedup %.2fx)\n", os.Args[1], len(r.Runs), r.Speedup)
+}

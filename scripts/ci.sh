@@ -17,7 +17,13 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> bench smoke (one-shot, compile + run sanity)"
+echo "==> go test -race ./internal/taint/... (parallel taint solver)"
+go test -race ./internal/taint/...
+
+echo "==> bench smoke (one-shot, compile + run sanity; emits BENCH_taint.json)"
 go test -bench Smoke -benchtime=1x -run '^$' .
+
+echo "==> checkbench (BENCH_taint.json schema)"
+go run ./scripts/checkbench BENCH_taint.json
 
 echo "CI OK"

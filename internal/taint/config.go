@@ -53,13 +53,19 @@ type Config struct {
 	// (forward plus backward); duplicates the jump tables absorb are
 	// free. 0 is unlimited. When the budget runs out the analysis stops
 	// cleanly with Status == BudgetExhausted and the leaks found so far.
+	// With Workers > 1, workers already past the abort check may each
+	// record one final insertion, so Stats.Propagations can exceed the
+	// budget by at most Workers-1.
 	MaxPropagations int
 	// Workers is the solver worker-pool size. Values <= 1 drain the work
 	// queue sequentially on the calling goroutine; higher values run that
-	// many concurrent workers over the shared queue. The distinct leak
-	// set and the edge counts are worker-count-independent — the
-	// exploded-supergraph closure is confluent — only discovery order
-	// (and hence path witnesses) may differ.
+	// many concurrent workers over the shared queue. For runs that reach
+	// Status == Completed, the distinct leak set and the edge counts are
+	// worker-count-independent — the exploded-supergraph closure is
+	// confluent — only discovery order (and hence path witnesses) may
+	// differ. A truncated run (budget, leak cap, cancellation) stops at a
+	// schedule-dependent frontier, so its partial leak set and counters
+	// may vary across worker counts.
 	Workers int
 }
 

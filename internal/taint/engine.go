@@ -232,8 +232,15 @@ func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
 
 // fwPropagate inserts a forward path edge. Only a novel edge is charged
 // against the propagation budget and enqueued; duplicates the jump table
-// absorbs are free, exactly like the generic solver's accounting.
+// absorbs are free, exactly like the generic solver's accounting. Once
+// the run is aborted (budget, leak cap, cancellation) propagation stops
+// recording entirely, so the edge counters and the propagation counter
+// stay in lockstep and stop growing; concurrent workers already past the
+// abort check can each land at most one final insertion.
 func (e *engine) fwPropagate(d1 *Abstraction, n ir.Stmt, d2 *Abstraction) {
+	if e.q.aborted.Load() {
+		return
+	}
 	if !e.fwJump.insert(n, edge{d1, d2}) {
 		return
 	}
@@ -243,6 +250,9 @@ func (e *engine) fwPropagate(d1 *Abstraction, n ir.Stmt, d2 *Abstraction) {
 
 // bwPropagate is fwPropagate for the backward alias solver.
 func (e *engine) bwPropagate(d1 *Abstraction, n ir.Stmt, d2 *Abstraction) {
+	if e.q.aborted.Load() {
+		return
+	}
 	if !e.bwJump.insert(n, edge{d1, d2}) {
 		return
 	}

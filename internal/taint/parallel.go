@@ -2,8 +2,11 @@ package taint
 
 import (
 	"context"
+	"fmt"
 	"reflect"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"flowdroid/internal/ir"
 )
@@ -36,6 +39,11 @@ type workQueue struct {
 	pending int
 	done    bool
 	status  Status // Completed unless stop() recorded an abort reason
+	// aborted mirrors "stop() was called" for lock-free reads: the
+	// propagation hot path checks it on every insertion so an aborted run
+	// stops recording edges and charging budget as soon as the flag is
+	// visible, without taking the queue lock.
+	aborted atomic.Bool
 }
 
 func newWorkQueue() *workQueue {
@@ -61,6 +69,7 @@ func (q *workQueue) stop(st Status) {
 		q.done = true
 		q.status = st
 	}
+	q.aborted.Store(true)
 	q.cond.Broadcast()
 	q.mu.Unlock()
 }
@@ -103,9 +112,31 @@ func (e *engine) drainSequential(ctx context.Context) {
 	}
 }
 
+// workerPanic carries a panic captured on a worker goroutine over to the
+// drainParallel caller. It preserves the original value and the worker's
+// stack so the recovery that eventually catches the re-raise (the
+// pipeline's stage guard, the corpus batch isolation, a test harness)
+// reports where the solve actually failed, not where it was re-thrown.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+func (p *workerPanic) Error() string {
+	return fmt.Sprintf("taint solver worker panic: %v\n%s", p.val, p.stack)
+}
+
 // drainParallel runs the worker pool. A watcher goroutine turns context
 // expiry into a queue shutdown; the call returns only after every worker
 // has terminated, so no goroutine leaks past it.
+//
+// A panic inside a flow function must not crash the process: the
+// callers' recovery (pipeline stage guards, per-app batch isolation)
+// only covers the goroutine that called Analyze. Each worker therefore
+// recovers its own panics, the first one is kept (value plus stack), the
+// pool is shut down, and the captured panic is re-raised here — on the
+// calling goroutine — after every worker has exited, so the parallel
+// path degrades exactly like the sequential one.
 func (e *engine) drainParallel(ctx context.Context, workers int) {
 	q := e.q
 	watchDone := make(chan struct{})
@@ -120,17 +151,37 @@ func (e *engine) drainParallel(ctx context.Context, workers int) {
 		}
 	}()
 
+	var panicMu sync.Mutex
+	var firstPanic *workerPanic
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if firstPanic == nil {
+						firstPanic = &workerPanic{val: r, stack: debug.Stack()}
+					}
+					panicMu.Unlock()
+					// The panicking worker never decremented pending for
+					// its in-flight item, so the queue cannot reach the
+					// fixed point; stop() releases the other workers. The
+					// status is irrelevant — the re-raise below unwinds
+					// run() before it is read.
+					q.stop(Cancelled)
+				}
+			}()
 			e.worker()
 		}()
 	}
 	wg.Wait()
 	close(watchDone)
 	watchWG.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
 }
 
 // worker drains the queue until the run completes or aborts. An aborted
@@ -218,8 +269,20 @@ func (t *jumpTable) insert(n ir.Stmt, pe edge) bool {
 }
 
 // stmtShard hashes a statement's identity onto a stripe. Every ir.Stmt
-// implementation is a pointer, so the interface data word is a stable
-// identity; the low bits are shifted off because allocations are aligned.
+// implementation in this package's IR is a pointer, so the interface
+// data word is a stable identity; the low bits are shifted off because
+// allocations are aligned. A non-pointer implementation is still
+// constructible (embedding *ir.StmtBase promotes the interface onto a
+// value type), and reflect's Pointer() would panic on it — fall back to
+// the statement's body index, which is stable after Finalize. Sharding
+// only affects lock distribution, never correctness.
 func stmtShard(n ir.Stmt) uintptr {
-	return (reflect.ValueOf(n).Pointer() >> 4) % jumpShards
+	if v := reflect.ValueOf(n); v.Kind() == reflect.Pointer {
+		return (v.Pointer() >> 4) % jumpShards
+	}
+	idx := n.Index()
+	if idx < 0 {
+		idx = -idx
+	}
+	return uintptr(idx) % jumpShards
 }

@@ -2,6 +2,8 @@ package taint
 
 import (
 	"bytes"
+	"context"
+	"strings"
 	"testing"
 
 	"flowdroid/internal/framework"
@@ -127,6 +129,84 @@ func TestReportOrderIsCanonical(t *testing.T) {
 		if leakOrdOf(pairs[i]).less(leakOrdOf(pairs[i-1])) {
 			t.Errorf("pairs[%d] and pairs[%d] out of canonical order", i-1, i)
 		}
+	}
+}
+
+// TestWorkerPanicIsCapturedOnCaller: a panic raised on a worker
+// goroutine must not crash the process. drainParallel re-raises the
+// first worker panic — with the worker's own stack attached — on the
+// calling goroutine after the pool has shut down, so the callers' usual
+// recovery (pipeline stage guard, corpus batch isolation) converts it
+// into a Recovered result exactly as in the sequential path.
+func TestWorkerPanicIsCapturedOnCaller(t *testing.T) {
+	stmts := mainStmts(t, manyLeaks)
+	e := newEngine(nil, nil, Config{APLength: 5})
+	// The engine's icfg is nil, so processing any forward task nil-derefs
+	// inside processForward — i.e. panics on a worker goroutine.
+	e.fwPropagate(e.zero, stmts[0], e.zero)
+
+	rec := func() (r any) {
+		defer func() { r = recover() }()
+		e.drainParallel(context.Background(), 4)
+		return nil
+	}()
+	wp, ok := rec.(*workerPanic)
+	if !ok {
+		t.Fatalf("recovered %v (%T), want *workerPanic re-raised on the caller", rec, rec)
+	}
+	if wp.val == nil {
+		t.Error("workerPanic lost the original panic value")
+	}
+	if len(wp.stack) == 0 {
+		t.Error("workerPanic lost the worker's stack")
+	}
+	if msg := wp.Error(); !strings.Contains(msg, "worker panic") {
+		t.Errorf("workerPanic.Error() = %q, want it to identify a worker panic", msg)
+	}
+}
+
+// valueStmt implements ir.Stmt as a non-pointer type (embedding
+// *ir.StmtBase promotes the interface methods onto the value type) —
+// the shape stmtShard's pointer fast path cannot handle.
+type valueStmt struct{ *ir.StmtBase }
+
+func (valueStmt) String() string { return "valueStmt" }
+
+// TestStmtShardNonPointerStmt: sharding must not panic for a
+// non-pointer ir.Stmt implementation, and the jump table must still
+// insert and dedup it.
+func TestStmtShardNonPointerStmt(t *testing.T) {
+	var s ir.Stmt = valueStmt{&ir.StmtBase{}}
+	if sh := stmtShard(s); sh >= jumpShards {
+		t.Fatalf("stmtShard = %d, want < %d", sh, jumpShards)
+	}
+	jt := newJumpTable()
+	if !jt.insert(s, edge{}) {
+		t.Error("first insert of a non-pointer stmt not novel")
+	}
+	if jt.insert(s, edge{}) {
+		t.Error("duplicate insert of a non-pointer stmt reported novel")
+	}
+}
+
+// TestAbortStopsAccounting: once the queue is stopped, further
+// propagations must not grow the edge or propagation counters — the
+// budget cannot be overrun by work discovered after the abort.
+func TestAbortStopsAccounting(t *testing.T) {
+	stmts := mainStmts(t, manyLeaks)
+	if len(stmts) < 2 {
+		t.Fatalf("fixture too small: %d stmts", len(stmts))
+	}
+	e := newEngine(nil, nil, Config{APLength: 5, MaxPropagations: 100})
+	e.fwPropagate(e.zero, stmts[0], e.zero)
+	e.q.stop(BudgetExhausted)
+	e.fwPropagate(e.zero, stmts[1], e.zero)
+	e.bwPropagate(e.zero, stmts[1], e.zero)
+	if got := e.stats.propagations.Load(); got != 1 {
+		t.Errorf("propagations after abort = %d, want 1", got)
+	}
+	if fw, bw := e.stats.forwardEdges.Load(), e.stats.backwardEdges.Load(); fw != 1 || bw != 0 {
+		t.Errorf("edges after abort = fw %d/bw %d, want fw 1/bw 0", fw, bw)
 	}
 }
 

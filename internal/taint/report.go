@@ -21,8 +21,10 @@ type LeakReport struct {
 	// Path is the reconstructed statement trace, source first. It is a
 	// witness, not part of the leak's identity: the trace follows the
 	// abstraction's predecessor chain, which records whichever derivation
-	// was discovered first, so it may differ across worker counts.
-	Path []string `json:"path,omitempty"`
+	// was discovered first, so it may differ across worker counts. The
+	// key is always emitted (no omitempty) — the CLI's -json schema has
+	// always carried it; CanonicalReport nulls it out but keeps the key.
+	Path []string `json:"path"`
 }
 
 // Report converts the distinct leaks into serializable records.

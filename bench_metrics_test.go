@@ -1,0 +1,147 @@
+package flowdroid_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"flowdroid/internal/appgen"
+	"flowdroid/internal/core"
+	"flowdroid/internal/metrics"
+)
+
+// BenchmarkSmokeMetrics quantifies the observability layer's cost: the
+// same corpus is analyzed once with no recorder in the context — the nil
+// fast path every run without -metrics/-trace takes — and once with a
+// full recorder plus a JSONL trace sink attached. The result persists as
+// BENCH_metrics.json (schema-checked by scripts/checkbench in ci.sh), so
+// the "disabled means free" claim is re-measured on every CI run instead
+// of being asserted once and drifting.
+
+// benchMetricsApps is the corpus size; small enough for -benchtime=1x
+// smoke runs, large enough that the instrumented hot loops dominate.
+const benchMetricsApps = 4
+
+type benchMetricsReport struct {
+	Bench      string `json:"bench"`
+	Profile    string `json:"profile"`
+	Apps       int    `json:"apps"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// OffWallMS is the corpus wall time with no recorder (nil fast path);
+	// OnWallMS the same corpus with a recorder and trace sink attached.
+	OffWallMS float64 `json:"off_wall_ms"`
+	OnWallMS  float64 `json:"on_wall_ms"`
+	// OverheadRatio is on/off: 1.0 means instrumentation was free.
+	OverheadRatio float64 `json:"overhead_ratio"`
+	// DeterministicKeys counts the schedule-independent counters the
+	// instrumented run produced; zero means the wiring came apart.
+	DeterministicKeys int `json:"deterministic_keys"`
+	// TraceEvents counts emitted JSONL lines (B/E pairs, hence even).
+	TraceEvents int    `json:"trace_events"`
+	Note        string `json:"note"`
+}
+
+// countingWriter counts trace lines without retaining them.
+type countingWriter struct{ lines int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		if b == '\n' {
+			w.lines++
+		}
+	}
+	return len(p), nil
+}
+
+func BenchmarkSmokeMetrics(b *testing.B) {
+	apps := appgen.GenerateCorpus(appgen.Malware, benchMetricsApps, 7)
+
+	analyzeAll := func(ctx context.Context) time.Duration {
+		opts := core.DefaultOptions()
+		start := time.Now()
+		for _, app := range apps {
+			res, err := core.AnalyzeFiles(ctx, app.Files, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Status != core.Complete {
+				b.Fatalf("app %s status %v", app.Name, res.Status)
+			}
+		}
+		return time.Since(start)
+	}
+
+	// One unmeasured pass warms whatever the runtime warms, so the
+	// off/on comparison is not a cold-start artifact.
+	analyzeAll(context.Background())
+
+	var offWall, onWall time.Duration
+	var keys, events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offWall = analyzeAll(context.Background())
+
+		rec := metrics.New()
+		sink := &countingWriter{}
+		rec.SetTrace(metrics.NewTrace(sink))
+		onWall = analyzeAll(metrics.Into(context.Background(), rec))
+
+		snap := rec.Snapshot()
+		keys, events = len(snap.Deterministic), sink.lines
+		for _, want := range []string{"pipeline.taint.runs", "pta.propagations", "taint.propagations"} {
+			if _, ok := snap.Deterministic[want]; !ok {
+				b.Fatalf("instrumented run is missing counter %q; snapshot keys: %v", want, snap.Deterministic)
+			}
+		}
+		if events == 0 || events%2 != 0 {
+			b.Fatalf("trace emitted %d events, want a positive even count (B/E pairs)", events)
+		}
+	}
+	b.StopTimer()
+
+	ratio := 0.0
+	if offWall > 0 {
+		ratio = float64(onWall) / float64(offWall)
+	}
+	b.ReportMetric(ratio, "overhead")
+
+	rep := benchMetricsReport{
+		Bench:             "BenchmarkSmokeMetrics",
+		Profile:           "malware",
+		Apps:              benchMetricsApps,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		OffWallMS:         float64(offWall.Microseconds()) / 1000,
+		OnWallMS:          float64(onWall.Microseconds()) / 1000,
+		OverheadRatio:     ratio,
+		DeterministicKeys: keys,
+		TraceEvents:       events,
+		Note:              benchMetricsNote(ratio),
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_metrics.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchMetricsNote interprets the ratio for readers who don't know the
+// host: a single -benchtime=1x sample of a millisecond-scale corpus is
+// noisy, so modest wobble in either direction is expected.
+func benchMetricsNote(ratio float64) string {
+	switch {
+	case ratio <= 1.10:
+		return fmt.Sprintf("instrumentation overhead %.2fx: within noise of free", ratio)
+	case ratio <= 1.5:
+		return fmt.Sprintf("instrumentation overhead %.2fx on a one-shot sample; rerun with -benchtime to confirm a real regression", ratio)
+	default:
+		return fmt.Sprintf("instrumentation overhead %.2fx: investigate — the enabled path should cost a few %% at most", ratio)
+	}
+}

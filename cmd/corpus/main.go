@@ -17,12 +17,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
 	"flowdroid/internal/appgen"
+	"flowdroid/internal/metrics"
 )
 
 func main() {
@@ -34,8 +36,10 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "per-app analysis deadline (0 = none)")
 		maxProps   = flag.Int("max-propagations", 0, "per-app taint-propagation budget (0 = unlimited)")
 		degrade    = flag.Bool("degrade", false, "retry budget-exhausted apps with cheaper configurations")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "per-app taint solver worker-pool size (<=1 = sequential)")
-		forcePanic = flag.String("force-panic", "", "inject a panic while analyzing the named app (tests batch isolation)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "per-app taint solver worker-pool size (<=1 = sequential)")
+		forcePanic  = flag.String("force-panic", "", "inject a panic while analyzing the named app (tests batch isolation)")
+		traceFile   = flag.String("trace", "", "write a JSONL span trace of every app's pipeline to this file")
+		showMetrics = flag.Bool("metrics", false, "print the corpus-aggregated metrics snapshot as JSON after the summary")
 	)
 	flag.Parse()
 
@@ -65,12 +69,37 @@ func main() {
 		Workers:         *workers,
 		FaultInject:     *forcePanic,
 	}
-	stats, err := appgen.RunCorpusWith(context.Background(), p, *n, *seed, ro)
+	// One recorder is shared by every app in the batch: counters
+	// accumulate corpus-wide, which is exactly the rollup the summary
+	// wants. With neither flag set the pipelines run uninstrumented.
+	ctx := context.Background()
+	var rec *metrics.Recorder
+	if *traceFile != "" || *showMetrics {
+		rec = metrics.New()
+		ctx = metrics.Into(ctx, rec)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corpus:", err)
+			os.Exit(64)
+		}
+		rec.SetTrace(metrics.NewTrace(f))
+	}
+	stats, err := appgen.RunCorpusWith(ctx, p, *n, *seed, ro)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "corpus:", err)
 		os.Exit(2)
 	}
 	fmt.Print(stats.Render())
+	if *showMetrics {
+		out, err := json.MarshalIndent(rec.Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corpus:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("metrics:\n%s\n", out)
+	}
 	if stats.TotalFound != stats.TotalInjected {
 		fmt.Printf("WARNING: found %d leaks but injected %d\n",
 			stats.TotalFound, stats.TotalInjected)

@@ -28,13 +28,27 @@
 // -workers sets the taint solver's worker-pool size (default GOMAXPROCS).
 // The distinct leak report is identical at any worker count; only the
 // path witnesses (-paths) may pick different derivations.
+//
+// Observability (all opt-in, zero cost when absent):
+//
+//	-trace FILE    write a JSONL span trace of the pipeline (validated
+//	               by scripts/checktrace)
+//	-metrics       print the metrics snapshot as JSON; with -json it is
+//	               embedded in the report under "metrics"
+//	-pprof-addr A  serve net/http/pprof and expvar on A for the run's
+//	               duration; the live snapshot is published as the
+//	               expvar "flowdroid.metrics"
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -42,6 +56,7 @@ import (
 	"flowdroid/internal/core"
 	"flowdroid/internal/insecurebank"
 	"flowdroid/internal/lifecycle"
+	"flowdroid/internal/metrics"
 )
 
 const (
@@ -69,7 +84,9 @@ type jsonReport struct {
 	// Passes reports per-pipeline-pass execution vs. memoized-artifact
 	// reuse (runs/hits), non-trivial when -degrade retried the analysis.
 	Passes core.PassStats `json:"passes,omitempty"`
-	Leaks  any            `json:"leaks"`
+	// Metrics is the recorder snapshot, present only under -metrics.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	Leaks   any               `json:"leaks"`
 }
 
 // flags is the program's flag set. A package-level ContinueOnError set
@@ -94,6 +111,9 @@ func main() {
 		maxProps    = flags.Int("max-propagations", 0, "taint-propagation budget; 0 = unlimited")
 		degrade     = flags.Bool("degrade", false, "on budget exhaustion retry with cheaper configurations (CHA, shorter access paths)")
 		workers     = flags.Int("workers", runtime.GOMAXPROCS(0), "taint solver worker-pool size (<=1 = sequential)")
+		traceFile   = flags.String("trace", "", "write a JSONL span trace of the pipeline to this file")
+		showMetrics = flags.Bool("metrics", false, "print the metrics snapshot as JSON (embedded in the report under -json)")
+		pprofAddr   = flags.String("pprof-addr", "", "serve net/http/pprof and expvar on this address for the run's duration (e.g. localhost:6060)")
 	)
 	flags.SetOutput(os.Stderr)
 	if err := flags.Parse(os.Args[1:]); err != nil {
@@ -132,6 +152,30 @@ func main() {
 		defer cancel()
 	}
 
+	// A recorder exists only when some observability surface asked for
+	// one; otherwise the pipeline's instrumentation stays on its nil
+	// fast path. The trace sink flushes every line eagerly, so the
+	// os.Exit paths below cannot lose events.
+	var rec *metrics.Recorder
+	if *traceFile != "" || *showMetrics || *pprofAddr != "" {
+		rec = metrics.New()
+		ctx = metrics.Into(ctx, rec)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowdroid:", err)
+			os.Exit(exitUsage)
+		}
+		rec.SetTrace(metrics.NewTrace(f))
+	}
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "flowdroid:", err)
+			os.Exit(exitUsage)
+		}
+	}
+
 	var res *core.Result
 	var err error
 	switch {
@@ -154,6 +198,10 @@ func main() {
 
 	if *jsonOut {
 		rep := jsonReport{Status: res.Status.String(), Degraded: res.Degraded, Passes: res.Passes, Leaks: res.Taint.Report()}
+		if *showMetrics {
+			snap := rec.Snapshot()
+			rep.Metrics = &snap
+		}
 		if res.Failure != nil {
 			rep.Failure = res.Failure.Error()
 		}
@@ -206,7 +254,36 @@ func main() {
 			fmt.Printf("passes: %s\n", res.Passes)
 		}
 	}
+	if *showMetrics {
+		printMetrics(rec)
+	}
 	os.Exit(exitCode(res))
+}
+
+// printMetrics dumps the recorder snapshot as indented JSON on stdout.
+func printMetrics(rec *metrics.Recorder) {
+	out, err := json.MarshalIndent(rec.Snapshot(), "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowdroid:", err)
+		return
+	}
+	fmt.Printf("\nmetrics:\n%s\n", out)
+}
+
+// servePprof starts the diagnostics endpoint: net/http/pprof and expvar
+// register themselves on the default mux via their imports, and the live
+// metrics snapshot is published as the expvar "flowdroid.metrics". The
+// server lives for the run's duration — point a profiler at it while a
+// long analysis is underway.
+func servePprof(addr string, rec *metrics.Recorder) error {
+	expvar.Publish("flowdroid.metrics", expvar.Func(func() any { return rec.Snapshot() }))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "flowdroid: pprof/expvar listening on http://%s/debug/pprof/\n", ln.Addr())
+	go http.Serve(ln, nil)
+	return nil
 }
 
 // exitCode maps a result onto the documented exit codes: an incomplete

@@ -12,6 +12,37 @@ import (
 	"flowdroid/internal/core"
 )
 
+// TimeRollup aggregates per-app wall times for one outcome class.
+// Splitting the rollups by outcome keeps the headline mean honest: a
+// deadline-truncated app's time is capped by the timeout and a
+// panic-recovered app stops mid-flight, so blending either into the
+// completed apps' mean silently skews it.
+type TimeRollup struct {
+	Apps            int
+	Min, Max, Total time.Duration
+	Slowest         string
+}
+
+func (r *TimeRollup) observe(app string, el time.Duration) {
+	r.Apps++
+	r.Total += el
+	if r.Min == 0 || el < r.Min {
+		r.Min = el
+	}
+	if el > r.Max {
+		r.Max = el
+		r.Slowest = app
+	}
+}
+
+// Avg is the mean per-app wall time of this outcome class.
+func (r TimeRollup) Avg() time.Duration {
+	if r.Apps == 0 {
+		return 0
+	}
+	return r.Total / time.Duration(r.Apps)
+}
+
 // CorpusStats aggregates an RQ3 corpus run.
 type CorpusStats struct {
 	Profile       string
@@ -21,9 +52,15 @@ type CorpusStats struct {
 	TotalInjected int
 	BySink        map[string]int
 
+	// MinTime/MaxTime/TotalTime/SlowestApp describe apps whose analysis
+	// ran to completion only; truncated and recovered apps are rolled up
+	// separately in Times so they cannot distort the aggregate means.
 	MinTime, MaxTime, TotalTime time.Duration
 	SlowestApp                  string
-	Errors                      int
+	// Times holds one wall-time rollup per outcome, keyed by
+	// core.Status.String() plus "Error" for load failures.
+	Times  map[string]*TimeRollup
+	Errors int
 
 	// Resilience accounting: apps whose analysis was cut short. A
 	// truncated or recovered app never aborts the batch; it is counted
@@ -40,6 +77,9 @@ type CorpusStats struct {
 	// cache hits appear whenever the degradation ladder reused memoized
 	// artifacts instead of rebuilding them.
 	Passes core.PassStats
+	// PassTimes sums each pipeline pass's build wall time across all
+	// apps — the corpus-level slowest-pass table.
+	PassTimes map[string]time.Duration
 }
 
 // RunOptions bound and harden a corpus run. The zero value reproduces
@@ -70,12 +110,31 @@ func (s CorpusStats) AvgLeaksPerApp() float64 {
 	return float64(s.TotalFound) / float64(s.Apps)
 }
 
-// AvgTime is the mean per-app analysis time.
+// AvgTime is the mean per-app analysis time over completed apps. When
+// nothing completed it falls back to the mean over all attempted apps,
+// so a fully truncated corpus still reports a meaningful figure.
 func (s CorpusStats) AvgTime() time.Duration {
+	if r, ok := s.Times[core.Complete.String()]; ok && r.Apps > 0 {
+		return r.Avg()
+	}
 	if s.Apps == 0 {
 		return 0
 	}
-	return s.TotalTime / time.Duration(s.Apps)
+	var total time.Duration
+	for _, r := range s.Times {
+		total += r.Total
+	}
+	return total / time.Duration(s.Apps)
+}
+
+// timeRollup returns (creating if needed) the rollup for an outcome key.
+func (s *CorpusStats) timeRollup(key string) *TimeRollup {
+	r := s.Times[key]
+	if r == nil {
+		r = &TimeRollup{}
+		s.Times[key] = r
+	}
+	return r
 }
 
 // RunCorpus generates and analyzes n apps of a profile with FlowDroid's
@@ -94,7 +153,13 @@ func RunCorpusWith(ctx context.Context, p Profile, n int, seed int64, ro RunOpti
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	stats := CorpusStats{Profile: p.Name, BySink: make(map[string]int), Passes: make(core.PassStats)}
+	stats := CorpusStats{
+		Profile:   p.Name,
+		BySink:    make(map[string]int),
+		Passes:    make(core.PassStats),
+		PassTimes: make(map[string]time.Duration),
+		Times:     make(map[string]*TimeRollup),
+	}
 	apps := GenerateCorpus(p, n, seed)
 	for i, app := range apps {
 		if ctx.Err() != nil {
@@ -106,23 +171,30 @@ func RunCorpusWith(ctx context.Context, p Profile, n int, seed int64, ro RunOpti
 		el := time.Since(start)
 		stats.Apps++
 		stats.TotalInjected += app.InjectedLeaks
-		stats.TotalTime += el
-		if stats.MinTime == 0 || el < stats.MinTime {
-			stats.MinTime = el
-		}
-		if el > stats.MaxTime {
-			stats.MaxTime = el
-			stats.SlowestApp = app.Name
-		}
 		if err != nil {
+			// The wall time of a failed app goes into its own rollup, never
+			// into the completed-apps aggregate.
 			if pe, ok := err.(*panicErr); ok {
+				stats.timeRollup(core.Recovered.String()).observe(app.Name, el)
 				stats.Recovered++
 				stats.Failures = append(stats.Failures, fmt.Sprintf("%s: recovered from %v", app.Name, pe.value))
 			} else {
+				stats.timeRollup("Error").observe(app.Name, el)
 				stats.Errors++
 				stats.Failures = append(stats.Failures, fmt.Sprintf("%s: %v", app.Name, err))
 			}
 			continue
+		}
+		stats.timeRollup(res.Status.String()).observe(app.Name, el)
+		if res.Status == core.Complete {
+			stats.TotalTime += el
+			if stats.MinTime == 0 || el < stats.MinTime {
+				stats.MinTime = el
+			}
+			if el > stats.MaxTime {
+				stats.MaxTime = el
+				stats.SlowestApp = app.Name
+			}
 		}
 		switch res.Status {
 		case core.Recovered:
@@ -146,6 +218,9 @@ func RunCorpusWith(ctx context.Context, p Profile, n int, seed int64, ro RunOpti
 			agg.Runs += st.Runs
 			agg.Hits += st.Hits
 			stats.Passes[pass] = agg
+		}
+		for pass, d := range res.PassTimes {
+			stats.PassTimes[pass] += d
 		}
 		leaks := res.Leaks()
 		stats.TotalFound += len(leaks)
@@ -199,9 +274,21 @@ func (s CorpusStats) Render() string {
 		s.AppsWithLeaks, 100*float64(s.AppsWithLeaks)/float64(max(1, s.Apps)))
 	fmt.Fprintf(&sb, "  leaks found: %d (injected ground truth: %d), %.2f leaks/app\n",
 		s.TotalFound, s.TotalInjected, s.AvgLeaksPerApp())
-	fmt.Fprintf(&sb, "  analysis time: avg %v, min %v, max %v (slowest: %s)\n",
+	fmt.Fprintf(&sb, "  analysis time (completed apps): avg %v, min %v, max %v (slowest: %s)\n",
 		s.AvgTime().Round(time.Microsecond), s.MinTime.Round(time.Microsecond),
 		s.MaxTime.Round(time.Microsecond), s.SlowestApp)
+	var outcomes []string
+	for k, r := range s.Times {
+		if k != core.Complete.String() && r.Apps > 0 {
+			outcomes = append(outcomes, k)
+		}
+	}
+	sort.Strings(outcomes)
+	for _, k := range outcomes {
+		r := s.Times[k]
+		fmt.Fprintf(&sb, "  analysis time (%s): %d app(s), avg %v, max %v (slowest: %s)\n",
+			k, r.Apps, r.Avg().Round(time.Microsecond), r.Max.Round(time.Microsecond), r.Slowest)
+	}
 	var sinks []string
 	for k := range s.BySink {
 		sinks = append(sinks, k)
@@ -213,6 +300,26 @@ func (s CorpusStats) Render() string {
 	if len(s.Passes) > 0 {
 		fmt.Fprintf(&sb, "  pipeline passes: %d runs, %d artifact reuses (%s)\n",
 			s.Passes.TotalRuns(), s.Passes.TotalHits(), s.Passes)
+	}
+	if len(s.PassTimes) > 0 {
+		type pt struct {
+			name string
+			d    time.Duration
+		}
+		table := make([]pt, 0, len(s.PassTimes))
+		for name, d := range s.PassTimes {
+			table = append(table, pt{name, d})
+		}
+		sort.Slice(table, func(i, j int) bool {
+			if table[i].d != table[j].d {
+				return table[i].d > table[j].d
+			}
+			return table[i].name < table[j].name
+		})
+		sb.WriteString("  slowest passes (total build time across apps):\n")
+		for _, e := range table {
+			fmt.Fprintf(&sb, "    %-12s %v\n", e.name+":", e.d.Round(time.Microsecond))
+		}
 	}
 	if s.Recovered+s.TimedOut+s.Exhausted+s.LeakLimited+s.Errors+s.Degraded+s.Incomplete > 0 {
 		fmt.Fprintf(&sb, "  abnormal outcomes: %d recovered, %d timed out, %d budget-exhausted, %d leak-capped, %d errors, %d degraded, %d never attempted\n",

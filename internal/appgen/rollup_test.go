@@ -1,0 +1,115 @@
+package appgen
+
+// Regression tests for the per-outcome wall-time rollup split: the
+// headline corpus time aggregate must describe completed apps only,
+// with panic-recovered and deadline-truncated apps rolled up under
+// their own outcome keys instead of silently blended into the means.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"flowdroid/internal/core"
+)
+
+// TestRollupObserve: the rollup arithmetic itself.
+func TestRollupObserve(t *testing.T) {
+	var r TimeRollup
+	r.observe("a", 4*time.Millisecond)
+	r.observe("b", 10*time.Millisecond)
+	r.observe("c", 1*time.Millisecond)
+	if r.Apps != 3 || r.Total != 15*time.Millisecond {
+		t.Errorf("apps %d total %v, want 3 and 15ms", r.Apps, r.Total)
+	}
+	if r.Min != 1*time.Millisecond || r.Max != 10*time.Millisecond || r.Slowest != "b" {
+		t.Errorf("min %v max %v slowest %q, want 1ms/10ms/b", r.Min, r.Max, r.Slowest)
+	}
+	if r.Avg() != 5*time.Millisecond {
+		t.Errorf("avg = %v, want 5ms", r.Avg())
+	}
+	if (TimeRollup{}).Avg() != 0 {
+		t.Error("empty rollup Avg must be 0")
+	}
+}
+
+// TestCorpusRollupSplitOnPanic: an injected panic must put the victim's
+// wall time into the Recovered rollup and keep it out of the completed
+// aggregate — which must cover exactly the other apps.
+func TestCorpusRollupSplitOnPanic(t *testing.T) {
+	const n, seed = 6, 7
+	apps := GenerateCorpus(Play, n, seed)
+	victim := apps[2].Name
+
+	stats, err := RunCorpusWith(context.Background(), Play, n, seed, RunOptions{FaultInject: victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := stats.Times[core.Complete.String()]
+	if comp == nil || comp.Apps != n-1 {
+		t.Fatalf("completed rollup = %+v, want %d apps", comp, n-1)
+	}
+	rec := stats.Times[core.Recovered.String()]
+	if rec == nil || rec.Apps != 1 || rec.Slowest != victim {
+		t.Fatalf("recovered rollup = %+v, want the victim %s alone", rec, victim)
+	}
+	if stats.SlowestApp == victim {
+		t.Errorf("SlowestApp names the panicked victim; its time leaked into the completed aggregate")
+	}
+	if comp.Total != stats.TotalTime || comp.Max != stats.MaxTime || comp.Min != stats.MinTime {
+		t.Errorf("headline aggregate (total %v min %v max %v) diverges from the completed rollup (%+v)",
+			stats.TotalTime, stats.MinTime, stats.MaxTime, comp)
+	}
+	if stats.AvgTime() != comp.Avg() {
+		t.Errorf("AvgTime() = %v, want the completed apps' mean %v", stats.AvgTime(), comp.Avg())
+	}
+	if !strings.Contains(stats.Render(), "analysis time (Recovered)") {
+		t.Errorf("summary does not render the Recovered rollup:\n%s", stats.Render())
+	}
+}
+
+// TestCorpusRollupSplitOnTimeout: with every app timed out, the
+// completed rollup stays empty, the DeadlineExceeded rollup holds all
+// apps, and AvgTime falls back to the all-apps mean rather than
+// dividing by zero.
+func TestCorpusRollupSplitOnTimeout(t *testing.T) {
+	const n = 3
+	stats, err := RunCorpusWith(context.Background(), Play, n, 7, RunOptions{Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp := stats.Times[core.Complete.String()]; comp != nil && comp.Apps != 0 {
+		t.Errorf("completed rollup holds %d timed-out apps", comp.Apps)
+	}
+	to := stats.Times[core.DeadlineExceeded.String()]
+	if to == nil || to.Apps != n {
+		t.Fatalf("deadline rollup = %+v, want all %d apps", to, n)
+	}
+	if stats.TotalTime != 0 || stats.SlowestApp != "" {
+		t.Errorf("headline aggregate polluted by timed-out apps: total %v slowest %q", stats.TotalTime, stats.SlowestApp)
+	}
+	if stats.AvgTime() <= 0 {
+		t.Errorf("AvgTime() = %v with every app truncated, want the all-apps fallback mean", stats.AvgTime())
+	}
+}
+
+// TestCorpusPassTimeAggregation: a clean corpus run must surface a
+// slowest-pass table whose entries cover the pipeline's passes.
+func TestCorpusPassTimeAggregation(t *testing.T) {
+	stats, err := RunCorpusWith(context.Background(), Play, 3, 7, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.PassTimes) == 0 {
+		t.Fatal("no pass times aggregated")
+	}
+	for _, pass := range []string{"callgraph", "taint"} {
+		if _, ok := stats.PassTimes[pass]; !ok {
+			t.Errorf("pass %q missing from the aggregated times %v", pass, stats.PassTimes)
+		}
+	}
+	if !strings.Contains(stats.Render(), "slowest passes") {
+		t.Errorf("summary does not render the slowest-pass table:\n%s", stats.Render())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"flowdroid/internal/ir"
+	"flowdroid/internal/metrics"
 )
 
 // Graph is a call graph: a set of entry methods, call edges from call
@@ -69,6 +70,20 @@ func (g *Graph) Reachable() []*ir.Method { return g.reachable }
 
 // IsReachable reports whether m is reachable from the entries.
 func (g *Graph) IsReachable(m *ir.Method) bool { return g.reachSet[m] }
+
+// exportMetrics publishes the graph's size gauges when the context
+// carries a recorder. Both builders (CHA here, the points-to builder in
+// internal/pta via the pipeline) converge on the same gauge names; the
+// values are structural facts of the program and configuration, hence
+// deterministic.
+func (g *Graph) exportMetrics(ctx context.Context) {
+	rec := metrics.From(ctx)
+	if rec == nil {
+		return
+	}
+	rec.Gauge("callgraph.edges", metrics.Deterministic).Set(int64(g.NumEdges()))
+	rec.Gauge("callgraph.reachable", metrics.Deterministic).Set(int64(len(g.Reachable())))
+}
 
 // NumEdges returns the total number of call edges.
 func (g *Graph) NumEdges() int {
@@ -270,6 +285,7 @@ func (r *Resolver) DispatchOn(runtimeClass string, e *ir.InvokeExpr) *ir.Method 
 // instead of re-indexing the program.
 func BuildCHA(ctx context.Context, h ir.Hierarchy, entries ...*ir.Method) *Graph {
 	g := NewGraph(entries...)
+	defer g.exportMetrics(ctx)
 	r := ResolverFor(h)
 	seen := make(map[*ir.Method]bool)
 	work := append([]*ir.Method(nil), entries...)

@@ -89,6 +89,10 @@ type Result struct {
 	// Timings per pipeline stage.
 	SetupTime time.Duration
 	TaintTime time.Duration
+	// PassTimes is the wall time each pass spent actually building its
+	// artifact across this run (memo hits cost nothing and add nothing).
+	// The corpus harness aggregates these into its slowest-pass table.
+	PassTimes map[string]time.Duration
 }
 
 // Leaks returns the distinct (source, sink) leaks found.

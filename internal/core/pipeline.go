@@ -12,6 +12,7 @@ import (
 	"flowdroid/internal/cfg"
 	"flowdroid/internal/ir"
 	"flowdroid/internal/lifecycle"
+	"flowdroid/internal/metrics"
 	"flowdroid/internal/pta"
 	"flowdroid/internal/scene"
 	"flowdroid/internal/sourcesink"
@@ -102,6 +103,11 @@ type pipeline struct {
 	sc  *scene.Scene
 
 	stats map[string]*PassStat
+	times map[string]time.Duration
+
+	// rec is the run's metrics recorder (nil when metrics are disabled);
+	// run() refreshes it from the context on every attempt.
+	rec *metrics.Recorder
 
 	cbs   artifact[*callbacks.Result]
 	entry artifact[*ir.Method]
@@ -118,7 +124,11 @@ type cgArtifact struct {
 }
 
 func newPipeline(app *apk.App) *pipeline {
-	return &pipeline{app: app, stats: make(map[string]*PassStat)}
+	return &pipeline{
+		app:   app,
+		stats: make(map[string]*PassStat),
+		times: make(map[string]time.Duration),
+	}
 }
 
 func (pl *pipeline) stat(name string) *PassStat {
@@ -130,6 +140,28 @@ func (pl *pipeline) stat(name string) *PassStat {
 	return st
 }
 
+// ran opens one pass execution: it bumps the run counter (and its
+// metrics mirror) up front — so a pass that panics still counts as an
+// attempted run — and returns a closer that charges the elapsed build
+// time to the pass and ends its trace span. The closer is safe under
+// panic when deferred.
+func (pl *pipeline) ran(name string) func() {
+	pl.stat(name).Runs++
+	pl.rec.Counter("pipeline."+name+".runs", metrics.Deterministic).Add(1)
+	sp := pl.rec.StartSpan("pipeline." + name)
+	bstart := time.Now()
+	return func() {
+		pl.times[name] += time.Since(bstart)
+		sp.End()
+	}
+}
+
+// hit records one memo reuse.
+func (pl *pipeline) hit(name string) {
+	pl.stat(name).Hits++
+	pl.rec.Counter("pipeline."+name+".hits", metrics.Deterministic).Add(1)
+}
+
 // snapshot copies the counters into an exported PassStats.
 func (pl *pipeline) snapshot() PassStats {
 	out := make(PassStats, len(pl.stats))
@@ -139,18 +171,30 @@ func (pl *pipeline) snapshot() PassStats {
 	return out
 }
 
+// timesSnapshot copies the per-pass build times.
+func (pl *pipeline) timesSnapshot() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(pl.times))
+	for n, d := range pl.times {
+		out[n] = d
+	}
+	return out
+}
+
 // memo returns the cached artifact when its key matches, otherwise runs
 // build and caches the result. Errors and panics leave the artifact
-// unbuilt.
+// unbuilt. A build is wrapped in a "pipeline.<name>" metrics span and
+// its wall time is charged to the pass; a hit costs (and records)
+// nothing but the hit counter.
 func memo[T any](pl *pipeline, name, key string, a *artifact[T], build func() (T, error)) (T, error) {
-	st := pl.stat(name)
 	if a.built && a.key == key {
-		st.Hits++
+		pl.hit(name)
 		return a.val, nil
 	}
-	st.Runs++
 	a.built = false
-	v, err := build()
+	v, err := func() (T, error) {
+		defer pl.ran(name)()
+		return build()
+	}()
 	if err != nil {
 		var zero T
 		return zero, err
@@ -165,30 +209,46 @@ func memo[T any](pl *pipeline, name, key string, a *artifact[T], build func() (T
 // before the panic.
 func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err error) {
 	start := time.Now()
+	pl.rec = metrics.From(ctx)
 	res = &Result{App: pl.app, Status: Complete, Taint: &taint.Results{}}
 	stage := "scene"
+	// tstart is zero until the taint stage begins; attribute() charges
+	// elapsed time to the stage that was actually running, so a panic or
+	// deadline during the solve lands in TaintTime, not SetupTime.
+	var tstart time.Time
+	attribute := func() {
+		if !tstart.IsZero() {
+			res.SetupTime = tstart.Sub(start)
+			res.TaintTime = time.Since(tstart)
+		} else {
+			res.SetupTime = time.Since(start)
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Status = Recovered
 			res.Failure = &Failure{Stage: stage, Value: r, Stack: stackTrace()}
-			res.SetupTime = time.Since(start)
+			attribute()
 			res.Passes = pl.snapshot()
+			res.PassTimes = pl.timesSnapshot()
 			err = nil
 		}
 	}()
 	truncated := func() *Result {
 		res.Status = DeadlineExceeded
-		res.SetupTime = time.Since(start)
+		attribute()
 		res.Passes = pl.snapshot()
+		res.PassTimes = pl.timesSnapshot()
 		return res
 	}
 
 	// Scene: the shared program model, built once per app.
 	if pl.sc == nil {
-		pl.stat("scene").Runs++
+		done := pl.ran("scene")
 		pl.sc = scene.New(pl.app.Program)
+		done()
 	} else {
-		pl.stat("scene").Hits++
+		pl.hit("scene")
 	}
 
 	stage = "callbacks"
@@ -240,6 +300,10 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 	res.CallGraph = cg.graph
 	res.Counters.PTAPropagations = cg.ptaProps
 	res.Counters.CallGraphEdges = cg.graph.NumEdges()
+	if pl.rec != nil {
+		pl.rec.Gauge("callgraph.edges", metrics.Deterministic).Set(int64(cg.graph.NumEdges()))
+		pl.rec.Gauge("callgraph.reachable", metrics.Deterministic).Set(int64(len(cg.graph.Reachable())))
+	}
 	if ctx.Err() != nil {
 		pl.graph.built = false // partial call graph must not be reused
 		return truncated(), nil
@@ -268,18 +332,18 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 		return nil, err
 	}
 
-	res.SetupTime = time.Since(start)
-	tstart := time.Now()
-
 	stage = "taint"
-	pl.stat("taint").Runs++
+	tstart = time.Now()
 	tc := opts.Taint
 	if opts.MaxPropagations > 0 {
 		tc.MaxPropagations = opts.MaxPropagations
 	}
-	tres := taint.Analyze(ctx, icfg, mgr, tc, entry)
+	tres := func() *taint.Results {
+		defer pl.ran("taint")()
+		return taint.Analyze(ctx, icfg, mgr, tc, entry)
+	}()
 	res.Taint = tres
-	res.TaintTime = time.Since(tstart)
+	attribute()
 	countersFromTaint(&res.Counters, tres.Stats)
 	switch tres.Status {
 	case taint.Cancelled:
@@ -290,5 +354,6 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 		res.Status = LeakLimitReached
 	}
 	res.Passes = pl.snapshot()
+	res.PassTimes = pl.timesSnapshot()
 	return res, nil
 }

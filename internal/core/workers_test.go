@@ -3,22 +3,26 @@ package core_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"testing"
 
 	"flowdroid/internal/core"
+	"flowdroid/internal/metrics"
 )
 
 // TestWorkerCountEquivalenceOnApp: the full pipeline must produce a
-// byte-identical canonical leak report and identical solver-effort
-// counters whether the taint solve runs sequentially or on 8 workers.
+// byte-identical canonical leak report, identical solver-effort
+// counters, and a byte-identical deterministic metrics section whether
+// the taint solve runs sequentially or on 2 or 8 workers.
 func TestWorkerCountEquivalenceOnApp(t *testing.T) {
 	app := stressApp(t)
-	var baseJSON []byte
-	var basePathEdges int
-	for _, w := range []int{1, 8} {
+	var baseJSON, baseDet []byte
+	var basePathEdges, basePeak int
+	for _, w := range []int{1, 2, 8} {
 		opts := core.DefaultOptions()
 		opts.Taint.Workers = w
-		res, err := core.AnalyzeFiles(context.Background(), app.Files, opts)
+		rec := metrics.New()
+		res, err := core.AnalyzeFiles(metrics.Into(context.Background(), rec), app.Files, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -32,8 +36,13 @@ func TestWorkerCountEquivalenceOnApp(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		det, err := json.Marshal(rec.Snapshot().Deterministic)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if w == 1 {
-			baseJSON, basePathEdges = js, res.Counters.PathEdges
+			baseJSON, baseDet = js, det
+			basePathEdges, basePeak = res.Counters.PathEdges, res.Taint.Stats.PeakAbstractions
 			continue
 		}
 		if !bytes.Equal(baseJSON, js) {
@@ -41,6 +50,13 @@ func TestWorkerCountEquivalenceOnApp(t *testing.T) {
 		}
 		if res.Counters.PathEdges != basePathEdges {
 			t.Errorf("workers=%d: path edges %d, want %d", w, res.Counters.PathEdges, basePathEdges)
+		}
+		if res.Taint.Stats.PeakAbstractions != basePeak {
+			t.Errorf("workers=%d: PeakAbstractions = %d, want %d (distinct interned abstractions are schedule-independent)",
+				w, res.Taint.Stats.PeakAbstractions, basePeak)
+		}
+		if !bytes.Equal(baseDet, det) {
+			t.Errorf("workers=%d: deterministic metrics differ from workers=1:\n%s\nvs\n%s", w, baseDet, det)
 		}
 	}
 }

@@ -9,13 +9,14 @@ import (
 )
 
 // TestWorkerCountEquivalence: every DroidBench case must produce a
-// byte-identical canonical leak report with the sequential and the
-// 8-worker taint solver.
+// byte-identical canonical leak report — and identical fact-domain
+// counters — with the sequential and the 8-worker taint solver.
 func TestWorkerCountEquivalence(t *testing.T) {
 	for _, c := range Cases() {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
 			var base []byte
+			var basePeak int
 			for _, w := range []int{1, 8} {
 				opts := core.DefaultOptions()
 				opts.Taint.Workers = w
@@ -28,11 +29,15 @@ func TestWorkerCountEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				if w == 1 {
-					base = js
+					base, basePeak = js, res.Taint.Stats.PeakAbstractions
 					continue
 				}
 				if !bytes.Equal(base, js) {
 					t.Errorf("workers=%d report differs from workers=1:\n%s\nvs\n%s", w, base, js)
+				}
+				if res.Taint.Stats.PeakAbstractions != basePeak {
+					t.Errorf("workers=%d: PeakAbstractions = %d, want %d",
+						w, res.Taint.Stats.PeakAbstractions, basePeak)
 				}
 			}
 		})

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"flowdroid/internal/ir"
+	"flowdroid/internal/metrics"
 )
 
 // SolveParallel runs the problem with a pool of worker goroutines, the
@@ -35,6 +36,12 @@ func (s *Solver[D]) SolveParallelCtx(ctx context.Context, workers int, lim Limit
 	}
 	p := &parallelRun[D]{s: s, lim: lim}
 	p.cond = sync.NewCond(&p.mu)
+	if rec := metrics.From(ctx); rec != nil {
+		// Queue depth over time depends on worker interleaving; its peak
+		// is a scheduling artifact, not a fact about the program.
+		p.depth = rec.Gauge("ifds.queue_depth", metrics.Schedule)
+		rec.Gauge("ifds.workers", metrics.Schedule).Set(int64(workers))
+	}
 
 	zero := s.Problem.Zero()
 	for _, seed := range s.Problem.Seeds() {
@@ -73,6 +80,7 @@ func (s *Solver[D]) SolveParallelCtx(ctx context.Context, workers int, lim Limit
 	wg.Wait()
 	close(watchDone)
 	watchWG.Wait()
+	s.exportMetrics(ctx)
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -92,6 +100,7 @@ type parallelRun[D comparable] struct {
 	pending int
 	done    bool
 	status  SolveStatus
+	depth   *metrics.Gauge
 }
 
 // stop aborts the run with the given status and wakes every worker.
@@ -130,6 +139,7 @@ func (p *parallelRun[D]) propagate(d1 D, n ir.Stmt, d2 D) {
 	}
 	p.queue = append(p.queue, workItem[D]{n, d1, d2})
 	p.pending++
+	p.depth.Add(1)
 	p.cond.Signal()
 }
 
@@ -153,6 +163,7 @@ func (p *parallelRun[D]) worker() {
 		it := p.queue[len(p.queue)-1]
 		p.queue = p.queue[:len(p.queue)-1]
 		p.mu.Unlock()
+		p.depth.Add(-1)
 
 		p.process(it)
 

@@ -16,6 +16,7 @@ import (
 
 	"flowdroid/internal/cfg"
 	"flowdroid/internal/ir"
+	"flowdroid/internal/metrics"
 )
 
 // SolveStatus reports how a solve run ended.
@@ -148,7 +149,23 @@ func (s *Solver[D]) SolveCtx(ctx context.Context, lim Limits) SolveStatus {
 	for _, seed := range s.Problem.Seeds() {
 		s.propagate(zero, seed, zero)
 	}
-	return s.drain(ctx, lim)
+	st := s.drain(ctx, lim)
+	s.exportMetrics(ctx)
+	return st
+}
+
+// exportMetrics publishes the solver's size counters when the context
+// carries a recorder. Path-edge and jump-table counts are properties of
+// the exploded graph's reachable subset, hence deterministic on
+// completed runs regardless of worker count or discovery order.
+func (s *Solver[D]) exportMetrics(ctx context.Context) {
+	rec := metrics.From(ctx)
+	if rec == nil {
+		return
+	}
+	rec.Counter("ifds.propagations", metrics.Deterministic).Add(int64(s.PropagateCount))
+	rec.Gauge("ifds.jump_stmts", metrics.Deterministic).Set(int64(len(s.jump)))
+	rec.Gauge("ifds.summaries", metrics.Deterministic).Set(int64(len(s.endSum)))
 }
 
 func (s *Solver[D]) drain(ctx context.Context, lim Limits) SolveStatus {

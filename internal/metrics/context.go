@@ -1,0 +1,25 @@
+package metrics
+
+import "context"
+
+// ctxKey is the private context key for the recorder.
+type ctxKey struct{}
+
+// Into returns a context carrying the recorder. Passing a nil recorder
+// returns ctx unchanged, so callers can thread an optional recorder
+// without branching.
+func Into(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// From extracts the recorder from the context, or nil when none is
+// installed. The nil return composes with the nil-safe Recorder
+// methods: metrics.From(ctx).Counter(...) is always legal and yields a
+// nil (no-op) instrument on the disabled path.
+func From(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one JSONL trace record. Ev is "B" (span begin) or "E" (span
+// end); TUS is microseconds since the recorder's epoch (monotonic);
+// DurUS is set on "E" events only. Seq is a global strictly increasing
+// sequence number — within one trace file, events sort by Seq, and
+// begin/end pairs for the same span name balance like brackets.
+type Event struct {
+	Seq   int64  `json:"seq"`
+	Ev    string `json:"ev"`
+	Name  string `json:"name"`
+	TUS   int64  `json:"t_us"`
+	DurUS int64  `json:"dur_us,omitempty"`
+}
+
+// Trace is a synchronous JSONL sink for span events. Writes are
+// serialized under a mutex; each event is one JSON object per line,
+// flushed eagerly so a trace from a crashed run is still readable up to
+// the crash.
+type Trace struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer
+}
+
+// NewTrace wraps w as a trace sink. If w is also an io.Closer, Close
+// closes it.
+func NewTrace(w io.Writer) *Trace {
+	t := &Trace{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// emit writes one event line. Errors are swallowed: tracing is best
+// effort and must never fail the analysis.
+func (t *Trace) emit(e Event) {
+	if t == nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.w.Write(b)
+	t.w.WriteByte('\n')
+	t.w.Flush()
+}
+
+// Close flushes and closes the underlying writer if it is closable.
+func (t *Trace) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.w.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// SetTrace attaches a trace sink to the recorder. Pass nil to detach.
+// Not safe to call concurrently with spans; attach before the run.
+func (r *Recorder) SetTrace(t *Trace) {
+	if r == nil {
+		return
+	}
+	r.trace = t
+}
+
+// Span is one timed region. End records its duration under the span
+// name and emits the "E" trace event. A nil Span (from a nil Recorder)
+// no-ops, so call sites need no enabled check:
+//
+//	defer metrics.From(ctx).StartSpan("pipeline.callgraph").End()
+type Span struct {
+	r     *Recorder
+	name  string
+	start time.Time
+	tus   int64
+}
+
+// StartSpan opens a named span: emits the "B" trace event (if a sink is
+// attached) and returns the span. Returns nil on a nil Recorder.
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{r: r, name: name, start: time.Now(), tus: r.now()}
+	if r.trace != nil {
+		r.trace.emit(Event{Seq: r.seq.Add(1), Ev: "B", Name: name, TUS: s.tus})
+	}
+	return s
+}
+
+// End closes the span. Safe on nil and safe to call at most once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.r.recordTiming(s.name, d)
+	if s.r.trace != nil {
+		s.r.trace.emit(Event{Seq: s.r.seq.Add(1), Ev: "E", Name: s.name, TUS: s.r.now(), DurUS: d.Microseconds()})
+	}
+}
+
+// ValidateTraceEvent checks one decoded trace event for schema sanity.
+// Used by the checktrace tool and tests.
+func ValidateTraceEvent(e Event) error {
+	if e.Seq <= 0 {
+		return fmt.Errorf("seq %d not positive", e.Seq)
+	}
+	if e.Ev != "B" && e.Ev != "E" {
+		return fmt.Errorf("ev %q not B or E", e.Ev)
+	}
+	if e.Name == "" {
+		return fmt.Errorf("empty span name")
+	}
+	if e.TUS < 0 {
+		return fmt.Errorf("negative timestamp %d", e.TUS)
+	}
+	if e.Ev == "B" && e.DurUS != 0 {
+		return fmt.Errorf("begin event carries dur_us %d", e.DurUS)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses a JSONL buffer into events, validating each line.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []Event {
+	t.Helper()
+	var evs []Event
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if err := ValidateTraceEvent(e); err != nil {
+			t.Fatalf("invalid event %+v: %v", e, err)
+		}
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// TestTraceSpanNesting: nested spans must emit balanced B/E pairs in
+// stack order with strictly increasing seq and nondecreasing
+// timestamps.
+func TestTraceSpanNesting(t *testing.T) {
+	var buf bytes.Buffer
+	r := New()
+	r.SetTrace(NewTrace(&buf))
+
+	outer := r.StartSpan("pipeline")
+	inner := r.StartSpan("pipeline.callgraph")
+	inner.End()
+	inner2 := r.StartSpan("pipeline.taint")
+	inner2.End()
+	outer.End()
+
+	evs := decodeTrace(t, &buf)
+	want := []struct{ ev, name string }{
+		{"B", "pipeline"},
+		{"B", "pipeline.callgraph"},
+		{"E", "pipeline.callgraph"},
+		{"B", "pipeline.taint"},
+		{"E", "pipeline.taint"},
+		{"E", "pipeline"},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d", len(evs), len(want))
+	}
+	for i, w := range want {
+		if evs[i].Ev != w.ev || evs[i].Name != w.name {
+			t.Errorf("event %d = %s %q, want %s %q", i, evs[i].Ev, evs[i].Name, w.ev, w.name)
+		}
+		if i > 0 {
+			if evs[i].Seq <= evs[i-1].Seq {
+				t.Errorf("seq not strictly increasing at event %d", i)
+			}
+			if evs[i].TUS < evs[i-1].TUS {
+				t.Errorf("timestamps regress at event %d", i)
+			}
+		}
+	}
+	// The outer span's duration must cover the inner spans'.
+	var outerDur, innerDur int64
+	for _, e := range evs {
+		if e.Ev != "E" {
+			continue
+		}
+		if e.Name == "pipeline" {
+			outerDur = e.DurUS
+		} else {
+			innerDur += e.DurUS
+		}
+	}
+	if outerDur < innerDur {
+		t.Errorf("outer span %dus shorter than the sum of inner spans %dus", outerDur, innerDur)
+	}
+	// And the same durations must be visible in the snapshot timings.
+	s := r.Snapshot()
+	if s.Timings["pipeline"].Count != 1 || s.Timings["pipeline.callgraph"].Count != 1 {
+		t.Errorf("span timings missing from snapshot: %+v", s.Timings)
+	}
+}
+
+// TestTraceRepeatedSpansAccumulate: a span name used N times must
+// produce N balanced pairs in the trace and Count == N in the snapshot.
+func TestTraceRepeatedSpansAccumulate(t *testing.T) {
+	var buf bytes.Buffer
+	r := New()
+	r.SetTrace(NewTrace(&buf))
+	for i := 0; i < 3; i++ {
+		r.StartSpan("pass").End()
+	}
+	evs := decodeTrace(t, &buf)
+	b, e := 0, 0
+	for _, ev := range evs {
+		switch ev.Ev {
+		case "B":
+			b++
+		case "E":
+			e++
+		}
+	}
+	if b != 3 || e != 3 {
+		t.Errorf("got %d B / %d E events, want 3/3", b, e)
+	}
+	if c := r.Snapshot().Timings["pass"].Count; c != 3 {
+		t.Errorf("snapshot count = %d, want 3", c)
+	}
+}
+
+// TestSpansWithoutTrace: spans must work (and feed timings) with no
+// trace sink attached.
+func TestSpansWithoutTrace(t *testing.T) {
+	r := New()
+	r.StartSpan("solo").End()
+	if c := r.Snapshot().Timings["solo"].Count; c != 1 {
+		t.Errorf("timing count = %d, want 1", c)
+	}
+}
+
+// TestTraceConcurrentWriters: concurrent spans must yield valid,
+// line-atomic JSONL — every line parses and every seq appears exactly
+// once.
+func TestTraceConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	r := New()
+	r.SetTrace(NewTrace(&buf))
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				r.StartSpan("w").End()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	evs := decodeTrace(t, &buf)
+	if len(evs) != 400 {
+		t.Fatalf("got %d events, want 400", len(evs))
+	}
+	seen := make(map[int64]bool, len(evs))
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("seq %d appears twice", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// TestValidateTraceEvent: the validator must reject the malformed
+// shapes checktrace guards against.
+func TestValidateTraceEvent(t *testing.T) {
+	bad := []Event{
+		{Seq: 0, Ev: "B", Name: "x", TUS: 1},
+		{Seq: 1, Ev: "X", Name: "x", TUS: 1},
+		{Seq: 1, Ev: "B", Name: "", TUS: 1},
+		{Seq: 1, Ev: "B", Name: "x", TUS: -1},
+		{Seq: 1, Ev: "B", Name: "x", TUS: 1, DurUS: 5},
+	}
+	for i, e := range bad {
+		if ValidateTraceEvent(e) == nil {
+			t.Errorf("case %d: %+v accepted, want error", i, e)
+		}
+	}
+	if err := ValidateTraceEvent(Event{Seq: 1, Ev: "E", Name: "x", TUS: 1, DurUS: 3}); err != nil {
+		t.Errorf("valid end event rejected: %v", err)
+	}
+}
+
+// TestTraceCloseFlushes: Close must flush buffered events so short
+// traces are not lost.
+func TestTraceCloseFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.emit(Event{Seq: 1, Ev: "B", Name: "x", TUS: 1})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name":"x"`) {
+		t.Errorf("event not flushed: %q", buf.String())
+	}
+}

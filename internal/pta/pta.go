@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"flowdroid/internal/callgraph"
+	"flowdroid/internal/metrics"
 	"flowdroid/internal/ir"
 )
 
@@ -168,10 +169,37 @@ func Build(ctx context.Context, prog ir.Hierarchy, entries ...*ir.Method) *Resul
 	// allocation site (library stub results, unmodeled values). The
 	// fallback can make new methods reachable, so iterate to a fixed
 	// point.
+	rounds := 1
 	for !a.truncated && a.applyFallback() {
 		a.solve()
+		rounds++
+	}
+	if rec := metrics.From(ctx); rec != nil {
+		rec.Counter("pta.propagations", metrics.Deterministic).Add(int64(a.propagations))
+		rec.Counter("pta.rounds", metrics.Deterministic).Add(int64(rounds))
+		rec.Counter("pta.constraints", metrics.Deterministic).Add(int64(a.constraintCount()))
 	}
 	return &Result{Graph: a.graph, Truncated: a.truncated, Propagations: a.propagations, a: a}
+}
+
+// constraintCount totals the copy, load, store and call constraints the
+// solve accumulated — the size of the constraint system, not the effort
+// spent on it (that is propagations).
+func (a *analysis) constraintCount() int {
+	n := 0
+	for _, s := range a.succs {
+		n += len(s)
+	}
+	for _, s := range a.loads {
+		n += len(s)
+	}
+	for _, s := range a.stores {
+		n += len(s)
+	}
+	for _, s := range a.calls {
+		n += len(s)
+	}
+	return n
 }
 
 func localNode(l *ir.Local) node  { return node{kind: 0, local: l} }

@@ -80,6 +80,13 @@ func (in *interner) intern(k string, mk func() *AccessPath) *AccessPath {
 	return ap
 }
 
+// size is the number of distinct access paths interned so far.
+func (in *interner) size() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.paths)
+}
+
 func (in *interner) key(base *ir.Local, static *ir.Field, fields []*ir.Field) string {
 	var sb strings.Builder
 	if base != nil {

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flowdroid/internal/cfg"
 	"flowdroid/internal/ir"
+	"flowdroid/internal/metrics"
 	"flowdroid/internal/sourcesink"
 )
 
@@ -66,7 +68,22 @@ type engine struct {
 	actMu    sync.RWMutex
 	actCache map[actKey]bool
 
+	// srcRecs interns SourceRecords by (statement, source rule).
+	// Abstractions are interned by a key that includes the *SourceRecord
+	// pointer (absKey in abstraction.go), so the same conceptual source
+	// must always yield the same record: a fresh allocation per
+	// flow-function evaluation would make abstraction identity — and with
+	// it Stats.PeakAbstractions — depend on how often workers happened to
+	// re-evaluate a source, i.e. on the schedule.
+	srcMu   sync.Mutex
+	srcRecs map[srcKey]*SourceRecord
+
 	stats engineStats
+
+	// aliasHist, when metrics are enabled, times each alias-search spawn;
+	// nil otherwise so the disabled path is one pointer check.
+	aliasHist *metrics.Histogram
+	rec       *metrics.Recorder
 
 	// idxFields interns the pseudo-fields that model constant array
 	// indices when ArrayIndexSensitive is on.
@@ -120,6 +137,27 @@ type actKey struct {
 	m    *ir.Method
 }
 
+// srcKey identifies a conceptual taint source: the statement it fires at
+// plus the matched rule (sourcesink.Source is a comparable value type).
+type srcKey struct {
+	stmt ir.Stmt
+	src  sourcesink.Source
+}
+
+// sourceRecord interns the record for (n, src); every evaluation of the
+// same source returns the same pointer.
+func (e *engine) sourceRecord(n ir.Stmt, src sourcesink.Source) *SourceRecord {
+	k := srcKey{n, src}
+	e.srcMu.Lock()
+	defer e.srcMu.Unlock()
+	if r, ok := e.srcRecs[k]; ok {
+		return r
+	}
+	r := &SourceRecord{Stmt: n, Source: src}
+	e.srcRecs[k] = r
+	return r
+}
+
 // recordLeak registers a (source, sink, access path) leak once. When the
 // MaxLeaks cap is configured, the recorder never stores more than the cap
 // and hitting it aborts the run with LeakLimitReached — a truncated
@@ -156,6 +194,7 @@ func newEngine(icfg *cfg.ICFG, mgr *sourcesink.Manager, conf Config) *engine {
 		endSum:   make(map[methodCtx][]exitRec),
 		leakSeen: make(map[leakKey]bool),
 		actCache: make(map[actKey]bool),
+		srcRecs:  make(map[srcKey]*SourceRecord),
 		q:        newWorkQueue(),
 	}
 	e.zero = e.ai.get(nil, true, nil, nil, nil, nil)
@@ -189,6 +228,10 @@ func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
 	if workers <= 0 {
 		workers = 1
 	}
+	if e.rec = metrics.From(ctx); e.rec != nil {
+		e.aliasHist = e.rec.Histogram("taint.alias_query_us")
+		e.q.depth = e.rec.Gauge("taint.queue_depth", metrics.Schedule)
+	}
 
 	for _, m := range entries {
 		if sp := m.EntryStmt(); sp != nil {
@@ -202,7 +245,7 @@ func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
 			continue
 		}
 		for _, src := range e.mgr.ParamSources(m) {
-			rec := &SourceRecord{Stmt: m.EntryStmt(), Source: src}
+			rec := e.sourceRecord(m.EntryStmt(), src)
 			ap := e.in.local(m.Params[src.Param])
 			abs := e.ai.get(ap, true, nil, rec, nil, m.EntryStmt())
 			e.fwPropagate(e.zero, m.EntryStmt(), abs)
@@ -227,7 +270,29 @@ func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
 		PeakAbstractions: e.ai.size(),
 		Workers:          workers,
 	}
+	e.exportMetrics(stats)
 	return &Results{Leaks: e.leaks, Stats: stats, Status: e.q.finalStatus()}
+}
+
+// exportMetrics publishes the run's counters into the recorder. The
+// solver-effort counters are novel-insertion (or once-per-novel-item)
+// counts, schedule-independent on completed runs, so they go into the
+// deterministic section; the worker count and queue peak are scheduling
+// facts and stay in the schedule section. Counters accumulate with Add
+// so a recorder shared across a corpus sums per-app effort.
+func (e *engine) exportMetrics(s Stats) {
+	rec := e.rec
+	if rec == nil {
+		return
+	}
+	rec.Counter("taint.forward_edges", metrics.Deterministic).Add(int64(s.ForwardEdges))
+	rec.Counter("taint.backward_edges", metrics.Deterministic).Add(int64(s.BackwardEdges))
+	rec.Counter("taint.propagations", metrics.Deterministic).Add(int64(s.Propagations))
+	rec.Counter("taint.alias_queries", metrics.Deterministic).Add(int64(s.AliasQueries))
+	rec.Counter("taint.summaries", metrics.Deterministic).Add(int64(s.Summaries))
+	rec.Counter("taint.abstractions", metrics.Deterministic).Add(int64(s.PeakAbstractions))
+	rec.Counter("taint.access_paths", metrics.Deterministic).Add(int64(e.in.size()))
+	rec.Gauge("taint.workers", metrics.Schedule).Set(int64(s.Workers))
 }
 
 // fwPropagate inserts a forward path edge. Only a novel edge is charged
@@ -426,6 +491,16 @@ func (e *engine) canActivate(site ir.Stmt, act ir.Stmt) bool {
 // (context injection, Algorithm 1 line 16). The alias copy is inactive
 // with n as its activation statement.
 func (e *engine) spawnAliasSearch(n ir.Stmt, d1 *Abstraction, t *Abstraction) {
+	if e.aliasHist == nil {
+		e.doSpawnAliasSearch(n, d1, t)
+		return
+	}
+	t0 := time.Now()
+	e.doSpawnAliasSearch(n, d1, t)
+	e.aliasHist.Observe(time.Since(t0))
+}
+
+func (e *engine) doSpawnAliasSearch(n ir.Stmt, d1 *Abstraction, t *Abstraction) {
 	if !e.conf.EnableAliasing || t.AP == nil || t.AP.IsStatic() {
 		return
 	}

@@ -201,7 +201,7 @@ func (e *engine) callToReturn(n ir.Stmt, call *ir.InvokeExpr, d1, d2 *Abstractio
 	if d2 == e.zero {
 		outs := []*Abstraction{e.zero}
 		if src, ok := e.mgr.SourceAtCall(n); ok && result != nil {
-			rec := &SourceRecord{Stmt: n, Source: src}
+			rec := e.sourceRecord(n, src)
 			outs = append(outs, e.ai.get(e.in.local(result), true, nil, rec, nil, n))
 		}
 		return outs

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"flowdroid/internal/ir"
+	"flowdroid/internal/metrics"
 )
 
 // This file holds the concurrency machinery of the bidirectional engine:
@@ -44,6 +45,10 @@ type workQueue struct {
 	// stops recording edges and charging budget as soon as the flag is
 	// visible, without taking the queue lock.
 	aborted atomic.Bool
+	// depth, when metrics are enabled, tracks the live queue depth (and
+	// with it the high-water mark); nil otherwise — Gauge methods no-op
+	// on nil, so the disabled cost is one predictable branch.
+	depth *metrics.Gauge
 }
 
 func newWorkQueue() *workQueue {
@@ -59,6 +64,7 @@ func (q *workQueue) push(t task) {
 	q.pending++
 	q.cond.Signal()
 	q.mu.Unlock()
+	q.depth.Add(1)
 }
 
 // stop aborts the run with the given status and wakes every worker; the
@@ -88,6 +94,11 @@ func (q *workQueue) finalStatus() Status {
 func (e *engine) drainSequential(ctx context.Context) {
 	q := e.q
 	steps := 0
+	if e.rec != nil {
+		defer func() {
+			e.rec.Counter("taint.worker0.drained", metrics.Schedule).Add(int64(steps))
+		}()
+	}
 	for {
 		q.mu.Lock()
 		if q.done && q.status != Completed {
@@ -103,6 +114,7 @@ func (e *engine) drainSequential(ctx context.Context) {
 		q.items = q.items[:len(q.items)-1]
 		q.pending--
 		q.mu.Unlock()
+		q.depth.Add(-1)
 		steps++
 		if steps%ctxCheckEvery == 0 && ctx.Err() != nil {
 			q.stop(Cancelled)
@@ -173,7 +185,7 @@ func (e *engine) drainParallel(ctx context.Context, workers int) {
 					q.stop(Cancelled)
 				}
 			}()
-			e.worker()
+			e.worker(w)
 		}()
 	}
 	wg.Wait()
@@ -187,8 +199,16 @@ func (e *engine) drainParallel(ctx context.Context, workers int) {
 // worker drains the queue until the run completes or aborts. An aborted
 // run (cancellation, budget, leak cap) abandons the remaining queue; a
 // completed run exits once the queue is empty and nothing is in flight.
-func (e *engine) worker() {
+// The per-worker drained count is a scheduling fact (how the pool split
+// the work), exported under the schedule section when metrics are on.
+func (e *engine) worker(id int) {
 	q := e.q
+	drained := 0
+	if e.rec != nil {
+		defer func() {
+			e.rec.Counter(fmt.Sprintf("taint.worker%d.drained", id), metrics.Schedule).Add(int64(drained))
+		}()
+	}
 	for {
 		q.mu.Lock()
 		for len(q.items) == 0 && !q.done {
@@ -206,6 +226,8 @@ func (e *engine) worker() {
 		t := q.items[len(q.items)-1]
 		q.items = q.items[:len(q.items)-1]
 		q.mu.Unlock()
+		q.depth.Add(-1)
+		drained++
 
 		e.processTask(t)
 

@@ -261,6 +261,14 @@ func TestWorkerCountEquivalence(t *testing.T) {
 					t.Errorf("workers=%d: edges fw %d/bw %d, want fw %d/bw %d (novel-insertion counts are schedule-independent)",
 						w, r.Stats.ForwardEdges, r.Stats.BackwardEdges, baseStats.ForwardEdges, baseStats.BackwardEdges)
 				}
+				if r.Stats.PeakAbstractions != baseStats.PeakAbstractions {
+					t.Errorf("workers=%d: PeakAbstractions = %d, want %d (distinct interned abstractions are schedule-independent)",
+						w, r.Stats.PeakAbstractions, baseStats.PeakAbstractions)
+				}
+				if r.Stats.AliasQueries != baseStats.AliasQueries || r.Stats.Summaries != baseStats.Summaries {
+					t.Errorf("workers=%d: alias queries %d / summaries %d, want %d / %d",
+						w, r.Stats.AliasQueries, r.Stats.Summaries, baseStats.AliasQueries, baseStats.Summaries)
+				}
 			}
 		})
 	}

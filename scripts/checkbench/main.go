@@ -1,9 +1,14 @@
-// Command checkbench validates the schema of the BENCH_taint.json
-// artifact that `make bench-smoke` produces, so CI fails loudly when the
-// bench stops persisting its trajectory (the failure mode that motivated
-// the artifact) or emits a malformed record.
+// Command checkbench validates the schema of the BENCH_*.json artifacts
+// the smoke benchmarks produce, so CI fails loudly when a bench stops
+// persisting its trajectory (the failure mode that motivated the
+// artifacts) or emits a malformed record.
 //
-// Usage: go run ./scripts/checkbench BENCH_taint.json
+// The artifact kind is dispatched on the "bench" field:
+//
+//	BenchmarkSmokeTaint    → parallel-solver speedup report
+//	BenchmarkSmokeMetrics  → observability-overhead report
+//
+// Usage: go run ./scripts/checkbench BENCH_taint.json [BENCH_metrics.json ...]
 package main
 
 import (
@@ -20,7 +25,7 @@ type run struct {
 	Leaks        int     `json:"leaks"`
 }
 
-type report struct {
+type taintReport struct {
 	Bench      string  `json:"bench"`
 	Profile    string  `json:"profile"`
 	Apps       int     `json:"apps"`
@@ -31,59 +36,130 @@ type report struct {
 	Note       string  `json:"note"`
 }
 
+type metricsReport struct {
+	Bench             string  `json:"bench"`
+	Profile           string  `json:"profile"`
+	Apps              int     `json:"apps"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	NumCPU            int     `json:"num_cpu"`
+	OffWallMS         float64 `json:"off_wall_ms"`
+	OnWallMS          float64 `json:"on_wall_ms"`
+	OverheadRatio     float64 `json:"overhead_ratio"`
+	DeterministicKeys int     `json:"deterministic_keys"`
+	TraceEvents       int     `json:"trace_events"`
+	Note              string  `json:"note"`
+}
+
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "checkbench: "+format+"\n", args...)
 	os.Exit(1)
 }
 
-func main() {
-	if len(os.Args) != 2 {
-		fail("usage: checkbench <BENCH_taint.json>")
+// strict decodes data into v rejecting unknown fields, so schema drift
+// between the bench and this checker is an error, not a silent skip.
+func strict(path string, data []byte, v any) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		fail("%s: %v", path, err)
 	}
-	data, err := os.ReadFile(os.Args[1])
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fail("usage: checkbench <BENCH_*.json> ...")
+	}
+	for _, path := range os.Args[1:] {
+		check(path)
+	}
+}
+
+func check(path string) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
 	}
-	var r report
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&r); err != nil {
-		fail("%s: %v", os.Args[1], err)
+	var kind struct {
+		Bench string `json:"bench"`
 	}
-	if r.Bench == "" || r.Profile == "" {
-		fail("bench/profile missing")
+	if err := json.Unmarshal(data, &kind); err != nil {
+		fail("%s: %v", path, err)
+	}
+	switch kind.Bench {
+	case "BenchmarkSmokeTaint":
+		checkTaint(path, data)
+	case "BenchmarkSmokeMetrics":
+		checkMetrics(path, data)
+	default:
+		fail("%s: unknown bench %q", path, kind.Bench)
+	}
+}
+
+func checkTaint(path string, data []byte) {
+	var r taintReport
+	strict(path, data, &r)
+	if r.Profile == "" {
+		fail("%s: profile missing", path)
 	}
 	if r.Apps <= 0 || r.GOMAXPROCS <= 0 || r.NumCPU <= 0 {
-		fail("apps/gomaxprocs/num_cpu must be positive (got %d/%d/%d)", r.Apps, r.GOMAXPROCS, r.NumCPU)
+		fail("%s: apps/gomaxprocs/num_cpu must be positive (got %d/%d/%d)", path, r.Apps, r.GOMAXPROCS, r.NumCPU)
 	}
 	if len(r.Runs) < 2 {
-		fail("want at least a sequential and a parallel run, got %d", len(r.Runs))
+		fail("%s: want at least a sequential and a parallel run, got %d", path, len(r.Runs))
 	}
 	workers := map[int]bool{}
 	for i, ru := range r.Runs {
 		if ru.Workers <= 0 || workers[ru.Workers] {
-			fail("run %d: invalid or duplicate worker count %d", i, ru.Workers)
+			fail("%s: run %d: invalid or duplicate worker count %d", path, i, ru.Workers)
 		}
 		workers[ru.Workers] = true
 		if ru.WallMS <= 0 {
-			fail("run %d (workers=%d): wall_ms must be positive", i, ru.Workers)
+			fail("%s: run %d (workers=%d): wall_ms must be positive", path, i, ru.Workers)
 		}
 		if ru.Propagations <= 0 {
-			fail("run %d (workers=%d): propagations must be positive", i, ru.Workers)
+			fail("%s: run %d (workers=%d): propagations must be positive", path, i, ru.Workers)
 		}
 		if ru.Propagations != r.Runs[0].Propagations || ru.Leaks != r.Runs[0].Leaks {
-			fail("run %d (workers=%d): propagations/leaks differ across worker counts (%d/%d vs %d/%d) — the solver lost its schedule-independence",
-				i, ru.Workers, ru.Propagations, ru.Leaks, r.Runs[0].Propagations, r.Runs[0].Leaks)
+			fail("%s: run %d (workers=%d): propagations/leaks differ across worker counts (%d/%d vs %d/%d) — the solver lost its schedule-independence",
+				path, i, ru.Workers, ru.Propagations, ru.Leaks, r.Runs[0].Propagations, r.Runs[0].Leaks)
 		}
 	}
 	if !workers[1] {
-		fail("no sequential (workers=1) baseline run")
+		fail("%s: no sequential (workers=1) baseline run", path)
 	}
 	if r.Speedup <= 0 {
-		fail("speedup must be positive, got %v", r.Speedup)
+		fail("%s: speedup must be positive, got %v", path, r.Speedup)
 	}
 	if r.Speedup < 1.5 && r.Note == "" {
-		fail("speedup %.2fx is below 1.5x and no note documents why", r.Speedup)
+		fail("%s: speedup %.2fx is below 1.5x and no note documents why", path, r.Speedup)
 	}
-	fmt.Printf("checkbench: %s OK (%d runs, speedup %.2fx)\n", os.Args[1], len(r.Runs), r.Speedup)
+	fmt.Printf("checkbench: %s OK (%d runs, speedup %.2fx)\n", path, len(r.Runs), r.Speedup)
+}
+
+func checkMetrics(path string, data []byte) {
+	var r metricsReport
+	strict(path, data, &r)
+	if r.Profile == "" {
+		fail("%s: profile missing", path)
+	}
+	if r.Apps <= 0 || r.GOMAXPROCS <= 0 || r.NumCPU <= 0 {
+		fail("%s: apps/gomaxprocs/num_cpu must be positive (got %d/%d/%d)", path, r.Apps, r.GOMAXPROCS, r.NumCPU)
+	}
+	if r.OffWallMS <= 0 || r.OnWallMS <= 0 {
+		fail("%s: off/on wall times must be positive (got %v/%v)", path, r.OffWallMS, r.OnWallMS)
+	}
+	if r.OverheadRatio <= 0 {
+		fail("%s: overhead_ratio must be positive, got %v", path, r.OverheadRatio)
+	}
+	if r.DeterministicKeys <= 0 {
+		fail("%s: instrumented run produced no deterministic counters — the wiring came apart", path)
+	}
+	if r.TraceEvents <= 0 || r.TraceEvents%2 != 0 {
+		fail("%s: trace_events = %d, want a positive even count (B/E pairs)", path, r.TraceEvents)
+	}
+	if r.Note == "" {
+		fail("%s: note missing — the ratio needs a host interpretation", path)
+	}
+	fmt.Printf("checkbench: %s OK (overhead %.2fx, %d deterministic counters, %d trace events)\n",
+		path, r.OverheadRatio, r.DeterministicKeys, r.TraceEvents)
 }

@@ -1,0 +1,109 @@
+// Command checktrace validates a JSONL span trace produced by the
+// -trace flag of cmd/flowdroid and cmd/corpus (internal/metrics.Trace),
+// so CI catches schema drift between the emitter and its consumers.
+//
+// Checks, per file:
+//
+//   - every line is one JSON object decoding exactly into metrics.Event
+//     (unknown fields rejected) and passing metrics.ValidateTraceEvent;
+//   - sequence numbers are unique and form the contiguous range 1..N —
+//     a gap means an event was dropped on the floor;
+//   - per span name, in seq order, begins and ends balance like
+//     brackets: the running open-span count never goes negative and
+//     ends at zero.
+//
+// File order is not required to be seq order: concurrent spans take
+// their sequence number before entering the sink's write lock.
+//
+// Usage: go run ./scripts/checktrace trace.jsonl [more.jsonl ...]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"flowdroid/internal/metrics"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checktrace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fail("usage: checktrace <trace.jsonl> ...")
+	}
+	for _, path := range os.Args[1:] {
+		check(path)
+	}
+}
+
+func check(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+
+	var events []metrics.Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e metrics.Event
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&e); err != nil {
+			fail("%s:%d: %v", path, lineNo, err)
+		}
+		if err := metrics.ValidateTraceEvent(e); err != nil {
+			fail("%s:%d: %v", path, lineNo, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		fail("%s: %v", path, err)
+	}
+	if len(events) == 0 {
+		fail("%s: empty trace", path)
+	}
+
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	for i, e := range events {
+		if want := int64(i + 1); e.Seq != want {
+			fail("%s: sequence numbers are not the contiguous range 1..%d: position %d holds seq %d",
+				path, len(events), i+1, e.Seq)
+		}
+	}
+
+	open := map[string]int{}
+	for _, e := range events {
+		if e.Ev == "B" {
+			open[e.Name]++
+			continue
+		}
+		open[e.Name]--
+		if open[e.Name] < 0 {
+			fail("%s: span %q ends (seq %d) before any matching begin", path, e.Name, e.Seq)
+		}
+	}
+	names := make([]string, 0, len(open))
+	for name, n := range open {
+		if n != 0 {
+			fail("%s: span %q left %d begin(s) without an end", path, name, n)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("checktrace: %s OK (%d events, %d span names)\n", path, len(events), len(names))
+}

@@ -20,10 +20,24 @@ go test -race ./...
 echo "==> go test -race ./internal/taint/... (parallel taint solver)"
 go test -race ./internal/taint/...
 
-echo "==> bench smoke (one-shot, compile + run sanity; emits BENCH_taint.json)"
+echo "==> bench smoke (one-shot, compile + run sanity; emits BENCH_taint.json and BENCH_metrics.json)"
 go test -bench Smoke -benchtime=1x -run '^$' .
 
-echo "==> checkbench (BENCH_taint.json schema)"
-go run ./scripts/checkbench BENCH_taint.json
+echo "==> checkbench (BENCH_taint.json + BENCH_metrics.json schemas)"
+go run ./scripts/checkbench BENCH_taint.json BENCH_metrics.json
+
+echo "==> trace smoke (flowdroid -insecurebank -trace) + checktrace"
+trace_file=$(mktemp)
+# InsecureBank finds leaks, so exit 1 is the expected outcome here; any
+# other code is a real failure.
+st=0
+go run ./cmd/flowdroid -insecurebank -trace "$trace_file" >/dev/null || st=$?
+if [ "$st" -ne 1 ]; then
+    echo "flowdroid -insecurebank exited $st, want 1 (leaks found)" >&2
+    rm -f "$trace_file"
+    exit 1
+fi
+go run ./scripts/checktrace "$trace_file"
+rm -f "$trace_file"
 
 echo "CI OK"

@@ -38,6 +38,7 @@ func main() {
 		degrade    = flag.Bool("degrade", false, "retry budget-exhausted apps with cheaper configurations")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "per-app taint solver worker-pool size (<=1 = sequential)")
 		forcePanic  = flag.String("force-panic", "", "inject a panic while analyzing the named app (tests batch isolation)")
+		lint        = flag.Bool("lint", false, "run the IR verifier before each app's solvers")
 		traceFile   = flag.String("trace", "", "write a JSONL span trace of every app's pipeline to this file")
 		showMetrics = flag.Bool("metrics", false, "print the corpus-aggregated metrics snapshot as JSON after the summary")
 	)
@@ -68,6 +69,7 @@ func main() {
 		Degrade:         *degrade,
 		Workers:         *workers,
 		FaultInject:     *forcePanic,
+		Lint:            *lint,
 	}
 	// One recorder is shared by every app in the batch: counters
 	// accumulate corpus-wide, which is exactly the rollup the summary

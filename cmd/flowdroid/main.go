@@ -18,7 +18,7 @@
 //	0  analysis complete, no leaks
 //	1  analysis complete, leaks found
 //	2  analysis error or incomplete result (timeout, exhausted budget,
-//	   leak cap reached, recovered panic)
+//	   leak cap reached, recovered panic, failed IR verification)
 //	64 usage error (bad flags or arguments)
 //
 // A LeakLimitReached status (the -max-leaks style cap configured through
@@ -38,6 +38,12 @@
 //	-pprof-addr A  serve net/http/pprof and expvar on A for the run's
 //	               duration; the live snapshot is published as the
 //	               expvar "flowdroid.metrics"
+//
+// IR verification (-lint, with -lint.enable/-lint.disable/-lint.json)
+// runs the internal/irlint analyzers between the front-end and the
+// solvers: Error diagnostics abort the run with status InvalidProgram
+// (exit 2); warnings are reported and the analysis proceeds. The
+// standalone cmd/irlint lints IR packages without running any analysis.
 package main
 
 import (
@@ -55,6 +61,7 @@ import (
 
 	"flowdroid/internal/core"
 	"flowdroid/internal/insecurebank"
+	"flowdroid/internal/irlint"
 	"flowdroid/internal/lifecycle"
 	"flowdroid/internal/metrics"
 )
@@ -86,7 +93,9 @@ type jsonReport struct {
 	Passes core.PassStats `json:"passes,omitempty"`
 	// Metrics is the recorder snapshot, present only under -metrics.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
-	Leaks   any               `json:"leaks"`
+	// Lint holds the IR verifier's diagnostics, present only under -lint.
+	Lint  []irlint.Diagnostic `json:"lint,omitempty"`
+	Leaks any                 `json:"leaks"`
 }
 
 // flags is the program's flag set. A package-level ContinueOnError set
@@ -111,6 +120,10 @@ func main() {
 		maxProps    = flags.Int("max-propagations", 0, "taint-propagation budget; 0 = unlimited")
 		degrade     = flags.Bool("degrade", false, "on budget exhaustion retry with cheaper configurations (CHA, shorter access paths)")
 		workers     = flags.Int("workers", runtime.GOMAXPROCS(0), "taint solver worker-pool size (<=1 = sequential)")
+		lint        = flags.Bool("lint", false, "run the IR verifier before the solvers; Error diagnostics abort with status InvalidProgram")
+		lintEnable  = flags.String("lint.enable", "", "comma-separated analyzer names to run (default: all)")
+		lintDisable = flags.String("lint.disable", "", "comma-separated analyzer names to skip")
+		lintJSON    = flags.Bool("lint.json", false, "emit lint diagnostics as JSON (implies -lint)")
 		traceFile   = flags.String("trace", "", "write a JSONL span trace of the pipeline to this file")
 		showMetrics = flags.Bool("metrics", false, "print the metrics snapshot as JSON (embedded in the report under -json)")
 		pprofAddr   = flags.String("pprof-addr", "", "serve net/http/pprof and expvar on this address for the run's duration (e.g. localhost:6060)")
@@ -131,6 +144,9 @@ func main() {
 	opts.MaxPropagations = *maxProps
 	opts.Degrade = *degrade
 	opts.Taint.Workers = *workers
+	opts.Lint = *lint || *lintJSON || *lintEnable != "" || *lintDisable != ""
+	opts.LintEnable = *lintEnable
+	opts.LintDisable = *lintDisable
 	if *noLifecycle {
 		opts.Lifecycle.Mode = lifecycle.CreateOnly
 	}
@@ -198,6 +214,9 @@ func main() {
 
 	if *jsonOut {
 		rep := jsonReport{Status: res.Status.String(), Degraded: res.Degraded, Passes: res.Passes, Leaks: res.Taint.Report()}
+		if res.Lint != nil {
+			rep.Lint = res.Lint.Diagnostics
+		}
 		if *showMetrics {
 			snap := rec.Snapshot()
 			rep.Metrics = &snap
@@ -221,6 +240,25 @@ func main() {
 		os.Exit(exitCode(res))
 	}
 
+	if res.Lint != nil && len(res.Lint.Diagnostics) > 0 {
+		if *lintJSON {
+			out, err := json.MarshalIndent(res.Lint.Diagnostics, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flowdroid:", err)
+				os.Exit(exitAnalysis)
+			}
+			fmt.Printf("%s\n", out)
+		} else {
+			for _, d := range res.Lint.Diagnostics {
+				fmt.Println(d)
+			}
+		}
+		fmt.Printf("lint: %d error(s), %d warning(s)\n", res.Lint.Errors(), res.Lint.Warnings())
+	}
+	if res.Status == core.InvalidProgram {
+		fmt.Println("analysis aborted: program failed IR verification")
+		os.Exit(exitAnalysis)
+	}
 	if res.App != nil && res.CallGraph != nil && res.Callbacks != nil {
 		fmt.Printf("analyzed %s: %d components, %d callbacks, %d call edges\n",
 			res.App.Package, len(res.App.Components()), res.Callbacks.Total(), res.CallGraph.NumEdges())

@@ -100,6 +100,9 @@ type RunOptions struct {
 	// FaultInject names an app whose analysis is made to panic, for
 	// exercising the batch isolation path (chaos testing).
 	FaultInject string
+	// Lint runs the IR verifier before each app's solvers; apps with
+	// Error diagnostics roll up under the InvalidProgram status.
+	Lint bool
 }
 
 // AvgLeaksPerApp is the paper's "1.85 leaks per application" figure.
@@ -263,6 +266,7 @@ func analyzeOne(ctx context.Context, app App, ro RunOptions) (res *core.Result, 
 	opts.MaxPropagations = ro.MaxPropagations
 	opts.Degrade = ro.Degrade
 	opts.Taint.Workers = ro.Workers
+	opts.Lint = ro.Lint
 	return core.AnalyzeFiles(ctx, app.Files, opts)
 }
 

@@ -1,0 +1,166 @@
+package appgen
+
+// Defect injection: each Defect is one class of IR defect the verifier
+// (internal/irlint) must catch, expressed as self-contained IR text (or
+// a layout file) appended to a generated app. The injector gives every
+// analyzer a corpus-level positive test — Apply a defect, lint the app,
+// expect its Code — and seeds the parse-then-verify fuzz targets with
+// programs that are valid text but semantically broken. Defects that
+// cannot be written down (out-of-range branch targets, arity
+// mismatches, duplicate locals: the parser refuses the text) are
+// covered by programmatic IR-builder tests in irlint instead.
+
+// Defect is one injectable defect class.
+type Defect struct {
+	// Name identifies the defect kind (e.g. "usebeforedef").
+	Name string
+	// Code is the irlint diagnostic code the defect triggers.
+	Code string
+	// Error says whether the diagnostic is Error-severity, i.e. whether
+	// an analysis of the defective app ends in StatusInvalidProgram.
+	Error bool
+
+	snippet string // IR text appended to the app's code file
+	layout  string // optional defective layout XML
+}
+
+// Snippet returns the defect's IR text (empty for layout-only defects),
+// usable as a fuzz seed.
+func (d Defect) Snippet() string { return d.snippet }
+
+// Apply returns a copy of the app with the defect injected. The app's
+// leak ground truth is unchanged — defects are semantic, not behavioural.
+func (d Defect) Apply(app App) App {
+	files := make(map[string]string, len(app.Files)+1)
+	for k, v := range app.Files {
+		files[k] = v
+	}
+	if d.snippet != "" {
+		files["classes.ir"] += d.snippet
+	}
+	if d.layout != "" {
+		files["res/layout/defect.xml"] = d.layout
+	}
+	app.Name += "+" + d.Name
+	app.Files = files
+	return app
+}
+
+// Defects returns all injectable defect classes in deterministic order.
+func Defects() []Defect { return append([]Defect(nil), defectRegistry...) }
+
+// DefectByName looks a defect up; ok is false for unknown names.
+func DefectByName(name string) (Defect, bool) {
+	for _, d := range defectRegistry {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Defect{}, false
+}
+
+var defectRegistry = []Defect{
+	{
+		Name: "usebeforedef", Code: "defuse.undef", Error: true,
+		snippet: `
+class com.defect.UseBeforeDef {
+  method m(): void {
+    x = y
+    return
+  }
+}
+`,
+	},
+	{
+		Name: "maybeundef", Code: "defuse.maybe",
+		snippet: `
+class com.defect.MaybeUndef {
+  method m(): void {
+    if * goto skip
+    x = 1
+  skip:
+    y = x
+    return
+  }
+}
+`,
+	},
+	{
+		Name: "typemismatch", Code: "typecheck.assign",
+		snippet: `
+class com.defect.TypeMismatch {
+  method m(): void {
+    local x: int
+    x = "oops"
+    return
+  }
+}
+`,
+	},
+	{
+		Name: "unknownclass", Code: "resolve.class",
+		snippet: `
+class com.defect.UnknownClass {
+  method m(): void {
+    y = com.missing.Widget.make()
+    return
+  }
+}
+`,
+	},
+	{
+		Name: "unknownmethod", Code: "resolve.method",
+		snippet: `
+class com.defect.UnknownMethod {
+  method m(): void {
+    s = "abc"
+    t = s.gobbledygook()
+    return
+  }
+}
+`,
+	},
+	{
+		Name: "unreachable", Code: "unreachable.stmt",
+		snippet: `
+class com.defect.Unreachable {
+  method m(): void {
+    return
+    x = 1
+  }
+}
+`,
+	},
+	{
+		Name: "missingreturn", Code: "missingreturn.exit",
+		snippet: `
+class com.defect.MissingReturn {
+  method m(): java.lang.String {
+    return
+  }
+}
+`,
+	},
+	{
+		Name: "inheritancecycle", Code: "hierarchy.cycle", Error: true,
+		snippet: `
+class com.defect.CycleA extends com.defect.CycleB {
+}
+class com.defect.CycleB extends com.defect.CycleA {
+}
+`,
+	},
+	{
+		Name: "missingsuper", Code: "hierarchy.super",
+		snippet: `
+class com.defect.Orphan extends com.missing.Base {
+}
+`,
+	},
+	{
+		Name: "badregistration", Code: "registrations.onclick",
+		layout: `<LinearLayout>
+  <Button android:id="@+id/ghost" android:onClick="noSuchHandler"/>
+</LinearLayout>`,
+	},
+}

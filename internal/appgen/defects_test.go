@@ -1,0 +1,100 @@
+package appgen
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"flowdroid/internal/core"
+)
+
+// lintedRun analyzes the app with the verifier on.
+func lintedRun(t *testing.T, app App) *core.Result {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.Lint = true
+	res, err := core.AnalyzeFiles(context.Background(), app.Files, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", app.Name, err)
+	}
+	return res
+}
+
+// TestDefectsAreDetected is the corpus-level positive test: every
+// injectable defect is reported under its documented code, with the
+// documented severity consequence (Error defects abort the analysis,
+// Warning defects do not).
+func TestDefectsAreDetected(t *testing.T) {
+	base := Generate(rand.New(rand.NewSource(7)), Play, 0)
+	for _, d := range Defects() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			res := lintedRun(t, d.Apply(base))
+			if res.Lint == nil {
+				t.Fatal("no lint result")
+			}
+			hits := res.Lint.ByCode(d.Code)
+			if len(hits) == 0 {
+				t.Fatalf("defect not reported under %s; diagnostics: %v", d.Code, res.Lint.Diagnostics)
+			}
+			for _, h := range hits {
+				if h.File == "" {
+					t.Errorf("diagnostic %v lacks a file position", h)
+				}
+			}
+			if d.Error {
+				if res.Status != core.InvalidProgram {
+					t.Errorf("status = %v, want InvalidProgram for an Error defect", res.Status)
+				}
+			} else {
+				if res.Status != core.Complete {
+					t.Errorf("status = %v, want Complete for a Warning defect", res.Status)
+				}
+				if got := len(res.Leaks()); got != base.InjectedLeaks {
+					t.Errorf("warning defect changed the leak count: got %d, want %d", got, base.InjectedLeaks)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratedAppsAreDefectFree is the corpus-level negative test:
+// un-mutated generated apps are clean of every defect code (and of
+// Error diagnostics entirely — the fixture-cleanliness invariant).
+func TestGeneratedAppsAreDefectFree(t *testing.T) {
+	for _, p := range []Profile{Play, Malware, Stress} {
+		for _, app := range GenerateCorpus(p, 3, 11) {
+			res := lintedRun(t, app)
+			if res.Lint == nil {
+				t.Fatal("no lint result")
+			}
+			if res.Lint.HasErrors() {
+				t.Errorf("%s: generated app has lint errors: %v", app.Name, res.Lint.Diagnostics)
+			}
+			for _, d := range Defects() {
+				if hits := res.Lint.ByCode(d.Code); len(hits) > 0 {
+					t.Errorf("%s: clean app reports %s: %v", app.Name, d.Code, hits)
+				}
+			}
+		}
+	}
+}
+
+func TestDefectApplyDoesNotMutate(t *testing.T) {
+	base := Generate(rand.New(rand.NewSource(7)), Play, 0)
+	before := base.Files["classes.ir"]
+	d, ok := DefectByName("usebeforedef")
+	if !ok {
+		t.Fatal("usebeforedef defect missing")
+	}
+	mutated := d.Apply(base)
+	if base.Files["classes.ir"] != before {
+		t.Error("Apply mutated the original app's files")
+	}
+	if mutated.Files["classes.ir"] == before {
+		t.Error("Apply did not inject the snippet")
+	}
+	if mutated.Name == base.Name {
+		t.Error("Apply did not tag the app name")
+	}
+}

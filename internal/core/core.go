@@ -21,6 +21,7 @@ import (
 	"flowdroid/internal/cfg"
 	"flowdroid/internal/framework"
 	"flowdroid/internal/ir"
+	"flowdroid/internal/irlint"
 	"flowdroid/internal/irtext"
 	"flowdroid/internal/lifecycle"
 	"flowdroid/internal/pta"
@@ -39,6 +40,15 @@ type Options struct {
 	// SourceSinkRules optionally replaces the built-in source/sink
 	// configuration (textual format of internal/sourcesink).
 	SourceSinkRules string
+	// Lint runs the IR verifier (internal/irlint) between the front-end
+	// and the solvers. Error-severity diagnostics abort the run with
+	// Status == InvalidProgram before any solver executes; warnings are
+	// reported in Result.Lint and counted in Result.Counters.
+	Lint bool
+	// LintEnable/LintDisable are comma-separated analyzer name lists
+	// narrowing the verifier (empty LintEnable means all analyzers).
+	LintEnable  string
+	LintDisable string
 	// UseCHA selects the class-hierarchy call graph instead of the
 	// points-to-refined one (faster, less precise).
 	UseCHA bool
@@ -76,6 +86,9 @@ type Result struct {
 	Status Status
 	// Failure carries the panic a Recovered run was cut short by.
 	Failure *Failure
+	// Lint holds the IR verifier's diagnostics when Options.Lint is set
+	// (nil otherwise). Status == InvalidProgram iff it has errors.
+	Lint *irlint.Result
 	// Degraded lists the degradation-ladder rungs applied before this
 	// result was produced (empty for a first-attempt result).
 	Degraded []string

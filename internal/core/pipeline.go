@@ -11,6 +11,7 @@ import (
 	"flowdroid/internal/callgraph"
 	"flowdroid/internal/cfg"
 	"flowdroid/internal/ir"
+	"flowdroid/internal/irlint"
 	"flowdroid/internal/lifecycle"
 	"flowdroid/internal/metrics"
 	"flowdroid/internal/pta"
@@ -28,8 +29,8 @@ type PassStat struct {
 	Hits int `json:"hits"`
 }
 
-// PassStats maps pass names (scene, callbacks, lifecycle, callgraph,
-// icfg, sourcesink, taint) to their run/hit counters.
+// PassStats maps pass names (scene, verify, callbacks, lifecycle,
+// callgraph, icfg, sourcesink, taint) to their run/hit counters.
 type PassStats map[string]PassStat
 
 // TotalRuns sums the Runs of every pass.
@@ -86,6 +87,7 @@ type artifact[T any] struct {
 // with its dependency keys:
 //
 //	scene      : program identity (built once, refreshed after dummy main)
+//	verify     : Options.LintEnable/LintDisable + SourceSinkRules
 //	callbacks  : no configuration
 //	lifecycle  : Options.Lifecycle
 //	callgraph  : Options.UseCHA
@@ -109,11 +111,26 @@ type pipeline struct {
 	// run() refreshes it from the context on every attempt.
 	rec *metrics.Recorder
 
+	verify artifact[*irlint.Result]
+
 	cbs   artifact[*callbacks.Result]
 	entry artifact[*ir.Method]
 	graph artifact[cgArtifact]
 	icfg  artifact[*cfg.ICFG]
 	mgr   artifact[*sourcesink.Manager]
+}
+
+// clickHandlers collects each layout's declaratively registered click
+// handlers, keyed by layout name, for the verifier's registrations
+// analyzer.
+func clickHandlers(app *apk.App) map[string][]string {
+	out := make(map[string][]string)
+	for name, l := range app.Layouts {
+		if hs := l.ClickHandlers(); len(hs) > 0 {
+			out[name] = hs
+		}
+	}
+	return out
 }
 
 // cgArtifact is the call-graph pass product: the graph plus the
@@ -249,6 +266,50 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 		done()
 	} else {
 		pl.hit("scene")
+	}
+
+	// Verify: the IR lint pass, gating the solvers on a semantically
+	// valid program. Error diagnostics end the run here — the solvers
+	// assume invariants (resolvable branch targets, registered locals)
+	// that a defective program would violate, typically by panicking deep
+	// inside a flow function. Runs before dummy-main generation so
+	// synthetic lifecycle code is never linted.
+	if opts.Lint {
+		stage = "verify"
+		lres, err := memo(pl, "verify", opts.LintEnable+"|"+opts.LintDisable+"|"+opts.SourceSinkRules, &pl.verify,
+			func() (*irlint.Result, error) {
+				ans, err := irlint.Select(opts.LintEnable, opts.LintDisable)
+				if err != nil {
+					return nil, fmt.Errorf("core: %w", err)
+				}
+				mgr, err := manager(pl.sc, opts)
+				if err != nil {
+					return nil, err
+				}
+				return irlint.Run(pl.sc, irlint.Config{
+					Analyzers:     ans,
+					Sources:       mgr.Sources(),
+					Sinks:         mgr.Sinks(),
+					ClickHandlers: clickHandlers(pl.app),
+				}), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		res.Lint = lres
+		res.Counters.LintErrors = lres.Errors()
+		res.Counters.LintWarnings = lres.Warnings()
+		if pl.rec != nil {
+			pl.rec.Gauge("lint.errors", metrics.Deterministic).Set(int64(lres.Errors()))
+			pl.rec.Gauge("lint.warnings", metrics.Deterministic).Set(int64(lres.Warnings()))
+		}
+		if lres.HasErrors() {
+			res.Status = InvalidProgram
+			attribute()
+			res.Passes = pl.snapshot()
+			res.PassTimes = pl.timesSnapshot()
+			return res, nil
+		}
 	}
 
 	stage = "callbacks"

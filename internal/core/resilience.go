@@ -29,6 +29,10 @@ const (
 	// exist. Unlike BudgetExhausted this is not retried down the degrade
 	// ladder — the cap is a configured cutoff, not a resource failure.
 	LeakLimitReached
+	// InvalidProgram means the IR verifier (Options.Lint) found
+	// Error-severity defects in the program; no solver ran. The
+	// diagnostics are in Result.Lint.
+	InvalidProgram
 )
 
 func (s Status) String() string {
@@ -43,6 +47,8 @@ func (s Status) String() string {
 		return "Recovered"
 	case LeakLimitReached:
 		return "LeakLimitReached"
+	case InvalidProgram:
+		return "InvalidProgram"
 	}
 	return "Unknown"
 }
@@ -80,6 +86,10 @@ type Counters struct {
 	PeakAbstractions int
 	// Workers is the taint solver's worker-pool size (1 = sequential).
 	Workers int
+	// LintErrors and LintWarnings count the IR verifier's diagnostics
+	// (zero when Options.Lint is off).
+	LintErrors   int
+	LintWarnings int
 }
 
 func countersFromTaint(c *Counters, st taint.Stats) {

@@ -19,6 +19,11 @@ type Value interface {
 type Local struct {
 	Name string
 	Type Type
+	// Declared marks locals introduced by an explicit "local x: T"
+	// declaration, a parameter, or the implicit receiver — names whose
+	// existence is guaranteed before any assignment. The definite-
+	// assignment analyzer treats them as initialized at method entry.
+	Declared bool
 }
 
 func (*Local) valueNode()       {}

@@ -1,0 +1,394 @@
+package irlint_test
+
+// Per-analyzer tests: each analyzer gets a positive test (an injected
+// defect is reported with its code and file:line position) and a
+// negative test (clean code yields nothing). Defects the parser can
+// express are written as IR text; defects the parser refuses (bad
+// branch targets, arity mismatches, foreign locals) are built by
+// mutating parsed IR, which is exactly how they arise in practice.
+
+import (
+	"strings"
+	"testing"
+
+	"flowdroid/internal/ir"
+	"flowdroid/internal/irlint"
+	"flowdroid/internal/irtext"
+	"flowdroid/internal/sourcesink"
+)
+
+func parse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := irtext.ParseProgram(src, "test.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// lint runs a single analyzer over the program.
+func lint(t *testing.T, h ir.Hierarchy, analyzer string) *irlint.Result {
+	t.Helper()
+	a := irlint.Lookup(analyzer)
+	if a == nil {
+		t.Fatalf("analyzer %s not registered", analyzer)
+	}
+	return irlint.Run(h, irlint.Config{Analyzers: []*irlint.Analyzer{a}})
+}
+
+// wantDiag asserts exactly one diagnostic with the code, positioned at
+// test.ir:line (line 0 skips the position check), and returns it.
+func wantDiag(t *testing.T, res *irlint.Result, code string, line int) irlint.Diagnostic {
+	t.Helper()
+	hits := res.ByCode(code)
+	if len(hits) != 1 {
+		t.Fatalf("got %d %s diagnostics, want 1: %v", len(hits), code, res.Diagnostics)
+	}
+	d := hits[0]
+	if line > 0 && (d.File != "test.ir" || d.Line != line) {
+		t.Errorf("%s at %s, want test.ir:%d", code, d.Pos(), line)
+	}
+	return d
+}
+
+func wantClean(t *testing.T, res *irlint.Result) {
+	t.Helper()
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("clean program produced diagnostics: %v", res.Diagnostics)
+	}
+}
+
+// ---------------------------------------------------------------- defuse
+
+func TestDefuseUndefined(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): void {\n    x = y\n    return\n  }\n}")
+	d := wantDiag(t, lint(t, prog, "defuse"), "defuse.undef", 3)
+	if d.Severity != irlint.Error {
+		t.Error("defuse.undef must be Error severity")
+	}
+	if !strings.Contains(d.Message, `"y"`) || d.Method != "A.m/0" {
+		t.Errorf("diagnostic lacks context: %v", d)
+	}
+}
+
+func TestDefuseSelfUseBeforeDef(t *testing.T) {
+	// x = x + 1 checks the use against the state BEFORE the statement.
+	prog := parse(t, "class A {\n  method m(): void {\n    x = x + 1\n    return\n  }\n}")
+	wantDiag(t, lint(t, prog, "defuse"), "defuse.undef", 3)
+}
+
+func TestDefuseMaybeUnassigned(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): void {\n    if * goto skip\n    x = 1\n  skip:\n    y = x\n    return\n  }\n}")
+	res := lint(t, prog, "defuse")
+	d := wantDiag(t, res, "defuse.maybe", 6)
+	if d.Severity != irlint.Warning {
+		t.Error("defuse.maybe must be Warning severity")
+	}
+	if len(res.ByCode("defuse.undef")) != 0 {
+		t.Error("assigned-on-some-path local flagged as definitely undefined")
+	}
+}
+
+func TestDefuseClean(t *testing.T) {
+	// Parameters, declarations, the receiver and loop-carried locals are
+	// all defined; a loop back edge must not re-flag the entry state.
+	prog := parse(t, `class A {
+  field f: int
+  method m(p: int): void {
+    local d: A
+    i = p
+  loop:
+    i = i + 1
+    if * goto loop
+    this.f = i
+    return
+  }
+}`)
+	wantClean(t, lint(t, prog, "defuse"))
+}
+
+// ------------------------------------------------------------- typecheck
+
+func TestTypecheckAssign(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): void {\n    local x: int\n    x = \"oops\"\n    return\n  }\n}")
+	d := wantDiag(t, lint(t, prog, "typecheck"), "typecheck.assign", 4)
+	if d.Severity != irlint.Warning {
+		t.Error("typecheck diagnostics must be Warning severity")
+	}
+}
+
+func TestTypecheckReturn(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): java.lang.String {\n    x = 1\n    return x\n  }\n}")
+	wantDiag(t, lint(t, prog, "typecheck"), "typecheck.return", 4)
+
+	void := parse(t, "class A {\n  method m(): void {\n    x = 1\n    return x\n  }\n}")
+	wantDiag(t, lint(t, void, "typecheck"), "typecheck.return", 4)
+}
+
+func TestTypecheckArg(t *testing.T) {
+	prog := parse(t, "class B {\n  static method f(s: java.lang.String): void { return }\n}\nclass A {\n  method m(): void {\n    x = 1\n    B.f(x)\n    return\n  }\n}")
+	wantDiag(t, lint(t, prog, "typecheck"), "typecheck.arg", 7)
+}
+
+func TestTypecheckClean(t *testing.T) {
+	prog := parse(t, `class B extends A {
+}
+class A {
+  method mk(): B {
+    b = new B()
+    return b
+  }
+  method m(o: java.lang.Object, n: int): java.lang.Object {
+    local a: A
+    a = this.mk()
+    s = "str"
+    o = s
+    o = n
+    return o
+  }
+}`)
+	wantClean(t, lint(t, prog, "typecheck"))
+}
+
+// ---------------------------------------------------------------- invoke
+
+// parseCall returns a parsed method whose first statement is a virtual
+// invocation, plus the call expression, ready for mutation.
+func parseCall(t *testing.T) (*ir.Program, *ir.InvokeExpr) {
+	t.Helper()
+	prog := parse(t, "class A {\n  method m(): void {\n    this.n()\n    return\n  }\n  method n(): void { return }\n}")
+	s := prog.Class("A").Method("m", 0).Body()[0].(*ir.InvokeStmt)
+	return prog, s.Call
+}
+
+func TestInvokeArity(t *testing.T) {
+	prog, call := parseCall(t)
+	call.Ref.NArgs = 3
+	d := wantDiag(t, lint(t, prog, "invoke"), "invoke.arity", 3)
+	if d.Severity != irlint.Error {
+		t.Error("invoke.arity must be Error severity")
+	}
+}
+
+func TestInvokeMissingReceiver(t *testing.T) {
+	prog, call := parseCall(t)
+	call.Base = nil
+	wantDiag(t, lint(t, prog, "invoke"), "invoke.receiver", 3)
+}
+
+func TestInvokeStaticWithReceiver(t *testing.T) {
+	prog, call := parseCall(t)
+	call.Kind = ir.StaticInvoke
+	wantDiag(t, lint(t, prog, "invoke"), "invoke.receiver", 3)
+}
+
+func TestInvokeNonSimpleArgument(t *testing.T) {
+	prog, call := parseCall(t)
+	call.Ref.NArgs = 1
+	call.Args = []ir.Value{&ir.Binop{Op: "+", L: ir.IntOf(1), R: ir.IntOf(2)}}
+	wantDiag(t, lint(t, prog, "invoke"), "invoke.operand", 3)
+}
+
+func TestInvokeNilCall(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): void {\n    this.n()\n    return\n  }\n  method n(): void { return }\n}")
+	prog.Class("A").Method("m", 0).Body()[0].(*ir.InvokeStmt).Call = nil
+	wantDiag(t, lint(t, prog, "invoke"), "invoke.nilcall", 3)
+}
+
+func TestInvokeClean(t *testing.T) {
+	prog, _ := parseCall(t)
+	wantClean(t, lint(t, prog, "invoke"))
+}
+
+// ---------------------------------------------------------------- resolve
+
+func TestResolveUnknownClass(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): void {\n    y = com.missing.Widget.make()\n    return\n  }\n}")
+	wantDiag(t, lint(t, prog, "resolve"), "resolve.class", 3)
+}
+
+func TestResolveUnknownMethod(t *testing.T) {
+	prog := parse(t, "class B {\n  method real(): void { return }\n}\nclass A {\n  method m(b: B): void {\n    b.ghost()\n    return\n  }\n}")
+	wantDiag(t, lint(t, prog, "resolve"), "resolve.method", 6)
+}
+
+func TestResolveUnknownField(t *testing.T) {
+	prog := parse(t, "class B {\n  field real: int\n}\nclass A {\n  method m(b: B): void {\n    x = b.real\n    return\n  }\n}")
+	// Unlink the parsed field reference and point it at a name no class
+	// declares — the post-Link mutation shape this check exists for.
+	a := prog.Class("A").Method("m", 1).Body()[0].(*ir.AssignStmt)
+	fr := a.RHS.(*ir.FieldRef)
+	fr.Field, fr.Name = nil, "ghost"
+	wantDiag(t, lint(t, prog, "resolve"), "resolve.field", 6)
+}
+
+func TestResolveClean(t *testing.T) {
+	prog := parse(t, "class B {\n  field real: int\n  method real2(): void { return }\n}\nclass A {\n  method m(b: B): void {\n    x = b.real\n    b.real2()\n    return\n  }\n}")
+	wantClean(t, lint(t, prog, "resolve"))
+}
+
+// ----------------------------------------------------------------- branch
+
+func TestBranchTargetOutOfRange(t *testing.T) {
+	mk := func() (*ir.Program, *ir.IfStmt) {
+		prog := parse(t, "class A {\n  method m(): void {\n    if * goto done\n    x = 1\n  done:\n    return\n  }\n}")
+		return prog, prog.Class("A").Method("m", 0).Body()[0].(*ir.IfStmt)
+	}
+	prog, ifs := mk()
+	ifs.TargetIndex = -2
+	d := wantDiag(t, lint(t, prog, "branch"), "branch.range", 3)
+	if d.Severity != irlint.Error {
+		t.Error("branch.range must be Error severity")
+	}
+	prog, ifs = mk()
+	ifs.TargetIndex = 99
+	wantDiag(t, lint(t, prog, "branch"), "branch.range", 3)
+	prog, _ = mk()
+	wantClean(t, lint(t, prog, "branch"))
+}
+
+// ------------------------------------------------------------ unreachable
+
+func TestUnreachable(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): void {\n    return\n    x = 1\n    y = 2\n  }\n}")
+	// Only the first statement of the dead region is reported.
+	wantDiag(t, lint(t, prog, "unreachable"), "unreachable.stmt", 4)
+}
+
+func TestUnreachableClean(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): void {\n    if * goto done\n    x = 1\n  done:\n    return\n  }\n}")
+	wantClean(t, lint(t, prog, "unreachable"))
+}
+
+// ---------------------------------------------------------- missingreturn
+
+func TestMissingReturn(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): java.lang.String {\n    return\n  }\n}")
+	wantDiag(t, lint(t, prog, "missingreturn"), "missingreturn.exit", 3)
+}
+
+func TestMissingReturnClean(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): java.lang.String {\n    s = \"v\"\n    return s\n  }\n  method v(): void {\n    return\n  }\n}")
+	wantClean(t, lint(t, prog, "missingreturn"))
+}
+
+// ------------------------------------------------------------- duplicates
+
+func TestDuplicatesForeignSignature(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): void {\n    return\n  }\n}")
+	prog.Class("A").Method("m", 0).Class = ir.NewClass("Elsewhere", "")
+	d := wantDiag(t, lint(t, prog, "duplicates"), "duplicates.signature", 0)
+	if d.Severity != irlint.Error {
+		t.Error("duplicates.signature must be Error severity")
+	}
+}
+
+func TestDuplicatesParam(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(p: int): void {\n    return\n  }\n}")
+	m := prog.Class("A").Method("m", 1)
+	m.Params = append(m.Params, m.Params[0])
+	res := lint(t, prog, "duplicates")
+	if len(res.ByCode("duplicates.param")) == 0 {
+		t.Errorf("duplicate parameter not reported: %v", res.Diagnostics)
+	}
+}
+
+func TestDuplicatesForeignLocal(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(): void {\n    x = 1\n    return\n  }\n}")
+	a := prog.Class("A").Method("m", 0).Body()[0].(*ir.AssignStmt)
+	a.LHS = &ir.Local{Name: "zz"}
+	wantDiag(t, lint(t, prog, "duplicates"), "duplicates.local", 3)
+}
+
+func TestDuplicatesClean(t *testing.T) {
+	prog := parse(t, "class A {\n  method m(p: int, q: int): void {\n    x = p\n    y = q\n    return\n  }\n}")
+	wantClean(t, lint(t, prog, "duplicates"))
+}
+
+// -------------------------------------------------------------- hierarchy
+
+func TestHierarchyMissingSuper(t *testing.T) {
+	prog := parse(t, "class A extends com.missing.Base {\n}")
+	wantDiag(t, lint(t, prog, "hierarchy"), "hierarchy.super", 1)
+}
+
+func TestHierarchyMissingInterface(t *testing.T) {
+	prog := parse(t, "class A implements com.missing.Iface {\n}")
+	wantDiag(t, lint(t, prog, "hierarchy"), "hierarchy.iface", 1)
+}
+
+func TestHierarchyKindConfusion(t *testing.T) {
+	prog := parse(t, "interface I {\n}\nclass A {\n}\nclass B implements A {\n}")
+	// Implementing a non-interface is kind confusion; so is extending an
+	// interface (built by mutation — the parser maps extends to Super).
+	prog.Class("A").Super = "I"
+	res := lint(t, prog, "hierarchy")
+	if got := len(res.ByCode("hierarchy.kind")); got != 2 {
+		t.Errorf("got %d hierarchy.kind diagnostics, want 2: %v", got, res.Diagnostics)
+	}
+}
+
+func TestHierarchyCycle(t *testing.T) {
+	prog := parse(t, "class A extends B {\n}\nclass B extends A {\n}")
+	d := wantDiag(t, lint(t, prog, "hierarchy"), "hierarchy.cycle", 0)
+	if d.Severity != irlint.Error {
+		t.Error("hierarchy.cycle must be Error severity")
+	}
+	if !strings.Contains(d.Message, "A -> B -> A") {
+		t.Errorf("cycle not rotated to smallest-first: %q", d.Message)
+	}
+}
+
+func TestHierarchyClean(t *testing.T) {
+	prog := parse(t, "interface I {\n}\nclass A implements I {\n}\nclass B extends A {\n}")
+	wantClean(t, lint(t, prog, "hierarchy"))
+}
+
+// ---------------------------------------------------------- registrations
+
+func TestRegistrations(t *testing.T) {
+	prog := parse(t, "class A {\n  method src(): java.lang.String {\n    s = \"v\"\n    return s\n  }\n  method onTap(v: java.lang.Object): void {\n    return\n  }\n}")
+	conf := irlint.Config{
+		Analyzers: []*irlint.Analyzer{irlint.Lookup("registrations")},
+		Sources: []sourcesink.Source{
+			{Class: "com.missing.Src", Name: "get", NArgs: 0},
+			{Class: "A", Name: "ghost", NArgs: 0},
+			{Class: "A", Name: "src", NArgs: 0}, // resolvable: no finding
+		},
+		Sinks: []sourcesink.Sink{
+			{Class: "com.missing.Dst", Name: "put", NArgs: 1},
+		},
+		ClickHandlers: map[string][]string{
+			"res/layout/a.xml": {"noSuchHandler", "onTap"},
+		},
+	}
+	res := irlint.Run(prog, conf)
+	if got := len(res.ByCode("registrations.source")); got != 2 {
+		t.Errorf("got %d registrations.source, want 2: %v", got, res.Diagnostics)
+	}
+	if got := len(res.ByCode("registrations.sink")); got != 1 {
+		t.Errorf("got %d registrations.sink, want 1: %v", got, res.Diagnostics)
+	}
+	clicks := res.ByCode("registrations.onclick")
+	if len(clicks) != 1 {
+		t.Fatalf("got %d registrations.onclick, want 1: %v", len(clicks), res.Diagnostics)
+	}
+	if clicks[0].File != "res/layout/a.xml" {
+		t.Errorf("onclick diagnostic positioned at %q, want the layout path", clicks[0].File)
+	}
+	for _, d := range res.ByCode("registrations.source") {
+		if d.File != irlint.RulesFile {
+			t.Errorf("rule diagnostic positioned at %q, want %q", d.File, irlint.RulesFile)
+		}
+	}
+}
+
+func TestRegistrationsClean(t *testing.T) {
+	prog := parse(t, "class A {\n  method src(): java.lang.String {\n    s = \"v\"\n    return s\n  }\n  method onTap(v: java.lang.Object): void {\n    return\n  }\n}")
+	conf := irlint.Config{
+		Analyzers:     []*irlint.Analyzer{irlint.Lookup("registrations")},
+		Sources:       []sourcesink.Source{{Class: "A", Name: "src", NArgs: 0}},
+		ClickHandlers: map[string][]string{"res/layout/a.xml": {"onTap"}},
+	}
+	wantClean(t, irlint.Run(prog, conf))
+}

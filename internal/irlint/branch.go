@@ -1,0 +1,38 @@
+package irlint
+
+import "flowdroid/internal/ir"
+
+func init() { Register(branchAnalyzer) }
+
+// branchAnalyzer checks that every resolved branch target index lies
+// inside the body. Finalize guarantees this for label-resolved branches,
+// but IR built or mutated programmatically can carry an out-of-range
+// index — and cfg.New indexes predecessor slices by it, so the defect
+// would otherwise surface as a panic inside the first solver to build
+// the CFG.
+var branchAnalyzer = &Analyzer{
+	Name: "branch",
+	Doc:  "branch target indices in range",
+	Run:  runBranch,
+}
+
+func runBranch(pass *Pass) {
+	eachBodyMethod(pass.Prog, func(c *ir.Class, m *ir.Method) {
+		body := m.Body()
+		check := func(s ir.Stmt, target int, label string) {
+			if target < 0 || target >= len(body) {
+				pass.ReportStmt("branch.range", Error, s,
+					"branch target %q resolves to index %d, outside the body [0,%d)",
+					label, target, len(body))
+			}
+		}
+		for _, s := range body {
+			switch s := s.(type) {
+			case *ir.IfStmt:
+				check(s, s.TargetIndex, s.Target)
+			case *ir.GotoStmt:
+				check(s, s.TargetIndex, s.Target)
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package irlint
+
+import "flowdroid/internal/ir"
+
+func init() {
+	Register(unreachableAnalyzer)
+	Register(missingReturnAnalyzer)
+}
+
+// unreachableAnalyzer reports statements no CFG path from the method
+// entry reaches. Dead code is legal but suspicious — it usually means a
+// goto or return was misplaced — and the solvers silently never visit
+// it, so a source or sink there would be invisibly ignored. Only the
+// first statement of each contiguous dead region is reported.
+var unreachableAnalyzer = &Analyzer{
+	Name: "unreachable",
+	Doc:  "statements unreachable from the method entry",
+	Run:  runUnreachable,
+}
+
+func runUnreachable(pass *Pass) {
+	eachBodyMethod(pass.Prog, func(c *ir.Class, m *ir.Method) {
+		reach := reachable(m)
+		for i, s := range m.Body() {
+			if !reach[i] && (i == 0 || reach[i-1]) {
+				pass.ReportStmt("unreachable.stmt", Warning, s,
+					"unreachable statement: %s", s)
+			}
+		}
+	})
+}
+
+// missingReturnAnalyzer reports CFG exit paths of non-void methods that
+// return no value: an explicit bare "return", or the implicit return
+// Finalize appends when a body falls off its end. The taint flow
+// functions map return values to call results; a valueless exit silently
+// drops whatever taint the method was meant to propagate.
+var missingReturnAnalyzer = &Analyzer{
+	Name: "missingreturn",
+	Doc:  "exit paths of non-void methods returning no value",
+	Run:  runMissingReturn,
+}
+
+func runMissingReturn(pass *Pass) {
+	eachBodyMethod(pass.Prog, func(c *ir.Class, m *ir.Method) {
+		if !m.Return.IsRef() && !m.Return.IsArray() && !m.Return.IsPrim() {
+			return // void or unknown return type
+		}
+		reach := reachable(m)
+		for i, s := range m.Body() {
+			r, ok := s.(*ir.ReturnStmt)
+			if !ok || r.Value != nil || !reach[i] {
+				continue
+			}
+			pass.ReportStmt("missingreturn.exit", Warning, s,
+				"exit path of %s returns no value (method declared %s)", m, m.Return)
+		}
+	})
+}

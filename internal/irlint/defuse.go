@@ -1,0 +1,120 @@
+package irlint
+
+import "flowdroid/internal/ir"
+
+func init() { Register(defuseAnalyzer) }
+
+// defuseAnalyzer is the CFG-aware definite-assignment check. It replaces
+// the old textual scan of the parser (which only required a def to
+// appear earlier in the source, regardless of control flow):
+//
+//   - a use with no assignment on ANY path from entry (and no "local"
+//     declaration, parameter or receiver of that name) is an Error — the
+//     local can never hold a value there;
+//   - a use assigned on some but not all paths is a Warning — legal in
+//     this IR (declarations are optional), but usually a bug.
+//
+// Declared locals (explicit "local x: T", parameters, this) count as
+// initialized at entry, preserving the acceptance set of the old scan.
+var defuseAnalyzer = &Analyzer{
+	Name: "defuse",
+	Doc:  "definite assignment: locals must be assigned or declared before use on every path",
+	Run:  runDefuse,
+}
+
+func runDefuse(pass *Pass) {
+	eachBodyMethod(pass.Prog, func(c *ir.Class, m *ir.Method) {
+		body := m.Body()
+		locals := m.Locals()
+		idx := make(map[*ir.Local]int, len(locals))
+		for i, l := range locals {
+			idx[l] = i
+		}
+		entry := make([]bool, len(locals))
+		for i, l := range locals {
+			entry[i] = l.Declared
+		}
+		reach := reachable(m)
+		may := assignedSets(body, reach, entry, idx, true)
+		must := assignedSets(body, reach, entry, idx, false)
+		for i, s := range body {
+			if !reach[i] {
+				continue // the unreachable analyzer owns dead code
+			}
+			seen := make(map[*ir.Local]bool)
+			stmtUses(s, func(l *ir.Local) {
+				if seen[l] {
+					return
+				}
+				seen[l] = true
+				j, ok := idx[l]
+				if !ok || entry[j] {
+					// Foreign locals are the duplicates analyzer's finding;
+					// declared locals are initialized by definition.
+					return
+				}
+				switch {
+				case !may[i][j]:
+					pass.ReportStmt("defuse.undef", Error, s,
+						"use of undefined local %q (locals must be assigned or declared before use)", l.Name)
+				case !must[i][j]:
+					pass.ReportStmt("defuse.maybe", Warning, s,
+						"local %q may be unassigned on some path to this use", l.Name)
+				}
+			})
+		}
+	})
+}
+
+// assignedSets computes, per statement, the set of locals assigned before
+// it executes: the may-assigned sets (union over paths) or the
+// must-assigned sets (intersection). Uses at a statement are checked
+// against its IN set, so "x = x + 1" sees the state before its own def.
+func assignedSets(body []ir.Stmt, reach, entry []bool, idx map[*ir.Local]int, may bool) [][]bool {
+	n := len(entry)
+	in := make([][]bool, len(body))
+	for i := range in {
+		in[i] = make([]bool, n)
+		switch {
+		case i == 0:
+			copy(in[i], entry)
+		case !may:
+			// Top of the intersection lattice: everything assigned, to be
+			// whittled down by predecessors.
+			for j := range in[i] {
+				in[i][j] = true
+			}
+		}
+	}
+	out := make([]bool, n)
+	for changed := true; changed; {
+		changed = false
+		for i := range body {
+			if !reach[i] {
+				continue
+			}
+			copy(out, in[i])
+			if l := stmtDef(body[i]); l != nil {
+				if j, ok := idx[l]; ok {
+					out[j] = true
+				}
+			}
+			for _, t := range succIdx(body, i) {
+				if t < 0 || t >= len(body) {
+					continue // the branch analyzer reports these
+				}
+				for j := 0; j < n; j++ {
+					if may && out[j] && !in[t][j] {
+						in[t][j] = true
+						changed = true
+					}
+					if !may && !out[j] && in[t][j] {
+						in[t][j] = false
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return in
+}

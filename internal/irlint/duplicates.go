@@ -1,0 +1,59 @@
+package irlint
+
+import "flowdroid/internal/ir"
+
+func init() { Register(duplicatesAnalyzer) }
+
+// duplicatesAnalyzer checks the identity invariants of locals and method
+// signatures. Locals are pointer-identified throughout the analyses
+// (access paths intern on *Local), so two distinct locals sharing a name
+// in one method, or a body statement referencing a local that is not in
+// the method's table, corrupts every map keyed on them. AddParam and
+// AddMethod refuse duplicates at construction time; this analyzer
+// catches IR assembled around those APIs.
+var duplicatesAnalyzer = &Analyzer{
+	Name: "duplicates",
+	Doc:  "duplicate or foreign locals and mis-registered method signatures",
+	Run:  runDuplicates,
+}
+
+func runDuplicates(pass *Pass) {
+	for _, c := range pass.Prog.Classes() {
+		for _, m := range c.Methods() {
+			if m.Class != c {
+				bound := "<none>"
+				if m.Class != nil {
+					bound = m.Class.Name
+				}
+				pass.ReportMethod("duplicates.signature", Error, m,
+					"method %s.%s/%d is registered on class %s but bound to %s",
+					c.Name, m.Name, len(m.Params), c.Name, bound)
+			}
+			seen := make(map[string]bool, len(m.Params))
+			for _, p := range m.Params {
+				if seen[p.Name] {
+					pass.ReportMethod("duplicates.param", Error, m,
+						"duplicate parameter name %q", p.Name)
+					continue
+				}
+				seen[p.Name] = true
+				if m.LookupLocal(p.Name) != p {
+					pass.ReportMethod("duplicates.local", Error, m,
+						"parameter %q is not the method's registered local of that name", p.Name)
+				}
+			}
+			reported := make(map[string]bool)
+			for _, s := range m.Body() {
+				stmtLocals(s, func(l *ir.Local) {
+					if m.LookupLocal(l.Name) == l || reported[l.Name] {
+						return
+					}
+					reported[l.Name] = true
+					pass.ReportStmt("duplicates.local", Error, s,
+						"statement references local %q that is not registered in %s (duplicate or foreign local)",
+						l.Name, m)
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package irlint_test
+
+// Fixture-cleanliness regression test: every program the repository
+// ships must verify with zero Error diagnostics, so the verifier can
+// be turned on in any pipeline without aborting known-good analyses.
+// This mirrors `irlint -fixtures` (cmd/irlint), which CI runs over the
+// same set.
+
+import (
+	"testing"
+
+	"flowdroid/internal/apk"
+	"flowdroid/internal/appgen"
+	"flowdroid/internal/droidbench"
+	"flowdroid/internal/insecurebank"
+	"flowdroid/internal/irlint"
+	"flowdroid/internal/securibench"
+	"flowdroid/internal/sourcesink"
+	"flowdroid/internal/testapps"
+)
+
+func TestShippedFixturesAreErrorClean(t *testing.T) {
+	lintApp := func(name string, files map[string]string) {
+		t.Run(name, func(t *testing.T) {
+			app, err := apk.LoadFiles(files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handlers := make(map[string][]string)
+			for lname, l := range app.Layouts {
+				if hs := l.ClickHandlers(); len(hs) > 0 {
+					handlers[lname] = hs
+				}
+			}
+			res := irlint.Run(app.Program, irlint.Config{ClickHandlers: handlers})
+			reportErrors(t, res)
+		})
+	}
+
+	lintApp("testapps/LeakageApp", testapps.LeakageApp)
+	lintApp("testapps/LocationApp", testapps.LocationApp)
+	lintApp("insecurebank", insecurebank.Files)
+	for _, c := range droidbench.Cases() {
+		lintApp("droidbench/"+c.Name, c.Files)
+	}
+	for _, c := range securibench.Cases() {
+		c := c
+		t.Run("securibench/"+c.Name, func(t *testing.T) {
+			prog, err := securibench.Program(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr, err := sourcesink.Parse(prog, securibench.Rules())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := irlint.Run(prog, irlint.Config{Sources: mgr.Sources(), Sinks: mgr.Sinks()})
+			reportErrors(t, res)
+		})
+	}
+	for _, p := range []struct {
+		name    string
+		profile appgen.Profile
+	}{{"play", appgen.Play}, {"malware", appgen.Malware}, {"stress", appgen.Stress}} {
+		for _, app := range appgen.GenerateCorpus(p.profile, 3, 1) {
+			lintApp("appgen/"+p.name+"/"+app.Name, app.Files)
+		}
+	}
+}
+
+func reportErrors(t *testing.T, res *irlint.Result) {
+	t.Helper()
+	if !res.HasErrors() {
+		return
+	}
+	for _, d := range res.Diagnostics {
+		if d.Severity == irlint.Error {
+			t.Errorf("fixture has lint error: %s", d)
+		}
+	}
+}

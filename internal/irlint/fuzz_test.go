@@ -1,0 +1,41 @@
+package irlint_test
+
+// FuzzParseAndVerify drives arbitrary text through the full
+// parse → link → verify path. The contract under fuzzing is narrow
+// but absolute: invalid text may be rejected with an error, valid
+// text may produce any diagnostics, but nothing panics — neither the
+// parser/linker (a panic here fails the fuzz run outright) nor any
+// analyzer (a contained analyzer panic surfaces as an irlint.panic
+// diagnostic, which the target rejects). Seeds cover well-formed
+// programs and every textual defect-injector snippet, so each
+// analyzer's interesting paths are in the initial corpus.
+
+import (
+	"testing"
+
+	"flowdroid/internal/appgen"
+	"flowdroid/internal/irlint"
+	"flowdroid/internal/irtext"
+)
+
+func FuzzParseAndVerify(f *testing.F) {
+	f.Add("class A { method m(): void { return } }")
+	f.Add("class A extends B {\n  field f: int\n  method m(p: int): int {\n    x = p + 1\n    if x goto done\n    x = this.f\n  done:\n    return x\n  }\n}\nclass B {\n}")
+	f.Add("interface I {\n  method m(): void\n}\nclass C implements I {\n  method m(): void {\n    s = \"lit\"\n    t = s.concat(s)\n    return\n  }\n}")
+	f.Add("class Loop {\n  method m(n: int): void {\n    i = 0\n  head:\n    if i goto out\n    i = i + 1\n    goto head\n  out:\n    return\n  }\n}")
+	for _, d := range appgen.Defects() {
+		if s := d.Snippet(); s != "" {
+			f.Add(s)
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := irtext.ParseProgram(src, "fuzz.ir")
+		if err != nil {
+			return // rejecting invalid text is correct behaviour
+		}
+		res := irlint.Run(prog, irlint.Config{})
+		if hits := res.ByCode("irlint.panic"); len(hits) > 0 {
+			t.Fatalf("analyzer panicked on valid program:\n%s\ndiagnostics: %v", src, hits)
+		}
+	})
+}

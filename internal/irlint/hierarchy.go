@@ -1,0 +1,121 @@
+package irlint
+
+import (
+	"sort"
+	"strings"
+
+	"flowdroid/internal/ir"
+)
+
+func init() { Register(hierarchyAnalyzer) }
+
+// hierarchyAnalyzer surfaces class-hierarchy defects that the scene layer
+// otherwise papers over silently: supers and interfaces that resolve to
+// nothing (Warning — the class is treated as a hierarchy root, losing
+// dispatch edges), extends/implements kind confusion (Warning), and
+// inheritance cycles (Error — resolution and subtype walks are only
+// cycle-tolerant by defensive coding; a cyclic hierarchy is meaningless
+// and nothing downstream should trust it).
+var hierarchyAnalyzer = &Analyzer{
+	Name: "hierarchy",
+	Doc:  "missing supers/interfaces, kind confusion, inheritance cycles",
+	Run:  runHierarchy,
+}
+
+func runHierarchy(pass *Pass) {
+	h := pass.Prog
+	for _, c := range h.Classes() {
+		if c.Super != "" {
+			switch sc := h.Class(c.Super); {
+			case sc == nil:
+				if c.Super == "java.lang.Object" {
+					// The implicit root the parser injects; programs without
+					// the framework stubs simply don't declare it.
+					break
+				}
+				pass.ReportClass("hierarchy.super", Warning, c,
+					"class %s extends unknown class %s", c.Name, c.Super)
+			case sc.Interface && !c.Interface:
+				pass.ReportClass("hierarchy.kind", Warning, c,
+					"class %s extends interface %s", c.Name, c.Super)
+			}
+		}
+		for _, in := range c.Interfaces {
+			switch ic := h.Class(in); {
+			case ic == nil:
+				pass.ReportClass("hierarchy.iface", Warning, c,
+					"class %s implements unknown interface %s", c.Name, in)
+			case !ic.Interface:
+				pass.ReportClass("hierarchy.kind", Warning, c,
+					"class %s implements non-interface %s", c.Name, in)
+			}
+		}
+	}
+	for _, cyc := range hierarchyCycles(h) {
+		c := h.Class(cyc[0])
+		pass.ReportClass("hierarchy.cycle", Error, c,
+			"inheritance cycle: %s -> %s", strings.Join(cyc, " -> "), cyc[0])
+	}
+}
+
+// hierarchyCycles finds cycles in the extends/implements graph. Each
+// cycle is reported once, rotated so its lexicographically smallest
+// member comes first (deterministic output regardless of DFS order).
+func hierarchyCycles(h ir.Hierarchy) [][]string {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var stack []string
+	var cycles [][]string
+	var dfs func(name string)
+	dfs = func(name string) {
+		state[name] = inStack
+		stack = append(stack, name)
+		if c := h.Class(name); c != nil {
+			var outs []string
+			if c.Super != "" {
+				outs = append(outs, c.Super)
+			}
+			outs = append(outs, c.Interfaces...)
+			for _, o := range outs {
+				if h.Class(o) == nil {
+					continue
+				}
+				switch state[o] {
+				case unvisited:
+					dfs(o)
+				case inStack:
+					for k := len(stack) - 1; k >= 0; k-- {
+						if stack[k] == o {
+							cycles = append(cycles, rotateMin(append([]string(nil), stack[k:]...)))
+							break
+						}
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[name] = done
+	}
+	for _, c := range h.Classes() {
+		if state[c.Name] == unvisited {
+			dfs(c.Name)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i][0] < cycles[j][0] })
+	return cycles
+}
+
+// rotateMin rotates the cycle so its smallest element is first.
+func rotateMin(cyc []string) []string {
+	min := 0
+	for i, n := range cyc {
+		if n < cyc[min] {
+			min = i
+		}
+	}
+	return append(cyc[min:], cyc[:min]...)
+}

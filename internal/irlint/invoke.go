@@ -1,0 +1,57 @@
+package irlint
+
+import "flowdroid/internal/ir"
+
+func init() { Register(invokeAnalyzer) }
+
+// invokeAnalyzer checks the structural invariants of invocation
+// expressions that every solver's flow functions assume: the declared
+// arity matches the actual argument list, virtual and special invokes
+// carry a receiver (static invokes do not), and arguments obey the
+// three-address form. The parser cannot emit violations, but
+// programmatically built or mutated IR can, and the solvers index
+// argument lists by the reference's arity.
+var invokeAnalyzer = &Analyzer{
+	Name: "invoke",
+	Doc:  "invocation invariants: arity, receiver presence, simple arguments",
+	Run:  runInvoke,
+}
+
+func runInvoke(pass *Pass) {
+	eachBodyMethod(pass.Prog, func(c *ir.Class, m *ir.Method) {
+		for _, s := range m.Body() {
+			if inv, ok := s.(*ir.InvokeStmt); ok && inv.Call == nil {
+				pass.ReportStmt("invoke.nilcall", Error, s, "invoke statement without a call expression")
+				continue
+			}
+			call := ir.CallOf(s)
+			if call == nil {
+				continue
+			}
+			if call.Ref.NArgs != len(call.Args) {
+				pass.ReportStmt("invoke.arity", Error, s,
+					"call to %s passes %d argument(s) but its reference declares %d",
+					call.Ref, len(call.Args), call.Ref.NArgs)
+			}
+			switch call.Kind {
+			case ir.VirtualInvoke, ir.SpecialInvoke:
+				if call.Base == nil {
+					pass.ReportStmt("invoke.receiver", Error, s,
+						"%s invoke of %s has no receiver", call.Kind, call.Ref)
+				}
+			case ir.StaticInvoke:
+				if call.Base != nil {
+					pass.ReportStmt("invoke.receiver", Error, s,
+						"static invoke of %s has a receiver", call.Ref)
+				}
+			}
+			for i, a := range call.Args {
+				if !ir.IsSimple(a) {
+					pass.ReportStmt("invoke.operand", Error, s,
+						"argument %d of call to %s is not a local or constant (three-address form)",
+						i, call.Ref)
+				}
+			}
+		}
+	})
+}

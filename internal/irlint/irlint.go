@@ -1,0 +1,374 @@
+// Package irlint is the IR verifier: a go/analysis-style lint framework
+// that validates a linked program before any solver trusts it. FlowDroid
+// inherits this contract from Soot's Jimple validators and the JVM
+// verifier — method bodies the solvers see are known well-formed; the
+// textual front-end of this reproduction accepts anything that lexes, so
+// the verification has to happen here, once, with positioned diagnostics,
+// instead of surfacing as a confusing panic deep inside pta or taint.
+//
+// An Analyzer is a named check over an ir.Hierarchy. Run executes a
+// selected set of analyzers and returns their diagnostics, each carrying
+// a stable code, an Error or Warning severity, and a file:line position.
+// Error diagnostics mean the program violates an invariant the solvers
+// rely on (the pipeline refuses to analyze, core.InvalidProgram);
+// Warnings flag suspicious-but-tolerated constructs and flow into the
+// result for reporting.
+package irlint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/ir"
+	"flowdroid/internal/sourcesink"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Error marks a violated solver invariant: the program must not be
+	// analyzed.
+	Error Severity = iota
+	// Warning marks a suspicious construct the analyses tolerate
+	// (typically by treating the offending entity as opaque).
+	Warning
+)
+
+// String renders the severity in lowercase, matching the JSON encoding.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON encodes the severity as "error" or "warning".
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes "error" or "warning".
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"error"`:
+		*s = Error
+	case `"warning"`:
+		*s = Warning
+	default:
+		return fmt.Errorf("irlint: bad severity %s", b)
+	}
+	return nil
+}
+
+// Diagnostic is one positioned finding. Code is stable across releases
+// ("<analyzer>.<kind>", e.g. "defuse.undef"); tools key on it, never on
+// the message text.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	// File and Line position the finding in the source the class was
+	// parsed from; File may be a pseudo-path such as "<rules>" for
+	// findings about configuration rather than code, and Line is 0 when
+	// no line is known.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Method names the enclosing method ("Class.name/nargs"), empty for
+	// class- or configuration-level findings.
+	Method  string `json:"method,omitempty"`
+	Message string `json:"message"`
+}
+
+// Pos renders the "file:line" position.
+func (d Diagnostic) Pos() string {
+	f := d.File
+	if f == "" {
+		f = "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d", f, d.Line)
+}
+
+// String renders the diagnostic the way compilers do:
+// "file:line: severity: message [code]".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Pos(), d.Severity, d.Message, d.Code)
+}
+
+// Analyzer is one registered check. Run reports findings through the
+// pass; it must not retain the pass after returning.
+type Analyzer struct {
+	// Name identifies the analyzer in enable/disable sets and prefixes
+	// its diagnostic codes.
+	Name string
+	// Doc is a one-line description shown by cmd/irlint.
+	Doc string
+	// Run executes the check over pass.Prog.
+	Run func(pass *Pass)
+}
+
+// registry holds every analyzer registered by this package's init
+// functions (and any test-registered extras).
+var registry = make(map[string]*Analyzer)
+
+// Register adds an analyzer to the registry. It panics on a duplicate
+// name; registration happens at init time, so a duplicate is a
+// programming error.
+func Register(a *Analyzer) {
+	if _, dup := registry[a.Name]; dup {
+		panic("irlint: duplicate analyzer " + a.Name)
+	}
+	registry[a.Name] = a
+}
+
+// Analyzers returns every registered analyzer in name order.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the named analyzer, or nil.
+func Lookup(name string) *Analyzer { return registry[name] }
+
+// Select resolves comma-separated enable/disable sets into an analyzer
+// list: an empty enable set means "all registered", and disable is
+// subtracted afterwards. Unknown names are errors — a typo silently
+// disabling nothing is exactly the kind of misconfiguration this package
+// exists to catch.
+func Select(enable, disable string) ([]*Analyzer, error) {
+	names := func(csv string) ([]string, error) {
+		var out []string
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if Lookup(n) == nil {
+				return nil, fmt.Errorf("irlint: unknown analyzer %q", n)
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	on, err := names(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := names(disable)
+	if err != nil {
+		return nil, err
+	}
+	drop := make(map[string]bool, len(off))
+	for _, n := range off {
+		drop[n] = true
+	}
+	var picked []*Analyzer
+	if len(on) == 0 {
+		picked = Analyzers()
+	} else {
+		for _, n := range on {
+			picked = append(picked, Lookup(n))
+		}
+	}
+	out := picked[:0]
+	for _, a := range picked {
+		if !drop[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// Config parameterizes a Run.
+type Config struct {
+	// Analyzers is the set to run; nil means every registered analyzer.
+	Analyzers []*Analyzer
+	// Sources and Sinks are the source/sink rules the registrations
+	// analyzer checks against the program; empty slices skip the check.
+	Sources []sourcesink.Source
+	Sinks   []sourcesink.Sink
+	// ClickHandlers maps a layout file path (e.g. "res/layout/main.xml")
+	// to the handler method names its XML registers via android:onClick.
+	ClickHandlers map[string][]string
+}
+
+// Pass carries one analyzer's execution context.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     ir.Hierarchy
+	Config   Config
+
+	cfgOf  func(*ir.Method) *cfg.MethodCFG
+	report func(Diagnostic)
+}
+
+// CFG returns the (cached) control-flow graph of m. When the program
+// model carries a shared CFG cache (scene.Scene does), the analyzers
+// reuse it, so verification never rebuilds a CFG the solvers will build
+// anyway.
+func (p *Pass) CFG(m *ir.Method) *cfg.MethodCFG { return p.cfgOf(m) }
+
+// Report emits one diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// ReportClass emits a class-positioned diagnostic.
+func (p *Pass) ReportClass(code string, sev Severity, c *ir.Class, format string, args ...any) {
+	p.report(Diagnostic{
+		Code: code, Severity: sev,
+		File: c.File, Line: c.Line,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportMethod emits a method-positioned diagnostic: the method's class
+// file, at the first body statement's line when there is one.
+func (p *Pass) ReportMethod(code string, sev Severity, m *ir.Method, format string, args ...any) {
+	file, line := methodPos(m)
+	p.report(Diagnostic{
+		Code: code, Severity: sev,
+		File: file, Line: line, Method: m.String(),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportStmt emits a statement-positioned diagnostic.
+func (p *Pass) ReportStmt(code string, sev Severity, s ir.Stmt, format string, args ...any) {
+	file, line := "", s.Line()
+	m := s.Method()
+	method := ""
+	if m != nil {
+		method = m.String()
+		if m.Class != nil {
+			file = m.Class.File
+		}
+		if line == 0 {
+			// Synthetic statements (e.g. the implicit trailing return) have
+			// no source line; fall back to the method position.
+			_, line = methodPos(m)
+		}
+	}
+	p.report(Diagnostic{
+		Code: code, Severity: sev,
+		File: file, Line: line, Method: method,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func methodPos(m *ir.Method) (string, int) {
+	file, line := "", 0
+	if m.Class != nil {
+		file, line = m.Class.File, m.Class.Line
+	}
+	for _, s := range m.Body() {
+		if l := s.Line(); l > 0 {
+			line = l
+			break
+		}
+	}
+	return file, line
+}
+
+// Result is the outcome of a Run: the diagnostics of every analyzer,
+// sorted by (file, line, code, message) and deduplicated.
+type Result struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Errors counts the Error-severity diagnostics.
+func (r *Result) Errors() int { return r.count(Error) }
+
+// Warnings counts the Warning-severity diagnostics.
+func (r *Result) Warnings() int { return r.count(Warning) }
+
+func (r *Result) count(sev Severity) int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any Error-severity diagnostic was found.
+func (r *Result) HasErrors() bool { return r.Errors() > 0 }
+
+// ByCode returns the diagnostics whose code has the given value or
+// prefix followed by a dot (so "defuse" matches "defuse.undef").
+func (r *Result) ByCode(code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Code == code || strings.HasPrefix(d.Code, code+".") {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes the configured analyzers over a linked program model and
+// returns their findings. A panicking analyzer never escapes: the panic
+// is converted into an Error diagnostic with code "irlint.panic", so a
+// verification step can always complete and report.
+func Run(h ir.Hierarchy, conf Config) *Result {
+	analyzers := conf.Analyzers
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	cfgOf := cfg.NewCache().CFGOf
+	if cp, ok := h.(cfg.CacheProvider); ok {
+		cfgOf = cp.CFGs().CFGOf
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Prog:     h,
+			Config:   conf,
+			cfgOf:    cfgOf,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		runAnalyzer(pass, &diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+	// Deduplicate identical findings (two analyzers, or one analyzer via
+	// two paths, may land on the same defect).
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return &Result{Diagnostics: out}
+}
+
+func runAnalyzer(pass *Pass, diags *[]Diagnostic) {
+	defer func() {
+		if r := recover(); r != nil {
+			*diags = append(*diags, Diagnostic{
+				Code:     "irlint.panic",
+				Severity: Error,
+				File:     "<internal>",
+				Message:  fmt.Sprintf("analyzer %s panicked: %v", pass.Analyzer.Name, r),
+			})
+		}
+	}()
+	pass.Analyzer.Run(pass)
+}

@@ -1,0 +1,177 @@
+package irlint_test
+
+// Framework-level tests: registry, selection, diagnostic encoding,
+// result ordering and panic containment. Per-analyzer behaviour is in
+// analyzers_test.go. External test package: the helpers parse programs
+// with irtext, which irlint must not import.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"flowdroid/internal/irlint"
+)
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []irlint.Severity{irlint.Error, irlint.Warning} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got irlint.Severity
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("roundtrip %v -> %s -> %v", s, b, got)
+		}
+	}
+	var s irlint.Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("bad severity decoded without error")
+	}
+}
+
+func TestDiagnosticRendering(t *testing.T) {
+	d := irlint.Diagnostic{Code: "defuse.undef", Severity: irlint.Error, File: "a.ir", Line: 3, Message: "boom"}
+	if got, want := d.String(), "a.ir:3: error: boom [defuse.undef]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := (irlint.Diagnostic{}).Pos(), "<unknown>:0"; got != want {
+		t.Errorf("zero Pos() = %q, want %q", got, want)
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"code", "severity", "file", "line", "message"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON encoding lacks %q: %s", key, b)
+		}
+	}
+	if _, ok := m["method"]; ok {
+		t.Errorf("empty method should be omitted: %s", b)
+	}
+}
+
+func TestRegistryListsShippedAnalyzers(t *testing.T) {
+	want := []string{
+		"branch", "defuse", "duplicates", "hierarchy", "invoke",
+		"missingreturn", "registrations", "resolve", "typecheck", "unreachable",
+	}
+	have := make(map[string]bool)
+	prev := ""
+	for _, a := range irlint.Analyzers() {
+		if a.Name <= prev {
+			t.Errorf("Analyzers() not sorted: %q after %q", a.Name, prev)
+		}
+		prev = a.Name
+		have[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("analyzer %s not registered", n)
+		}
+		if irlint.Lookup(n) == nil {
+			t.Errorf("Lookup(%q) = nil", n)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	irlint.Register(&irlint.Analyzer{Name: "defuse"})
+}
+
+func TestSelect(t *testing.T) {
+	all, err := irlint.Select("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 10 {
+		t.Fatalf("empty enable selected %d analyzers, want all (>=10)", len(all))
+	}
+	two, err := irlint.Select("defuse, typecheck", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "defuse" || two[1].Name != "typecheck" {
+		t.Errorf("explicit enable picked %v", two)
+	}
+	rest, err := irlint.Select("", "defuse,typecheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != len(all)-2 {
+		t.Errorf("disable left %d analyzers, want %d", len(rest), len(all)-2)
+	}
+	for _, a := range rest {
+		if a.Name == "defuse" || a.Name == "typecheck" {
+			t.Errorf("disabled analyzer %s still selected", a.Name)
+		}
+	}
+	if _, err := irlint.Select("nosuch", ""); err == nil {
+		t.Error("unknown enable name accepted")
+	}
+	if _, err := irlint.Select("", "nosuch"); err == nil {
+		t.Error("unknown disable name accepted")
+	}
+}
+
+func TestRunContainsAnalyzerPanics(t *testing.T) {
+	boom := &irlint.Analyzer{Name: "boom", Doc: "test", Run: func(*irlint.Pass) { panic("kaboom") }}
+	res := irlint.Run(parse(t, `class A { method m(): void { return } }`),
+		irlint.Config{Analyzers: []*irlint.Analyzer{boom}})
+	hits := res.ByCode("irlint.panic")
+	if len(hits) != 1 {
+		t.Fatalf("panic not converted to diagnostic: %v", res.Diagnostics)
+	}
+	if hits[0].Severity != irlint.Error {
+		t.Error("irlint.panic must be Error severity")
+	}
+}
+
+func TestRunSortsAndDeduplicates(t *testing.T) {
+	noisy := &irlint.Analyzer{Name: "noisy", Doc: "test", Run: func(p *irlint.Pass) {
+		p.Report(irlint.Diagnostic{Code: "t.b", File: "z.ir", Line: 9, Message: "late"})
+		p.Report(irlint.Diagnostic{Code: "t.a", File: "a.ir", Line: 2, Message: "dup"})
+		p.Report(irlint.Diagnostic{Code: "t.a", File: "a.ir", Line: 2, Message: "dup"})
+		p.Report(irlint.Diagnostic{Code: "t.a", File: "a.ir", Line: 1, Message: "first"})
+	}}
+	res := irlint.Run(parse(t, `class A { method m(): void { return } }`),
+		irlint.Config{Analyzers: []*irlint.Analyzer{noisy}})
+	if len(res.Diagnostics) != 3 {
+		t.Fatalf("got %d diagnostics, want 3 after dedup: %v", len(res.Diagnostics), res.Diagnostics)
+	}
+	if res.Diagnostics[0].Line != 1 || res.Diagnostics[2].File != "z.ir" {
+		t.Errorf("diagnostics not sorted: %v", res.Diagnostics)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	res := &irlint.Result{Diagnostics: []irlint.Diagnostic{
+		{Code: "defuse.undef", Severity: irlint.Error},
+		{Code: "defuse.maybe", Severity: irlint.Warning},
+		{Code: "defuser.x", Severity: irlint.Warning},
+	}}
+	if res.Errors() != 1 || res.Warnings() != 2 || !res.HasErrors() {
+		t.Errorf("counts: %d errors, %d warnings", res.Errors(), res.Warnings())
+	}
+	if got := res.ByCode("defuse"); len(got) != 2 {
+		t.Errorf("ByCode prefix matched %d, want 2 (must not match defuser.x)", len(got))
+	}
+	if got := res.ByCode("defuse.undef"); len(got) != 1 {
+		t.Errorf("ByCode exact matched %d, want 1", len(got))
+	}
+}

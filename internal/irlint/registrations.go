@@ -1,0 +1,67 @@
+package irlint
+
+import "flowdroid/internal/ir"
+
+func init() { Register(registrationsAnalyzer) }
+
+// RulesFile is the pseudo-path rule-level diagnostics are positioned at:
+// source/sink rules come from configuration text, not from a class file.
+const RulesFile = "<rules>"
+
+// registrationsAnalyzer checks the configured registrations against the
+// program: source/sink rules whose class or method resolves to nothing
+// (a rule that can never match silently disables a detection — the
+// classic "promise-keeping" failure), and layout-declared android:onClick
+// handlers with no matching one-argument method on any class (the
+// callback would be registered but never modeled).
+var registrationsAnalyzer = &Analyzer{
+	Name: "registrations",
+	Doc:  "source/sink rules and layout callbacks naming unknown classes or methods",
+	Run:  runRegistrations,
+}
+
+func runRegistrations(pass *Pass) {
+	h := pass.Prog
+	rule := func(kind, cls, name string, nargs int, render string) {
+		switch {
+		case h.Class(cls) == nil:
+			pass.Report(Diagnostic{
+				Code: "registrations." + kind, Severity: Warning, File: RulesFile,
+				Message: kind + " rule [" + render + "] references unknown class " + cls,
+			})
+		case h.ResolveMethod(cls, name, nargs) == nil:
+			pass.Report(Diagnostic{
+				Code: "registrations." + kind, Severity: Warning, File: RulesFile,
+				Message: kind + " rule [" + render + "] names a method no class in the hierarchy declares",
+			})
+		}
+	}
+	for _, s := range pass.Config.Sources {
+		rule("source", s.Class, s.Name, s.NArgs, s.String())
+	}
+	for _, s := range pass.Config.Sinks {
+		rule("sink", s.Class, s.Name, s.NArgs, s.String())
+	}
+	for file, handlers := range pass.Config.ClickHandlers {
+		for _, handler := range handlers {
+			if !hasHandler(h, handler) {
+				pass.Report(Diagnostic{
+					Code: "registrations.onclick", Severity: Warning, File: file,
+					Message: "layout registers android:onClick handler \"" + handler +
+						"\" but no class declares a matching one-argument method",
+				})
+			}
+		}
+	}
+}
+
+// hasHandler reports whether any class declares a one-argument method
+// with the given name — the android:onClick(View) shape.
+func hasHandler(h ir.Hierarchy, name string) bool {
+	for _, c := range h.Classes() {
+		if c.Method(name, 1) != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package irlint
+
+import "flowdroid/internal/ir"
+
+func init() { Register(resolveAnalyzer) }
+
+// resolveAnalyzer reports references to classes, methods and fields the
+// hierarchy cannot resolve. These are Warnings, not Errors: the analyses
+// deliberately tolerate unknown references by treating them as opaque
+// library calls (a taint-wrapper may still model them), but an
+// unresolvable name in app code is usually a typo or a missing stub —
+// and a call graph silently missing those edges is exactly the
+// mis-analysis this verifier exists to surface.
+var resolveAnalyzer = &Analyzer{
+	Name: "resolve",
+	Doc:  "unresolvable class, method and field references",
+	Run:  runResolve,
+}
+
+func runResolve(pass *Pass) {
+	h := pass.Prog
+	eachBodyMethod(h, func(c *ir.Class, m *ir.Method) {
+		for _, s := range m.Body() {
+			if call := ir.CallOf(s); call != nil {
+				cls, callee := calleeOf(h, call)
+				switch {
+				case cls == "":
+					// Receiver type unknown — inference gave up; nothing to
+					// resolve against.
+				case h.Class(cls) == nil:
+					pass.ReportStmt("resolve.class", Warning, s,
+						"call references unknown class %s", cls)
+				case callee == nil:
+					pass.ReportStmt("resolve.method", Warning, s,
+						"unresolvable method %s.%s/%d", cls, call.Ref.Name, call.Ref.NArgs)
+				}
+			}
+			if a, ok := s.(*ir.AssignStmt); ok {
+				checkValueRefs(pass, s, a.LHS)
+				checkValueRefs(pass, s, a.RHS)
+			}
+		}
+	})
+}
+
+// checkValueRefs reports unknown classes in allocations and casts, and
+// unresolvable field references (normally Program.Link rejects those,
+// so these fire only on IR mutated after linking).
+func checkValueRefs(pass *Pass, s ir.Stmt, v ir.Value) {
+	h := pass.Prog
+	unknownClass := func(t ir.Type) {
+		if t.IsRef() && h.Class(t.Name) == nil {
+			pass.ReportStmt("resolve.class", Warning, s, "reference to unknown class %s", t.Name)
+		}
+	}
+	switch v := v.(type) {
+	case *ir.New:
+		unknownClass(v.Type)
+	case *ir.Cast:
+		unknownClass(v.To)
+	case *ir.FieldRef:
+		if v.Field != nil || v.Base == nil || !v.Base.Type.IsRef() {
+			return
+		}
+		if h.Class(v.Base.Type.Name) != nil && h.ResolveField(v.Base.Type.Name, v.Name) == nil {
+			pass.ReportStmt("resolve.field", Warning, s,
+				"unresolvable field %s.%s", v.Base.Type.Name, v.Name)
+		}
+	case *ir.StaticFieldRef:
+		if v.Field != nil {
+			return
+		}
+		if h.Class(v.Class) == nil {
+			pass.ReportStmt("resolve.class", Warning, s, "reference to unknown class %s", v.Class)
+		} else if h.ResolveField(v.Class, v.Name) == nil {
+			pass.ReportStmt("resolve.field", Warning, s, "unresolvable field %s.%s", v.Class, v.Name)
+		}
+	}
+}

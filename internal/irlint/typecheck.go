@@ -1,0 +1,198 @@
+package irlint
+
+import "flowdroid/internal/ir"
+
+func init() { Register(typecheckAnalyzer) }
+
+// typecheckAnalyzer checks assignments, call arguments and returns for
+// type compatibility against the hierarchy. Every finding is a Warning:
+// the front end's type inference is best-effort (locals may stay
+// Unknown), so an apparent mismatch can be an inference gap rather than
+// a program defect, and the taint analyses themselves are untyped.
+var typecheckAnalyzer = &Analyzer{
+	Name: "typecheck",
+	Doc:  "assignment, argument and return type compatibility against the hierarchy",
+	Run:  runTypecheck,
+}
+
+func runTypecheck(pass *Pass) {
+	h := pass.Prog
+	eachBodyMethod(h, func(c *ir.Class, m *ir.Method) {
+		for _, s := range m.Body() {
+			switch s := s.(type) {
+			case *ir.AssignStmt:
+				dst := storageType(s.LHS)
+				src := staticType(h, s.RHS)
+				if !assignable(h, dst, src) {
+					pass.ReportStmt("typecheck.assign", Warning, s,
+						"type mismatch: %s value assigned to %s", src, dst)
+				}
+			case *ir.ReturnStmt:
+				if s.Value == nil {
+					break // missing return values are the missingreturn analyzer's finding
+				}
+				if m.Return.Kind == ir.VoidType {
+					pass.ReportStmt("typecheck.return", Warning, s,
+						"void method %s returns a value", m)
+				} else if t := staticType(h, s.Value); !assignable(h, m.Return, t) {
+					pass.ReportStmt("typecheck.return", Warning, s,
+						"return type mismatch: %s returned from method declared %s", t, m.Return)
+				}
+			}
+			if call := ir.CallOf(s); call != nil {
+				checkArgs(pass, s, call)
+			}
+		}
+	})
+}
+
+// checkArgs verifies actual argument types against the resolved callee's
+// parameter types. Unresolvable callees are the resolve analyzer's
+// finding, not a type error.
+func checkArgs(pass *Pass, s ir.Stmt, call *ir.InvokeExpr) {
+	h := pass.Prog
+	_, callee := calleeOf(h, call)
+	if callee == nil {
+		return
+	}
+	n := len(call.Args)
+	if len(callee.Params) < n {
+		n = len(callee.Params) // arity mismatches are the invoke analyzer's finding
+	}
+	for i := 0; i < n; i++ {
+		at := staticType(h, call.Args[i])
+		if !assignable(h, callee.Params[i].Type, at) {
+			pass.ReportStmt("typecheck.arg", Warning, s,
+				"argument %d of call to %s: %s value passed for parameter of type %s",
+				i, callee, at, callee.Params[i].Type)
+		}
+	}
+}
+
+// storageType is the declared type of an lvalue.
+func storageType(v ir.Value) ir.Type {
+	switch v := v.(type) {
+	case *ir.Local:
+		return v.Type
+	case *ir.FieldRef:
+		if v.Field != nil {
+			return v.Field.Type
+		}
+	case *ir.StaticFieldRef:
+		if v.Field != nil {
+			return v.Field.Type
+		}
+	case *ir.ArrayRef:
+		if v.Base != nil && v.Base.Type.IsArray() {
+			return *v.Base.Type.Elem
+		}
+	}
+	return ir.Unknown
+}
+
+// staticType is the best-effort static type of a value; Unknown when the
+// front end cannot tell.
+func staticType(h ir.Hierarchy, v ir.Value) ir.Type {
+	switch v := v.(type) {
+	case *ir.Local:
+		return v.Type
+	case *ir.Const:
+		switch v.Kind {
+		case ir.IntConst, ir.ResConst:
+			return ir.Int
+		case ir.StringConst:
+			return ir.Ref("java.lang.String")
+		case ir.NullConst:
+			return ir.Null
+		}
+	case *ir.New:
+		return v.Type
+	case *ir.NewArray:
+		return ir.ArrayOf(v.Elem)
+	case *ir.Cast:
+		return v.To
+	case *ir.FieldRef:
+		if v.Field != nil {
+			return v.Field.Type
+		}
+	case *ir.StaticFieldRef:
+		if v.Field != nil {
+			return v.Field.Type
+		}
+	case *ir.ArrayRef:
+		if v.Base != nil && v.Base.Type.IsArray() {
+			return *v.Base.Type.Elem
+		}
+	case *ir.InvokeExpr:
+		if _, callee := calleeOf(h, v); callee != nil {
+			return callee.Return
+		}
+	case *ir.Binop:
+		// Operators are untyped in this IR (string concatenation and
+		// arithmetic share the same node); stay Unknown.
+	}
+	return ir.Unknown
+}
+
+// assignable reports whether a src-typed value may be stored in a
+// dst-typed location. The check is deliberately lenient: Unknown is
+// compatible with everything, all primitives interconvert, and reference
+// types are compatible when related in either direction (the IR has no
+// explicit upcasts). Only provably unrelated types fail.
+func assignable(h ir.Hierarchy, dst, src ir.Type) bool {
+	if dst.IsUnknown() || src.IsUnknown() {
+		return true
+	}
+	if dst.Kind == ir.VoidType || src.Kind == ir.VoidType {
+		return false
+	}
+	if src.Kind == ir.NullType {
+		return dst.IsRef() || dst.IsArray()
+	}
+	switch {
+	case dst.IsPrim():
+		return src.IsPrim()
+	case dst.IsRef():
+		if src.IsArray() || src.IsPrim() {
+			// Arrays and autoboxed primitives are Objects.
+			return dst.Name == "java.lang.Object"
+		}
+		if !src.IsRef() {
+			return false
+		}
+		return relatedClasses(h, src.Name, dst.Name)
+	case dst.IsArray():
+		if !src.IsArray() {
+			return false
+		}
+		return assignable(h, *dst.Elem, *src.Elem)
+	}
+	return true
+}
+
+// relatedClasses reports whether two class names are subtype-related in
+// either direction. A name the hierarchy does not know is treated as
+// compatible (the resolve analyzer reports the unknown class itself).
+func relatedClasses(h ir.Hierarchy, a, b string) bool {
+	if a == b || a == "java.lang.Object" || b == "java.lang.Object" {
+		return true
+	}
+	if h.Class(a) == nil || h.Class(b) == nil {
+		return true
+	}
+	return h.SubtypeOf(a, b) || h.SubtypeOf(b, a)
+}
+
+// calleeOf resolves an invocation to its static receiver class and
+// target method; class is "" when the receiver's type is unknown, and
+// the method is nil when resolution fails.
+func calleeOf(h ir.Hierarchy, e *ir.InvokeExpr) (string, *ir.Method) {
+	cls := e.Ref.Class
+	if e.Kind == ir.VirtualInvoke && e.Base != nil && e.Base.Type.IsRef() {
+		cls = e.Base.Type.Name
+	}
+	if cls == "" {
+		return "", nil
+	}
+	return cls, h.ResolveMethod(cls, e.Ref.Name, e.Ref.NArgs)
+}

@@ -1,0 +1,134 @@
+package irlint
+
+import "flowdroid/internal/ir"
+
+// eachBodyMethod calls fn for every method with a body, classes and
+// methods in deterministic order.
+func eachBodyMethod(h ir.Hierarchy, fn func(*ir.Class, *ir.Method)) {
+	for _, c := range h.Classes() {
+		for _, m := range c.Methods() {
+			if !m.Abstract() {
+				fn(c, m)
+			}
+		}
+	}
+}
+
+// valueUses calls add for every local read when v is evaluated. For
+// lvalues it reports the base (storing through base.f or base[i] reads
+// base), never the assigned local itself.
+func valueUses(v ir.Value, add func(*ir.Local)) {
+	switch v := v.(type) {
+	case *ir.Local:
+		add(v)
+	case *ir.FieldRef:
+		if v.Base != nil {
+			add(v.Base)
+		}
+	case *ir.ArrayRef:
+		if v.Base != nil {
+			add(v.Base)
+		}
+		if v.Index != nil {
+			valueUses(v.Index, add)
+		}
+	case *ir.Binop:
+		valueUses(v.L, add)
+		valueUses(v.R, add)
+	case *ir.Cast:
+		valueUses(v.X, add)
+	case *ir.NewArray:
+		if v.Len != nil {
+			valueUses(v.Len, add)
+		}
+	case *ir.InvokeExpr:
+		if v.Base != nil {
+			add(v.Base)
+		}
+		for _, a := range v.Args {
+			valueUses(a, add)
+		}
+	}
+}
+
+// stmtUses calls add for every local the statement reads.
+func stmtUses(s ir.Stmt, add func(*ir.Local)) {
+	switch s := s.(type) {
+	case *ir.AssignStmt:
+		valueUses(s.RHS, add)
+		// A store through a field or array lvalue reads its base; only a
+		// plain local LHS is a pure definition.
+		if _, isLocal := s.LHS.(*ir.Local); !isLocal {
+			valueUses(s.LHS, add)
+		}
+	case *ir.InvokeStmt:
+		if s.Call != nil {
+			valueUses(s.Call, add)
+		}
+	case *ir.ReturnStmt:
+		if s.Value != nil {
+			valueUses(s.Value, add)
+		}
+	}
+}
+
+// stmtDef returns the local the statement assigns, or nil.
+func stmtDef(s ir.Stmt) *ir.Local {
+	if a, ok := s.(*ir.AssignStmt); ok {
+		if l, ok := a.LHS.(*ir.Local); ok {
+			return l
+		}
+	}
+	return nil
+}
+
+// stmtLocals calls add for every local the statement mentions (uses and
+// definitions, including lvalue bases).
+func stmtLocals(s ir.Stmt, add func(*ir.Local)) {
+	stmtUses(s, add)
+	if l := stmtDef(s); l != nil {
+		add(l)
+	}
+}
+
+// reachable returns, per body index, whether the statement is reachable
+// from the method entry along CFG edges.
+func reachable(m *ir.Method) []bool {
+	body := m.Body()
+	seen := make([]bool, len(body))
+	if len(body) == 0 {
+		return seen
+	}
+	work := []int{0}
+	seen[0] = true
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, t := range succIdx(body, i) {
+			if t >= 0 && t < len(body) && !seen[t] {
+				seen[t] = true
+				work = append(work, t)
+			}
+		}
+	}
+	return seen
+}
+
+// succIdx mirrors cfg.New's edge rules on raw indices, tolerating
+// out-of-range branch targets (which the branch analyzer reports) by
+// simply dropping them.
+func succIdx(body []ir.Stmt, i int) []int {
+	switch s := body[i].(type) {
+	case *ir.GotoStmt:
+		return []int{s.TargetIndex}
+	case *ir.IfStmt:
+		if s.TargetIndex == i+1 {
+			return []int{i + 1}
+		}
+		return []int{i + 1, s.TargetIndex}
+	case *ir.ReturnStmt:
+		return nil
+	default:
+		return []int{i + 1}
+	}
+}

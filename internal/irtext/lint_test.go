@@ -1,0 +1,51 @@
+package irtext_test
+
+// The textual def-before-use scan that used to live in the parser moved
+// to the irlint "defuse" analyzer; these tests pin the parse-then-verify
+// behaviour (same message, same position, but a diagnostic rather than a
+// parse error). External test package: irlint depends (via sourcesink)
+// on packages that import irtext.
+
+import (
+	"strings"
+	"testing"
+
+	"flowdroid/internal/irlint"
+	"flowdroid/internal/irtext"
+)
+
+func TestUndefinedLocalIsLintDiagnostic(t *testing.T) {
+	src := "class A {\n  method m(): void {\n    x = y\n  }\n}"
+	prog, err := irtext.ParseProgram(src, "pos.ir")
+	if err != nil {
+		t.Fatalf("use of an undefined local must parse (it is a verification error now): %v", err)
+	}
+	res := irlint.Run(prog, irlint.Config{})
+	var found bool
+	for _, d := range res.ByCode("defuse.undef") {
+		if d.Severity != irlint.Error {
+			t.Errorf("defuse.undef severity = %v, want error", d.Severity)
+		}
+		found = true
+		if want := `use of undefined local "y"`; !strings.Contains(d.Message, want) {
+			t.Errorf("message %q does not contain %q", d.Message, want)
+		}
+		if d.File != "pos.ir" || d.Line != 3 {
+			t.Errorf("diagnostic at %s, want pos.ir:3", d.Pos())
+		}
+	}
+	if !found {
+		t.Fatalf("no defuse.undef error reported; got %v", res.Diagnostics)
+	}
+}
+
+func TestDefinedLocalsAreLintClean(t *testing.T) {
+	src := "class A {\n  method m(p: int): void {\n    x = p\n    y = x\n  }\n}"
+	prog, err := irtext.ParseProgram(src, "clean.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := irlint.Run(prog, irlint.Config{}); res.HasErrors() {
+		t.Errorf("clean program produced lint errors: %v", res.Diagnostics)
+	}
+}

@@ -137,6 +137,7 @@ func (p *parser) parseFile() error {
 
 func (p *parser) parseClass() error {
 	isInterface := p.isIdent("interface")
+	declLine := p.cur.line
 	if err := p.advance(); err != nil {
 		return err
 	}
@@ -158,6 +159,7 @@ func (p *parser) parseClass() error {
 	}
 	cls := ir.NewClass(name, super)
 	cls.Interface = isInterface
+	cls.File, cls.Line = p.lex.file, declLine
 	if p.isIdent("implements") {
 		for {
 			if err := p.advance(); err != nil {
@@ -333,14 +335,19 @@ func (p *parser) parseBody(m *ir.Method) ([]ir.Stmt, error) {
 	return body, p.advance() // consume "}"
 }
 
+// setLabel and setLine position a freshly parsed statement. Statement
+// implementations that do not embed ir.StmtBase (and so lack the setter)
+// simply go unpositioned — a missing setter must never panic the parser.
 func setLabel(s ir.Stmt, l string) {
-	type labeled interface{ SetLabel(string) }
-	s.(labeled).SetLabel(l)
+	if x, ok := s.(interface{ SetLabel(string) }); ok {
+		x.SetLabel(l)
+	}
 }
 
 func setLine(s ir.Stmt, n int) {
-	type lined interface{ SetLine(int) }
-	s.(lined).SetLine(n)
+	if x, ok := s.(interface{ SetLine(int) }); ok {
+		x.SetLine(n)
+	}
 }
 
 // parseStmt parses one source statement; constructor sugar may expand to
@@ -365,6 +372,7 @@ func (p *parser) parseStmt(m *ir.Method) ([]ir.Stmt, error) {
 		}
 		l := m.Local(name)
 		l.Type = t
+		l.Declared = true
 		return nil, nil
 
 	case p.isIdent("if"):

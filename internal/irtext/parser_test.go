@@ -181,7 +181,6 @@ func TestParseErrors(t *testing.T) {
 	cases := []struct {
 		name, src, wantErr string
 	}{
-		{"undefined local", `class A { method m(): void { x = y } }`, "undefined local"},
 		{"duplicate class", `class A {} class A {}`, "duplicate class"},
 		{"undefined label", `class A { method m(): void { goto L } }`, "undefined label"},
 		{"chained fields", `class A { field f: A  method m(): void { local x: A  y = x.f.f } }`, "three-address"},
@@ -228,13 +227,45 @@ func TestRoundTripPrint(t *testing.T) {
 
 func TestParseErrorPositions(t *testing.T) {
 	// Errors must carry file:line positions.
-	src := "class A {\n  method m(): void {\n    x = y\n  }\n}"
+	src := "class A {\n  method m(): void {\n    if x goto L\n  }\n}"
 	_, err := ParseProgram(src, "pos.ir")
 	if err == nil {
 		t.Fatal("expected error")
 	}
 	if !strings.Contains(err.Error(), "pos.ir:3") {
 		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestClassPositions(t *testing.T) {
+	// The parser records where each class was declared so diagnostics can
+	// be positioned.
+	src := "class A {\n}\nclass B {\n  method m(): void { return }\n}"
+	prog, err := ParseProgram(src, "pos.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, line := range map[string]int{"A": 1, "B": 3} {
+		c := prog.Class(name)
+		if c.File != "pos.ir" || c.Line != line {
+			t.Errorf("class %s declared at %s:%d, want pos.ir:%d", name, c.File, c.Line, line)
+		}
+	}
+}
+
+func TestDeclaredFlag(t *testing.T) {
+	// "local" declarations, parameters and the receiver are Declared;
+	// locals created by first assignment are not.
+	src := `class A { method m(p: int): void { local x: A  y = 1  return } }`
+	prog, err := ParseProgram(src, "t.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Class("A").Method("m", 1)
+	for name, want := range map[string]bool{"p": true, "x": true, "this": true, "y": false} {
+		if l := m.LookupLocal(name); l == nil || l.Declared != want {
+			t.Errorf("local %s: Declared = %v, want %v", name, l != nil && l.Declared, want)
+		}
 	}
 }
 

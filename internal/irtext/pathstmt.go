@@ -1,7 +1,6 @@
 package irtext
 
 import (
-	"fmt"
 	"strings"
 
 	"flowdroid/internal/ir"
@@ -13,12 +12,6 @@ import (
 type path struct {
 	segs []string
 	line int
-}
-
-// errAt formats an error at an explicit line (for constructs whose tokens
-// have already been consumed).
-func (p *parser) errAt(line int, format string, args ...any) error {
-	return fmt.Errorf("%s:%d: %s", p.lex.file, line, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) parsePath() (path, error) {
@@ -43,8 +36,11 @@ func (p *parser) parsePath() (path, error) {
 }
 
 // isLocal reports whether name is a declared or previously assigned local
-// of m. The parser requires locals to be defined (or declared with "local")
-// textually before first use in any non-LHS position.
+// of m. It only disambiguates multi-segment paths (local.field versus
+// Class.staticfield); single-segment operands always denote locals, which
+// the parser creates on first mention. Whether a local is actually
+// assigned before use is checked after parsing by the CFG-aware
+// definite-assignment analyzer (internal/irlint, "defuse"), not here.
 func isLocal(m *ir.Method, name string) bool { return m.LookupLocal(name) != nil }
 
 // parsePathStmt parses a statement beginning with a path: an assignment
@@ -69,10 +65,7 @@ func (p *parser) parsePathStmt(m *ir.Method) ([]ir.Stmt, error) {
 		if len(pa.segs) != 1 {
 			return nil, p.errf("array base must be a local, found %s", strings.Join(pa.segs, "."))
 		}
-		base, err := p.localOf(m, pa.segs[0], false)
-		if err != nil {
-			return nil, err
-		}
+		base := m.Local(pa.segs[0])
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -122,18 +115,6 @@ func (p *parser) lvalueOf(m *ir.Method, pa path) (ir.Value, error) {
 	}
 }
 
-// localOf returns the named local; unless define is set, the local must
-// already exist.
-func (p *parser) localOf(m *ir.Method, name string, define bool) (*ir.Local, error) {
-	if l := m.LookupLocal(name); l != nil {
-		return l, nil
-	}
-	if !define {
-		return nil, p.errf("use of undefined local %q (locals must be assigned or declared before use)", name)
-	}
-	return m.Local(name), nil
-}
-
 // operand parses a simple value: a local or a literal.
 func (p *parser) operand(m *ir.Method) (ir.Value, error) {
 	switch p.cur.kind {
@@ -150,11 +131,7 @@ func (p *parser) operand(m *ir.Method) (ir.Value, error) {
 		if p.cur.text == "null" {
 			return ir.NullOf(), p.advance()
 		}
-		l, err := p.localOf(m, p.cur.text, false)
-		if err != nil {
-			return nil, err
-		}
-		return l, p.advance()
+		return m.Local(p.cur.text), p.advance()
 	}
 	return nil, p.errf("expected operand, found %s", p.cur)
 }
@@ -308,10 +285,7 @@ func (p *parser) parseRvalue(m *ir.Method, lhs ir.Value) ([]ir.Stmt, error) {
 		if len(pa.segs) != 1 {
 			return nil, p.errf("array base must be a local")
 		}
-		base, err := p.localOf(m, pa.segs[0], false)
-		if err != nil {
-			return nil, err
-		}
+		base := m.Local(pa.segs[0])
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -335,10 +309,7 @@ func (p *parser) parseRvalue(m *ir.Method, lhs ir.Value) ([]ir.Stmt, error) {
 func (p *parser) pathValue(m *ir.Method, pa path) (ir.Value, error) {
 	switch {
 	case len(pa.segs) == 1:
-		if l := m.LookupLocal(pa.segs[0]); l != nil {
-			return l, nil
-		}
-		return nil, p.errAt(pa.line, "use of undefined local %q (locals must be assigned or declared before use)", pa.segs[0])
+		return m.Local(pa.segs[0]), nil
 	case isLocal(m, pa.segs[0]):
 		if len(pa.segs) != 2 {
 			return nil, p.errf("chained field access %s is not three-address form; introduce a temporary",

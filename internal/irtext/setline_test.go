@@ -1,0 +1,29 @@
+package irtext
+
+import (
+	"testing"
+
+	"flowdroid/internal/ir"
+)
+
+// wrappedStmt embeds the ir.Stmt interface without re-implementing the
+// SetLabel/SetLine setters, so the type assertions inside setLabel and
+// setLine fail against it.
+type wrappedStmt struct{ ir.Stmt }
+
+func TestSetLabelLineToleratesForeignStmts(t *testing.T) {
+	// setLabel/setLine must degrade to a no-op on statement values that do
+	// not provide the setters (historically an unchecked assertion that
+	// panicked on foreign or nil statements).
+	for _, s := range []ir.Stmt{wrappedStmt{}, wrappedStmt{Stmt: &ir.ReturnStmt{}}, nil} {
+		setLabel(s, "L")
+		setLine(s, 7)
+	}
+	// A real statement still gets its label and line recorded.
+	r := &ir.ReturnStmt{}
+	setLabel(r, "end")
+	setLine(r, 3)
+	if r.Label() != "end" || r.Line() != 3 {
+		t.Errorf("setLabel/setLine lost data on real stmt: label=%q line=%d", r.Label(), r.Line())
+	}
+}

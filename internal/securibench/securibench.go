@@ -115,6 +115,21 @@ func Config() taint.Config {
 	return conf
 }
 
+// Program builds the case's linked program (servlet stubs plus the
+// case source), exactly as Run analyzes it — the hook external
+// verification tooling (cmd/irlint, the fixture-cleanliness tests)
+// lints the suite through.
+func Program(c Case) (*ir.Program, error) {
+	prog, err := core.ParseJava(servletStubs+c.Source, c.Name+".ir")
+	if err != nil {
+		return nil, fmt.Errorf("securibench %s: %w", c.Name, err)
+	}
+	return prog, nil
+}
+
+// Rules returns the suite's source/sink rule text.
+func Rules() string { return rules }
+
 // Run analyzes one case and returns the number of distinct leaks found.
 // A panic anywhere in the pipeline is recovered into the case's error.
 func Run(c Case) (found int, err error) {
@@ -123,9 +138,9 @@ func Run(c Case) (found int, err error) {
 			found, err = 0, fmt.Errorf("securibench %s: panic: %v", c.Name, r)
 		}
 	}()
-	prog, err := core.ParseJava(servletStubs+c.Source, c.Name+".ir")
+	prog, err := Program(c)
 	if err != nil {
-		return 0, fmt.Errorf("securibench %s: %w", c.Name, err)
+		return 0, err
 	}
 	var entries []*ir.Method
 	for _, cls := range prog.Classes() {

@@ -1,0 +1,136 @@
+// Command checklint validates the JSON envelope `irlint -json` emits,
+// so CI fails loudly when the verifier's machine-readable output drifts
+// from the documented schema (DESIGN.md §5e) that downstream tooling
+// parses:
+//
+//	{"packages": [{"package": ..., "diagnostics": [...],
+//	               "errors": N, "warnings": M}, ...],
+//	 "errors": N, "warnings": M}
+//
+// Beyond shape, it cross-checks the counts: each package's errors and
+// warnings must equal what its diagnostics list contains, and the
+// top-level totals must be the sum over packages. Every diagnostic
+// needs a stable dotted code, a known severity, a message and a
+// position.
+//
+// Usage: go run ./scripts/checklint report.json [more.json ...]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type diagnostic struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Method   string `json:"method"`
+	Message  string `json:"message"`
+}
+
+type pkgReport struct {
+	Package     string       `json:"package"`
+	Diagnostics []diagnostic `json:"diagnostics"`
+	Errors      int          `json:"errors"`
+	Warnings    int          `json:"warnings"`
+}
+
+type report struct {
+	Packages []pkgReport `json:"packages"`
+	Errors   int         `json:"errors"`
+	Warnings int         `json:"warnings"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fail("usage: checklint report.json [more.json ...]")
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fail("%s: %v", path, err)
+		}
+		fmt.Printf("checklint: %s OK\n", path)
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep report
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("envelope does not match schema: %w", err)
+	}
+	if rep.Packages == nil {
+		return fmt.Errorf(`"packages" missing or null`)
+	}
+	var errs, warns int
+	seen := make(map[string]bool)
+	for _, p := range rep.Packages {
+		if p.Package == "" {
+			return fmt.Errorf("package entry without a name")
+		}
+		if seen[p.Package] {
+			return fmt.Errorf("duplicate package %q", p.Package)
+		}
+		seen[p.Package] = true
+		if p.Diagnostics == nil {
+			return fmt.Errorf("%s: diagnostics must be [], not null", p.Package)
+		}
+		var pe, pw int
+		for _, d := range p.Diagnostics {
+			if err := checkDiagnostic(d); err != nil {
+				return fmt.Errorf("%s: %v", p.Package, err)
+			}
+			switch d.Severity {
+			case "error":
+				pe++
+			case "warning":
+				pw++
+			}
+		}
+		if pe != p.Errors || pw != p.Warnings {
+			return fmt.Errorf("%s: counts %d/%d disagree with diagnostics %d/%d",
+				p.Package, p.Errors, p.Warnings, pe, pw)
+		}
+		errs += pe
+		warns += pw
+	}
+	if errs != rep.Errors || warns != rep.Warnings {
+		return fmt.Errorf("totals %d/%d disagree with package sums %d/%d",
+			rep.Errors, rep.Warnings, errs, warns)
+	}
+	return nil
+}
+
+func checkDiagnostic(d diagnostic) error {
+	if d.Code == "" || !strings.Contains(d.Code, ".") {
+		return fmt.Errorf("diagnostic code %q is not a dotted stable code", d.Code)
+	}
+	if d.Severity != "error" && d.Severity != "warning" {
+		return fmt.Errorf("diagnostic %s has unknown severity %q", d.Code, d.Severity)
+	}
+	if d.Message == "" {
+		return fmt.Errorf("diagnostic %s has no message", d.Code)
+	}
+	if d.File == "" {
+		return fmt.Errorf("diagnostic %s has no file position", d.Code)
+	}
+	if d.Line < 0 {
+		return fmt.Errorf("diagnostic %s has negative line %d", d.Code, d.Line)
+	}
+	return nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checklint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -26,6 +26,15 @@ go test -bench Smoke -benchtime=1x -run '^$' .
 echo "==> checkbench (BENCH_taint.json + BENCH_metrics.json schemas)"
 go run ./scripts/checkbench BENCH_taint.json BENCH_metrics.json
 
+echo "==> irlint -fixtures (IR verifier over every shipped program) + checklint"
+lint_file=$(mktemp)
+go run ./cmd/irlint -fixtures -json > "$lint_file"
+go run ./scripts/checklint "$lint_file"
+rm -f "$lint_file"
+
+echo "==> fuzz smoke (parse-then-verify, seeded with the defect-injector corpus)"
+go test -fuzz FuzzParseAndVerify -fuzztime 10s -run '^$' ./internal/irlint/
+
 echo "==> trace smoke (flowdroid -insecurebank -trace) + checktrace"
 trace_file=$(mktemp)
 # InsecureBank finds leaks, so exit 1 is the expected outcome here; any

@@ -21,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"flowdroid/internal/appgen"
 	"flowdroid/internal/metrics"
@@ -71,10 +73,16 @@ func main() {
 		FaultInject:     *forcePanic,
 		Lint:            *lint,
 	}
+	// An interrupt (SIGINT/SIGTERM) cancels the batch context: the app
+	// being analyzed stops at its next stage boundary, the apps never
+	// attempted are counted in the summary's incomplete line, and the
+	// partial summary still prints instead of the process dying
+	// mid-write. A second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	// One recorder is shared by every app in the batch: counters
 	// accumulate corpus-wide, which is exactly the rollup the summary
 	// wants. With neither flag set the pipelines run uninstrumented.
-	ctx := context.Background()
 	var rec *metrics.Recorder
 	if *traceFile != "" || *showMetrics {
 		rec = metrics.New()
@@ -101,6 +109,13 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("metrics:\n%s\n", out)
+	}
+	if ctx.Err() != nil {
+		// An interrupted batch reported partial results above; exit 2
+		// (incomplete) so scripts never mistake it for a full run whose
+		// ground truth failed to match.
+		fmt.Fprintf(os.Stderr, "corpus: interrupted, %d app(s) never attempted\n", stats.Incomplete)
+		os.Exit(2)
 	}
 	if stats.TotalFound != stats.TotalInjected {
 		fmt.Printf("WARNING: found %d leaks but injected %d\n",

@@ -25,6 +25,10 @@
 // the library's Taint.MaxLeaks) exits 2 like any other truncated run: the
 // reported leaks are real but the set is not exhaustive.
 //
+// An interrupt (SIGINT/SIGTERM) cancels the analysis context: the run
+// stops at the next stage boundary and the partial result is reported as
+// DeadlineExceeded (exit 2). A second signal kills the process.
+//
 // -workers sets the taint solver's worker-pool size (default GOMAXPROCS).
 // The distinct leak report is identical at any worker count; only the
 // path witnesses (-paths) may pick different derivations.
@@ -49,21 +53,20 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"flowdroid/internal/core"
 	"flowdroid/internal/insecurebank"
 	"flowdroid/internal/irlint"
 	"flowdroid/internal/lifecycle"
 	"flowdroid/internal/metrics"
+	"flowdroid/internal/service"
 )
 
 const (
@@ -104,6 +107,13 @@ type jsonReport struct {
 var flags = flag.NewFlagSet("flowdroid", flag.ContinueOnError)
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code: every path returns instead of calling
+// os.Exit, so the deferred cleanup (debug-listener close, signal-handler
+// release) always executes.
+func run() int {
 	var (
 		apLength    = flags.Int("ap-length", 5, "maximal access-path length")
 		noAlias     = flags.Bool("no-alias", false, "disable the on-demand alias analysis")
@@ -131,9 +141,9 @@ func main() {
 	flags.SetOutput(os.Stderr)
 	if err := flags.Parse(os.Args[1:]); err != nil {
 		if err == flag.ErrHelp {
-			os.Exit(exitClean)
+			return exitClean
 		}
-		os.Exit(exitUsage)
+		return exitUsage
 	}
 
 	opts := core.DefaultOptions()
@@ -156,12 +166,17 @@ func main() {
 	if *rulesFile != "" {
 		data, err := os.ReadFile(*rulesFile)
 		if err != nil {
-			usageError(err.Error())
+			return usageError(err.Error())
 		}
 		opts.SourceSinkRules = string(data)
 	}
 
-	ctx := context.Background()
+	// An interrupt (SIGINT/SIGTERM) cancels the analysis context: the
+	// pipeline stops at the next stage boundary and reports the partial
+	// result as DeadlineExceeded (exit 2) instead of the process dying
+	// mid-write. A second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -181,15 +196,23 @@ func main() {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "flowdroid:", err)
-			os.Exit(exitUsage)
+			return exitUsage
 		}
 		rec.SetTrace(metrics.NewTrace(f))
 	}
 	if *pprofAddr != "" {
-		if err := servePprof(*pprofAddr, rec); err != nil {
+		// The shared debug endpoint (pprof + expvar + live metrics
+		// snapshot): serve errors are logged, and the listener is closed
+		// on every exit path instead of leaking for the process lifetime.
+		dbg, err := service.ServeDebug(*pprofAddr, rec, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "flowdroid: "+format+"\n", args...)
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "flowdroid:", err)
-			os.Exit(exitUsage)
+			return exitUsage
 		}
+		fmt.Fprintf(os.Stderr, "flowdroid: pprof/expvar listening on http://%s/debug/pprof/\n", dbg.Addr())
+		defer dbg.Close()
 	}
 
 	var res *core.Result
@@ -205,11 +228,11 @@ func main() {
 			res, err = core.AnalyzeDir(ctx, path, opts)
 		}
 	default:
-		usageError("usage: flowdroid [flags] <app-dir-or-zip>  (or -insecurebank)")
+		return usageError("usage: flowdroid [flags] <app-dir-or-zip>  (or -insecurebank)")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowdroid:", err)
-		os.Exit(exitAnalysis)
+		return exitAnalysis
 	}
 
 	if *jsonOut {
@@ -235,9 +258,9 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(os.Stderr, "flowdroid:", err)
-			os.Exit(exitAnalysis)
+			return exitAnalysis
 		}
-		os.Exit(exitCode(res))
+		return exitCode(res)
 	}
 
 	if res.Lint != nil && len(res.Lint.Diagnostics) > 0 {
@@ -245,7 +268,7 @@ func main() {
 			out, err := json.MarshalIndent(res.Lint.Diagnostics, "", "  ")
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "flowdroid:", err)
-				os.Exit(exitAnalysis)
+				return exitAnalysis
 			}
 			fmt.Printf("%s\n", out)
 		} else {
@@ -257,7 +280,7 @@ func main() {
 	}
 	if res.Status == core.InvalidProgram {
 		fmt.Println("analysis aborted: program failed IR verification")
-		os.Exit(exitAnalysis)
+		return exitAnalysis
 	}
 	if res.App != nil && res.CallGraph != nil && res.Callbacks != nil {
 		fmt.Printf("analyzed %s: %d components, %d callbacks, %d call edges\n",
@@ -295,7 +318,7 @@ func main() {
 	if *showMetrics {
 		printMetrics(rec)
 	}
-	os.Exit(exitCode(res))
+	return exitCode(res)
 }
 
 // printMetrics dumps the recorder snapshot as indented JSON on stdout.
@@ -306,22 +329,6 @@ func printMetrics(rec *metrics.Recorder) {
 		return
 	}
 	fmt.Printf("\nmetrics:\n%s\n", out)
-}
-
-// servePprof starts the diagnostics endpoint: net/http/pprof and expvar
-// register themselves on the default mux via their imports, and the live
-// metrics snapshot is published as the expvar "flowdroid.metrics". The
-// server lives for the run's duration — point a profiler at it while a
-// long analysis is underway.
-func servePprof(addr string, rec *metrics.Recorder) error {
-	expvar.Publish("flowdroid.metrics", expvar.Func(func() any { return rec.Snapshot() }))
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "flowdroid: pprof/expvar listening on http://%s/debug/pprof/\n", ln.Addr())
-	go http.Serve(ln, nil)
-	return nil
 }
 
 // exitCode maps a result onto the documented exit codes: an incomplete
@@ -337,8 +344,10 @@ func exitCode(res *core.Result) int {
 	return exitClean
 }
 
-func usageError(msg string) {
+// usageError prints the message plus the flag defaults and returns the
+// usage exit code for the caller to return.
+func usageError(msg string) int {
 	fmt.Fprintln(os.Stderr, msg)
 	flags.PrintDefaults()
-	os.Exit(exitUsage)
+	return exitUsage
 }

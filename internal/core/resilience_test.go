@@ -51,8 +51,12 @@ func TestDeadlineExceededPromptly(t *testing.T) {
 	if res.Status != core.DeadlineExceeded {
 		t.Fatalf("status = %v, want %v", res.Status, core.DeadlineExceeded)
 	}
-	if elapsed > 100*time.Millisecond {
-		t.Errorf("returned after %v; a 1ms deadline must stop the run within 100ms", elapsed)
+	// The bound separates "stopped at the next context poll" from "ran
+	// the multi-second solve to completion". It has to absorb the fixed
+	// parse+link cost paid before the first poll, which the race
+	// detector on a loaded host stretches past 100ms.
+	if elapsed > time.Second {
+		t.Errorf("returned after %v; a 1ms deadline must stop the run within 1s", elapsed)
 	}
 	if res.Taint == nil {
 		t.Fatal("truncated result has nil Taint")

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-fingerprint circuit breaker over analysis outcomes.
+// An app whose analyses keep ending badly — Recovered panics,
+// InvalidProgram verdicts, load errors — trips its circuit after
+// `trip` consecutive failures: further submissions of the same package
+// are rejected up front instead of re-burning a worker share on a
+// known-poison input. After the cooldown one probe submission is
+// admitted (half-open); a good probe closes the circuit, a bad one
+// re-opens it for another cooldown.
+//
+// State is kept per fingerprint and only for apps with a failure
+// history: a successful analysis of a closed circuit deletes its
+// entry, so the map does not grow with healthy traffic.
+type breaker struct {
+	mu       sync.Mutex
+	trip     int // consecutive failures to open; < 0 disables
+	cooldown time.Duration
+	entries  map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+func newBreaker(trip int, cooldown time.Duration) *breaker {
+	return &breaker{trip: trip, cooldown: cooldown, entries: map[string]*breakerEntry{}}
+}
+
+// deny reports whether a submission for fp must be rejected now; when
+// denied it returns the remaining cooldown. An open circuit whose
+// cooldown has elapsed transitions to half-open and admits exactly one
+// probe; concurrent submissions while the probe is in flight stay
+// denied.
+func (b *breaker) deny(fp string, now time.Time) (time.Duration, bool) {
+	if b.trip < 0 {
+		return 0, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[fp]
+	if e == nil {
+		return 0, false
+	}
+	switch e.state {
+	case breakerClosed:
+		return 0, false
+	case breakerOpen:
+		if wait := b.cooldown - now.Sub(e.openedAt); wait > 0 {
+			return wait, true
+		}
+		e.state = breakerHalfOpen
+		e.probing = true
+		return 0, false
+	default: // half-open
+		if e.probing {
+			return b.cooldown, true
+		}
+		e.probing = true
+		return 0, false
+	}
+}
+
+// record feeds one analysis outcome back. It returns true when this
+// outcome tripped (or re-tripped) the circuit.
+func (b *breaker) record(fp string, bad bool, now time.Time) bool {
+	if b.trip < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[fp]
+	if e == nil {
+		if !bad {
+			return false
+		}
+		e = &breakerEntry{}
+		b.entries[fp] = e
+	}
+	if e.state == breakerHalfOpen {
+		e.probing = false
+		if bad {
+			e.state = breakerOpen
+			e.openedAt = now
+			e.consecutive = b.trip
+			return true
+		}
+		delete(b.entries, fp)
+		return false
+	}
+	if !bad {
+		delete(b.entries, fp)
+		return false
+	}
+	e.consecutive++
+	if e.state == breakerClosed && e.consecutive >= b.trip {
+		e.state = breakerOpen
+		e.openedAt = now
+		return true
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b := newBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if _, open := b.deny("app", t0); open {
+			t.Fatalf("circuit open after %d failures, trip is 3", i)
+		}
+		if b.record("app", true, t0) {
+			t.Fatalf("record %d reported a trip, trip is 3", i)
+		}
+	}
+	if _, open := b.deny("app", t0); open {
+		t.Fatal("circuit open after 2 failures, trip is 3")
+	}
+	if !b.record("app", true, t0) {
+		t.Fatal("third consecutive failure did not trip the circuit")
+	}
+	wait, open := b.deny("app", t0.Add(time.Second))
+	if !open {
+		t.Fatal("circuit not open after trip")
+	}
+	if wait <= 0 || wait > time.Minute {
+		t.Fatalf("remaining cooldown %v, want in (0, 1m]", wait)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := newBreaker(2, time.Minute)
+	b.record("app", true, t0)
+	b.record("app", false, t0) // success wipes the failure history
+	b.record("app", true, t0)
+	if _, open := b.deny("app", t0); open {
+		t.Fatal("circuit open although failures were never consecutive")
+	}
+}
+
+func TestBreakerIsPerFingerprint(t *testing.T) {
+	b := newBreaker(1, time.Minute)
+	b.record("bad", true, t0)
+	if _, open := b.deny("bad", t0); !open {
+		t.Fatal("tripped fingerprint not open")
+	}
+	if _, open := b.deny("good", t0); open {
+		t.Fatal("unrelated fingerprint open")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(1, time.Minute)
+	b.record("app", true, t0)
+
+	// During cooldown: denied.
+	if _, open := b.deny("app", t0.Add(30*time.Second)); !open {
+		t.Fatal("circuit closed inside the cooldown")
+	}
+	// After cooldown: exactly one probe is admitted.
+	later := t0.Add(2 * time.Minute)
+	if _, open := b.deny("app", later); open {
+		t.Fatal("probe denied after cooldown")
+	}
+	if _, open := b.deny("app", later); !open {
+		t.Fatal("second submission admitted while the probe is in flight")
+	}
+
+	// A good probe closes the circuit for real.
+	if b.record("app", false, later) {
+		t.Fatal("good probe reported a trip")
+	}
+	if _, open := b.deny("app", later); open {
+		t.Fatal("circuit open after a good probe")
+	}
+}
+
+func TestBreakerBadProbeReopens(t *testing.T) {
+	b := newBreaker(1, time.Minute)
+	b.record("app", true, t0)
+	later := t0.Add(2 * time.Minute)
+	if _, open := b.deny("app", later); open {
+		t.Fatal("probe denied after cooldown")
+	}
+	if !b.record("app", true, later) {
+		t.Fatal("bad probe did not re-trip the circuit")
+	}
+	if _, open := b.deny("app", later.Add(time.Second)); !open {
+		t.Fatal("circuit closed right after a bad probe")
+	}
+	// And the new cooldown starts at the probe failure.
+	if _, open := b.deny("app", later.Add(2*time.Minute)); open {
+		t.Fatal("second probe denied after the second cooldown")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, time.Minute)
+	for i := 0; i < 10; i++ {
+		b.record("app", true, t0)
+	}
+	if _, open := b.deny("app", t0); open {
+		t.Fatal("disabled breaker denied a submission")
+	}
+}
+
+func TestWorkerBudgetFairShare(t *testing.T) {
+	b := newWorkerBudget(8, 4)
+	var grants []int
+	for i := 0; i < 4; i++ {
+		grants = append(grants, b.acquire())
+	}
+	for _, g := range grants {
+		if g != 2 {
+			t.Fatalf("grants %v, want fair share 2 each (budget 8 over 4 analyses)", grants)
+		}
+	}
+	if leased := b.leasedNow(); leased != 8 {
+		t.Fatalf("leased %d, want 8", leased)
+	}
+	for _, g := range grants {
+		b.release(g)
+	}
+	if leased := b.leasedNow(); leased != 0 {
+		t.Fatalf("leased %d after releases, want 0", leased)
+	}
+}
+
+func TestWorkerBudgetSingleExecutorGetsAll(t *testing.T) {
+	b := newWorkerBudget(8, 1)
+	if g := b.acquire(); g != 8 {
+		t.Fatalf("grant %d, want the whole budget 8", g)
+	}
+}
+
+func TestWorkerBudgetNeverStarves(t *testing.T) {
+	// More executors than workers: everyone still gets a sequential
+	// solver (share 1), and the lease may oversubscribe by design.
+	b := newWorkerBudget(2, 4)
+	for i := 0; i < 4; i++ {
+		if g := b.acquire(); g != 1 {
+			t.Fatalf("grant %d, want 1", g)
+		}
+	}
+}

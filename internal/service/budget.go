@@ -1,0 +1,68 @@
+package service
+
+import "sync"
+
+// workerBudget leases taint-solver workers from a global budget shared
+// fairly across concurrent analyses. Each job is granted the static
+// fair share max(1, total/analyses) — with at most `analyses` leases
+// outstanding the sum of grants never exceeds the budget — and the
+// grant becomes the job's taint.Config.Workers. A grant is clamped by
+// the remaining budget but never below 1: a pool size of 1 is the
+// solver's sequential drain, so no job can be starved outright.
+//
+// The split is deliberately static rather than work-stealing: a job's
+// worker count must be fixed before its solve starts (the pool size is
+// a taint.Config field), and on completed runs the canonical leak
+// report is worker-count-independent, so fairness costs no accuracy.
+type workerBudget struct {
+	mu     sync.Mutex
+	total  int
+	share  int
+	leased int
+}
+
+func newWorkerBudget(total, analyses int) *workerBudget {
+	if total < 1 {
+		total = 1
+	}
+	if analyses < 1 {
+		analyses = 1
+	}
+	share := total / analyses
+	if share < 1 {
+		share = 1
+	}
+	return &workerBudget{total: total, share: share}
+}
+
+// acquire leases one job's worker share.
+func (b *workerBudget) acquire() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.share
+	if free := b.total - b.leased; n > free {
+		n = free
+	}
+	if n < 1 {
+		n = 1
+	}
+	b.leased += n
+	return n
+}
+
+// release returns a grant to the budget.
+func (b *workerBudget) release(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.leased -= n
+	if b.leased < 0 {
+		b.leased = 0
+	}
+}
+
+// leasedNow reports the currently leased worker count (for the gauge).
+func (b *workerBudget) leasedNow() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.leased
+}

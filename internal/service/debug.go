@@ -1,0 +1,102 @@
+package service
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"flowdroid/internal/metrics"
+)
+
+// The debug endpoint shared by cmd/flowdroid and cmd/flowdroidd:
+// net/http/pprof, expvar, the live metrics snapshot. The historical
+// cmd/flowdroid implementation leaked its listener and silently dropped
+// http.Serve's error; ServeDebug owns both — serve errors reach the
+// caller's logger and Close tears the listener down.
+
+// debugRec holds the recorder the process-wide expvar snapshot reads.
+// expvar.Publish panics on duplicate names, so the variable is
+// published once per process and reads through this pointer; the last
+// ServeDebug call wins, which matches the one-recorder-per-process use.
+var (
+	debugOnce sync.Once
+	debugRec  atomic.Pointer[metrics.Recorder]
+)
+
+// DebugServer is a running debug endpoint. Close shuts it down.
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeDebug serves pprof, expvar and the metrics snapshot on addr:
+//
+//	/debug/pprof/...   net/http/pprof handlers
+//	/debug/vars        expvar (includes "flowdroid.metrics")
+//	/metrics           the recorder snapshot as JSON
+//
+// rec may be nil (the snapshot is then empty). Serve errors are
+// reported through logf instead of being dropped; Close shuts the
+// listener down and waits for the serve loop to exit.
+func ServeDebug(addr string, rec *metrics.Recorder, logf func(format string, args ...any)) (*DebugServer, error) {
+	debugOnce.Do(func() {
+		expvar.Publish("flowdroid.metrics", expvar.Func(func() any {
+			return debugRec.Load().Snapshot()
+		}))
+	})
+	debugRec.Store(rec)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	registerDebug(mux, rec)
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	go func() {
+		defer close(d.done)
+		if err := d.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logf("debug server on %s: %v", ln.Addr(), err)
+		}
+	}()
+	return d, nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close shuts the debug server down: the listener closes, in-flight
+// handlers are cut off, and the serve goroutine is waited for. Safe on
+// nil and safe to call more than once.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	err := d.srv.Close()
+	<-d.done
+	return err
+}
+
+// registerDebug mounts the debug routes on a mux: the explicit pprof
+// handlers (the net/http/pprof import side effect only covers
+// http.DefaultServeMux), expvar, and the metrics snapshot.
+func registerDebug(mux *http.ServeMux, rec *metrics.Recorder) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", MetricsHandler(rec))
+}

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flowdroid/internal/appgen"
+	"flowdroid/internal/core"
+	"flowdroid/internal/metrics"
+)
+
+// TestServiceSoak is the deterministic soak: concurrent clients push a
+// generated corpus through the HTTP API against a small queue, so
+// admission control, the worker budget, and the drain all get exercised
+// under the race detector. Asserted invariants:
+//
+//   - the queue depth never exceeds its bound;
+//   - every 429 the clients saw is matched by the rejection counter
+//     (rejections are observable, never silent);
+//   - every admitted job completes (fair completion, no starvation);
+//   - each job's canonical leak report is byte-identical to a one-shot
+//     core run of the same app — resident-service results are
+//     indistinguishable from CLI results;
+//   - the drain finishes cleanly and leaks no goroutines.
+func TestServiceSoak(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+
+	rec := metrics.New()
+	const queueSize = 4
+	s := New(Config{
+		QueueSize:    queueSize,
+		Analyses:     4,
+		WorkerBudget: 8,
+		Recorder:     rec,
+	})
+	ts := httptest.NewServer(s.Handler(false))
+
+	apps := append(
+		appgen.GenerateCorpus(appgen.Play, 8, 42),
+		appgen.GenerateCorpus(appgen.Malware, 8, 43)...)
+
+	const clients = 4
+	var (
+		rejectsSeen atomic.Int64
+		mu          sync.Mutex
+		jobOf       = make(map[string]int) // job ID -> apps index
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(apps); i += clients {
+				body, err := json.Marshal(Request{Files: apps[i].Files})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for {
+					resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						// Queue full: a retriable rejection, never buffered
+						// server-side. Back off and resubmit.
+						resp.Body.Close()
+						rejectsSeen.Add(1)
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					if resp.StatusCode != http.StatusAccepted {
+						t.Errorf("app %d: submit status %d", i, resp.StatusCode)
+						resp.Body.Close()
+						return
+					}
+					var sub SubmitResponse
+					err = json.NewDecoder(resp.Body).Decode(&sub)
+					resp.Body.Close()
+					if err != nil {
+						t.Errorf("app %d: %v", i, err)
+						return
+					}
+					mu.Lock()
+					jobOf[sub.ID] = i
+					mu.Unlock()
+					break
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if len(jobOf) != len(apps) {
+		t.Fatalf("submitted %d jobs for %d apps", len(jobOf), len(apps))
+	}
+
+	// Fair completion: every admitted job finishes.
+	for id := range jobOf {
+		v := waitJob(t, s, id)
+		if v.State != Done {
+			t.Fatalf("job %s: state %v err %v", id, v.State, v.Err)
+		}
+		if v.Result.Status != core.Complete {
+			t.Fatalf("job %s: status %v, want Complete", id, v.Result.Status)
+		}
+	}
+
+	// Byte-identical canonical reports: fetch each service result over
+	// HTTP and compare its leaks against a fresh one-shot run of the
+	// same app (what cmd/flowdroid computes). JSON is compacted on both
+	// sides to strip the envelope's nesting indentation only — the
+	// field order and values must match byte for byte.
+	for id, i := range jobOf {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep struct {
+			Status string          `json:"status"`
+			Leaks  json.RawMessage `json:"leaks"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+
+		opts := core.DefaultOptions()
+		opts.Taint.Workers = runtime.GOMAXPROCS(0)
+		oneShot, err := core.AnalyzeFiles(context.Background(), apps[i].Files, opts)
+		if err != nil {
+			t.Fatalf("one-shot %s: %v", apps[i].Name, err)
+		}
+		want, err := oneShot.Taint.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotC, wantC bytes.Buffer
+		if err := json.Compact(&gotC, rep.Leaks); err != nil {
+			t.Fatalf("job %s leaks: %v", id, err)
+		}
+		if err := json.Compact(&wantC, want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotC.Bytes(), wantC.Bytes()) {
+			t.Fatalf("app %s: service report differs from one-shot run\nservice: %s\none-shot: %s",
+				apps[i].Name, gotC.Bytes(), wantC.Bytes())
+		}
+	}
+
+	// Clean drain, then the invariants the counters carry.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	snap := rec.Snapshot()
+	if peak := snap.Schedule["service.queue.depth.peak"]; peak > queueSize {
+		t.Fatalf("queue depth peak %d exceeds the bound %d", peak, queueSize)
+	}
+	if got, want := snap.Schedule["service.rejected.queue_full"], rejectsSeen.Load(); got != want {
+		t.Fatalf("rejection counter %d, clients saw %d 429s", got, want)
+	}
+	if got := snap.Schedule["service.completed"]; got != int64(len(apps)) {
+		t.Fatalf("service.completed = %d, want %d", got, len(apps))
+	}
+	if got := snap.Schedule["service.failed"]; got != 0 {
+		t.Fatalf("service.failed = %d, want 0", got)
+	}
+
+	// Zero leaked goroutines: everything the soak started — executors,
+	// HTTP serving, client keep-alives — winds down.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= goroutinesBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before soak, %d after\n%s",
+				goroutinesBefore, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

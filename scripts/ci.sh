@@ -49,4 +49,10 @@ fi
 go run ./scripts/checktrace "$trace_file"
 rm -f "$trace_file"
 
+echo "==> checkhealth (flowdroidd submit/poll/result, /healthz, /metrics, SIGTERM drain)"
+go run ./scripts/checkhealth
+
+echo "==> service soak smoke (bounded queue, fair completion, drain; race-enabled)"
+go test -race -run 'TestServiceSoak' ./internal/service/
+
 echo "CI OK"

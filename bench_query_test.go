@@ -1,0 +1,140 @@
+package flowdroid_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"flowdroid/internal/appgen"
+	"flowdroid/internal/core"
+	"flowdroid/internal/sourcesink"
+)
+
+// BenchmarkQueryTaint quantifies the demand-driven query mode: the same
+// corpus analyzed whole-program and under a single-sink query, with the
+// equivalence contract asserted in-line (the query report must equal the
+// filtered whole-program report) and the work saved persisted as
+// BENCH_query.json (schema-checked by scripts/checkbench in ci.sh). The
+// propagation counts are the honest currency here — wall time on a smoke
+// run is noise, novel path-edge insertions are deterministic.
+
+// benchQueryApps is the corpus size: the malware profile leaks into
+// several sink kinds per app, so a single-sink query has real work to
+// skip.
+const benchQueryApps = 8
+
+// benchQuerySink is the queried sink label.
+const benchQuerySink = "sms"
+
+type benchQueryRun struct {
+	WallMS            float64 `json:"wall_ms"`
+	Propagations      int     `json:"propagations"`
+	Leaks             int     `json:"leaks"`
+	ConeMethods       int     `json:"cone_methods"`
+	SkippedComponents int     `json:"skipped_components"`
+}
+
+type benchQueryReport struct {
+	Bench      string        `json:"bench"`
+	Profile    string        `json:"profile"`
+	Apps       int           `json:"apps"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Query      []string      `json:"query"`
+	Whole      benchQueryRun `json:"whole"`
+	QueryRun   benchQueryRun `json:"query_run"`
+	// PropagationReduction is 1 - query/whole propagations: the fraction
+	// of solver work the query avoided.
+	PropagationReduction float64 `json:"propagation_reduction"`
+	Note                 string  `json:"note"`
+}
+
+func BenchmarkQueryTaint(b *testing.B) {
+	apps := appgen.GenerateCorpus(appgen.Malware, benchQueryApps, 1)
+	query := core.Query{Sinks: []string{benchQuerySink}}
+
+	// analyzeAll runs the corpus under one query (empty = whole-program),
+	// returning aggregate counters and the canonical per-app reports —
+	// filtered to the bench query on the whole-program side, so the two
+	// report streams must be byte-identical.
+	analyzeAll := func(q core.Query) (benchQueryRun, []byte) {
+		var agg benchQueryRun
+		var reports bytes.Buffer
+		start := time.Now()
+		for _, app := range apps {
+			opts := core.DefaultOptions()
+			opts.Query = q
+			res, err := core.AnalyzeFiles(context.Background(), app.Files, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Status != core.Complete {
+				b.Fatalf("query=%v: app %s status %v", q.Sinks, app.Name, res.Status)
+			}
+			agg.Propagations += res.Counters.Propagations
+			agg.ConeMethods += res.Counters.ConeMethods
+			agg.SkippedComponents += res.Counters.SkippedComponents
+			taintRes := res.Taint
+			if q.IsAll() {
+				taintRes = taintRes.FilterSinks(func(s sourcesink.Sink) bool {
+					return s.MatchesSelector(benchQuerySink)
+				})
+			}
+			agg.Leaks += len(taintRes.DistinctSourceSinkPairs())
+			js, err := taintRes.CanonicalJSON()
+			if err != nil {
+				b.Fatal(err)
+			}
+			reports.Write(js)
+		}
+		agg.WallMS = float64(time.Since(start).Microseconds()) / 1000
+		return agg, reports.Bytes()
+	}
+
+	var whole, queried benchQueryRun
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wholeRep, queryRep []byte
+		whole, wholeRep = analyzeAll(core.Query{})
+		queried, queryRep = analyzeAll(query)
+		if !bytes.Equal(wholeRep, queryRep) {
+			b.Fatalf("query-mode reports differ from filtered whole-program reports")
+		}
+		if queried.Propagations >= whole.Propagations {
+			b.Fatalf("query mode did %d propagations, whole-program %d: the cone pruned nothing",
+				queried.Propagations, whole.Propagations)
+		}
+	}
+	b.StopTimer()
+
+	reduction := 1 - float64(queried.Propagations)/float64(whole.Propagations)
+	b.ReportMetric(100*reduction, "propagation-reduction%")
+	b.ReportMetric(float64(queried.Leaks), "leaks")
+
+	rep := benchQueryReport{
+		Bench:                "BenchmarkQueryTaint",
+		Profile:              appgen.Malware.Name,
+		Apps:                 benchQueryApps,
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		NumCPU:               runtime.NumCPU(),
+		Query:                query.Sinks,
+		Whole:                whole,
+		QueryRun:             queried,
+		PropagationReduction: reduction,
+		Note: fmt.Sprintf(
+			"single-sink query %q avoided %.0f%% of the whole-program propagations (%d vs %d) over %d apps; reports verified byte-identical to the filtered whole-program reports",
+			benchQuerySink, 100*reduction, queried.Propagations, whole.Propagations, benchQueryApps),
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_query.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

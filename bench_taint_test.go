@@ -36,6 +36,9 @@ type benchTaintRun struct {
 	WallMS       float64 `json:"wall_ms"`
 	Propagations int     `json:"propagations"`
 	Leaks        int     `json:"leaks"`
+	// Allocs is the heap allocation count (runtime Mallocs delta) of the
+	// corpus pass — the memory-churn axis of the solver trajectory.
+	Allocs uint64 `json:"allocs"`
 }
 
 type benchTaintReport struct {
@@ -67,13 +70,17 @@ func BenchmarkSmokeTaint(b *testing.B) {
 	apps := appgen.GenerateCorpus(benchTaintProfile(), benchTaintApps, 7)
 
 	// analyzeAll runs the whole corpus at one worker count, returning the
-	// wall time, total novel propagations, total distinct leaks, and the
-	// concatenated canonical reports for the equivalence assertion.
-	analyzeAll := func(workers int) (time.Duration, int, int, []byte) {
+	// wall time, total novel propagations, total distinct leaks, heap
+	// allocation count, and the concatenated canonical reports for the
+	// equivalence assertion.
+	analyzeAll := func(workers int) (time.Duration, int, int, uint64, []byte) {
 		opts := core.DefaultOptions()
 		opts.Taint.Workers = workers
 		props, leaks := 0, 0
 		var reports bytes.Buffer
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		allocs0 := ms.Mallocs
 		start := time.Now()
 		for _, app := range apps {
 			res, err := core.AnalyzeFiles(context.Background(), app.Files, opts)
@@ -91,14 +98,16 @@ func BenchmarkSmokeTaint(b *testing.B) {
 			}
 			reports.Write(js)
 		}
-		return time.Since(start), props, leaks, reports.Bytes()
+		el := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		return el, props, leaks, ms.Mallocs - allocs0, reports.Bytes()
 	}
 
 	var seq, par benchTaintRun
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		seqWall, seqProps, seqLeaks, seqRep := analyzeAll(1)
-		parWall, parProps, parLeaks, parRep := analyzeAll(benchTaintWorkers)
+		seqWall, seqProps, seqLeaks, seqAllocs, seqRep := analyzeAll(1)
+		parWall, parProps, parLeaks, parAllocs, parRep := analyzeAll(benchTaintWorkers)
 		if !bytes.Equal(seqRep, parRep) {
 			b.Fatalf("leak reports differ between 1 and %d workers", benchTaintWorkers)
 		}
@@ -106,8 +115,8 @@ func BenchmarkSmokeTaint(b *testing.B) {
 			b.Fatalf("propagations differ between 1 and %d workers: %d vs %d",
 				benchTaintWorkers, seqProps, parProps)
 		}
-		seq = benchTaintRun{Workers: 1, WallMS: float64(seqWall.Microseconds()) / 1000, Propagations: seqProps, Leaks: seqLeaks}
-		par = benchTaintRun{Workers: benchTaintWorkers, WallMS: float64(parWall.Microseconds()) / 1000, Propagations: parProps, Leaks: parLeaks}
+		seq = benchTaintRun{Workers: 1, WallMS: float64(seqWall.Microseconds()) / 1000, Propagations: seqProps, Leaks: seqLeaks, Allocs: seqAllocs}
+		par = benchTaintRun{Workers: benchTaintWorkers, WallMS: float64(parWall.Microseconds()) / 1000, Propagations: parProps, Leaks: parLeaks, Allocs: parAllocs}
 	}
 	b.StopTimer()
 
@@ -117,6 +126,7 @@ func BenchmarkSmokeTaint(b *testing.B) {
 	}
 	b.ReportMetric(speedup, "speedup")
 	b.ReportMetric(float64(seq.Leaks), "leaks")
+	b.ReportMetric(float64(seq.Allocs), "allocs/op")
 
 	rep := benchTaintReport{
 		Bench:      "BenchmarkSmokeTaint",

@@ -80,6 +80,16 @@ type CorpusStats struct {
 	// PassTimes sums each pipeline pass's build wall time across all
 	// apps — the corpus-level slowest-pass table.
 	PassTimes map[string]time.Duration
+
+	// QueriedSinks echoes RunOptions.Sinks; non-empty means the corpus
+	// ran in demand-driven query mode and the cone aggregates below are
+	// meaningful.
+	QueriedSinks []string
+	// ConeMethods/SkippedComponents sum each app's reachability-cone
+	// size and skipped-component count, aggregated like the pass
+	// counters above.
+	ConeMethods       int
+	SkippedComponents int
 }
 
 // RunOptions bound and harden a corpus run. The zero value reproduces
@@ -103,6 +113,9 @@ type RunOptions struct {
 	// Lint runs the IR verifier before each app's solvers; apps with
 	// Error diagnostics roll up under the InvalidProgram status.
 	Lint bool
+	// Sinks restricts each app's analysis to the named sink selectors
+	// (demand-driven query mode); empty analyzes all sinks.
+	Sinks []string
 }
 
 // AvgLeaksPerApp is the paper's "1.85 leaks per application" figure.
@@ -157,11 +170,12 @@ func RunCorpusWith(ctx context.Context, p Profile, n int, seed int64, ro RunOpti
 		ctx = context.Background()
 	}
 	stats := CorpusStats{
-		Profile:   p.Name,
-		BySink:    make(map[string]int),
-		Passes:    make(core.PassStats),
-		PassTimes: make(map[string]time.Duration),
-		Times:     make(map[string]*TimeRollup),
+		Profile:      p.Name,
+		BySink:       make(map[string]int),
+		Passes:       make(core.PassStats),
+		PassTimes:    make(map[string]time.Duration),
+		Times:        make(map[string]*TimeRollup),
+		QueriedSinks: ro.Sinks,
 	}
 	apps := GenerateCorpus(p, n, seed)
 	for i, app := range apps {
@@ -225,6 +239,8 @@ func RunCorpusWith(ctx context.Context, p Profile, n int, seed int64, ro RunOpti
 		for pass, d := range res.PassTimes {
 			stats.PassTimes[pass] += d
 		}
+		stats.ConeMethods += res.Counters.ConeMethods
+		stats.SkippedComponents += res.Counters.SkippedComponents
 		leaks := res.Leaks()
 		stats.TotalFound += len(leaks)
 		if len(leaks) > 0 {
@@ -267,6 +283,7 @@ func analyzeOne(ctx context.Context, app App, ro RunOptions) (res *core.Result, 
 	opts.Degrade = ro.Degrade
 	opts.Taint.Workers = ro.Workers
 	opts.Lint = ro.Lint
+	opts.Query = core.Query{Sinks: ro.Sinks}
 	return core.AnalyzeFiles(ctx, app.Files, opts)
 }
 
@@ -300,6 +317,10 @@ func (s CorpusStats) Render() string {
 	sort.Strings(sinks)
 	for _, k := range sinks {
 		fmt.Fprintf(&sb, "  leaks into %-12s %d\n", k+":", s.BySink[k])
+	}
+	if len(s.QueriedSinks) > 0 {
+		fmt.Fprintf(&sb, "  sink query [%s]: reachability cone %d method(s), %d component(s) skipped (summed across apps)\n",
+			strings.Join(s.QueriedSinks, ", "), s.ConeMethods, s.SkippedComponents)
 	}
 	if len(s.Passes) > 0 {
 		fmt.Fprintf(&sb, "  pipeline passes: %d runs, %d artifact reuses (%s)\n",

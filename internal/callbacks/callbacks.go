@@ -46,6 +46,22 @@ type Result struct {
 // CallbacksOf returns the callbacks of a component class.
 func (r *Result) CallbacksOf(class string) []*ir.Method { return r.ByComponent[class] }
 
+// EntryPoints returns the methods the dummy main would invoke for the
+// component: its implemented lifecycle methods plus its discovered
+// callbacks. This is the set the demand-driven pipeline tests against the
+// reachability cone — a component none of whose entry points can reach a
+// queried sink (or escape through the static heap) needs no dummy-main
+// modeling for that query.
+func (r *Result) EntryPoints(h ir.Hierarchy, comp *apk.Component) []*ir.Method {
+	var out []*ir.Method
+	for _, lm := range framework.LifecycleOf(comp.Kind) {
+		if m := h.ResolveMethod(comp.Class, lm.Name, lm.NArgs); m != nil && !m.Abstract() {
+			out = append(out, m)
+		}
+	}
+	return append(out, r.CallbacksOf(comp.Class)...)
+}
+
 // Total returns the number of (component, callback) pairs.
 func (r *Result) Total() int {
 	n := 0

@@ -19,6 +19,7 @@ import (
 	"flowdroid/internal/callbacks"
 	"flowdroid/internal/callgraph"
 	"flowdroid/internal/cfg"
+	"flowdroid/internal/cone"
 	"flowdroid/internal/framework"
 	"flowdroid/internal/ir"
 	"flowdroid/internal/irlint"
@@ -40,6 +41,13 @@ type Options struct {
 	// SourceSinkRules optionally replaces the built-in source/sink
 	// configuration (textual format of internal/sourcesink).
 	SourceSinkRules string
+	// Query restricts the analysis to the selected sink rules (demand-
+	// driven mode). The zero value analyzes every configured sink. A
+	// query-mode run's canonical report is byte-identical to the
+	// whole-program report filtered to the queried sinks; it gets there
+	// faster by modeling only components inside the sinks' reachability
+	// cone and pruning exploration at the cone boundary.
+	Query Query
 	// Lint runs the IR verifier (internal/irlint) between the front-end
 	// and the solvers. Error-severity diagnostics abort the run with
 	// Status == InvalidProgram before any solver executes; warnings are
@@ -204,6 +212,13 @@ func AnalyzeFS(ctx context.Context, fsys fs.FS, opts Options) (*Result, error) {
 // is the SecuriBench Micro use case of RQ4. The context bounds the run
 // the same way AnalyzeApp's does.
 func AnalyzeJava(ctx context.Context, prog *ir.Program, rules string, conf taint.Config, entries ...*ir.Method) (*taint.Results, error) {
+	return AnalyzeJavaQuery(ctx, prog, rules, conf, Query{}, entries...)
+}
+
+// AnalyzeJavaQuery is AnalyzeJava restricted to a sink query: only the
+// selected sink rules report leaks, and the solver prunes exploration
+// outside their reachability cone. An empty query analyzes every sink.
+func AnalyzeJavaQuery(ctx context.Context, prog *ir.Program, rules string, conf taint.Config, q Query, entries ...*ir.Method) (*taint.Results, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -211,6 +226,15 @@ func AnalyzeJava(ctx context.Context, prog *ir.Program, rules string, conf taint
 	mgr, err := sourcesink.Parse(sc, rules)
 	if err != nil {
 		return nil, err
+	}
+	if !q.IsAll() {
+		if err := mgr.RestrictSinks(q.Sinks); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		cn := cone.Build(ctx, sc, mgr)
+		if ctx.Err() == nil {
+			conf.Cone = &taint.Cone{Relevant: cn.Relevant, Methods: cn.Methods()}
+		}
 	}
 	graph := pta.Build(ctx, sc, entries...).Graph
 	icfg := cfg.NewICFG(sc, graph)

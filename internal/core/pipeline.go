@@ -10,6 +10,7 @@ import (
 	"flowdroid/internal/callbacks"
 	"flowdroid/internal/callgraph"
 	"flowdroid/internal/cfg"
+	"flowdroid/internal/cone"
 	"flowdroid/internal/ir"
 	"flowdroid/internal/irlint"
 	"flowdroid/internal/lifecycle"
@@ -29,8 +30,8 @@ type PassStat struct {
 	Hits int `json:"hits"`
 }
 
-// PassStats maps pass names (scene, verify, callbacks, lifecycle,
-// callgraph, icfg, sourcesink, taint) to their run/hit counters.
+// PassStats maps pass names (scene, sourcesink, verify, cone, callbacks,
+// lifecycle, callgraph, icfg, taint) to their run/hit counters.
 type PassStats map[string]PassStat
 
 // TotalRuns sums the Runs of every pass.
@@ -87,13 +88,18 @@ type artifact[T any] struct {
 // with its dependency keys:
 //
 //	scene      : program identity (built once, refreshed after dummy main)
-//	verify     : Options.LintEnable/LintDisable + SourceSinkRules
-//	callbacks  : no configuration
-//	lifecycle  : Options.Lifecycle
-//	callgraph  : Options.UseCHA
+//	sourcesink : Options.SourceSinkRules + query fingerprint
+//	verify     : Options.LintEnable/LintDisable + SourceSinkRules + query
+//	cone       : query fingerprint + SourceSinkRules (query mode only)
+//	callbacks  : no configuration (discovery is query-independent)
+//	lifecycle  : Options.Lifecycle including the cone's skip set
+//	callgraph  : Options.UseCHA + the entry method it grows from
 //	icfg       : the call-graph artifact it stitches
-//	sourcesink : Options.SourceSinkRules
 //	taint      : always runs (it is the pass being retried)
+//
+// Every artifact a sink query can change carries the query fingerprint in
+// its key (directly, or through the lifecycle skip set), so two queries
+// against the same loaded app never cross-contaminate.
 //
 // The taint configuration — including Taint.Workers — is deliberately
 // absent from every artifact key: the worker count only changes how the
@@ -114,6 +120,7 @@ type pipeline struct {
 	verify artifact[*irlint.Result]
 
 	cbs   artifact[*callbacks.Result]
+	cn    artifact[*cone.Cone]
 	entry artifact[*ir.Method]
 	graph artifact[cgArtifact]
 	icfg  artifact[*cfg.ICFG]
@@ -268,6 +275,30 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 		pl.hit("scene")
 	}
 
+	// Source/sink manager: built early because the verify and cone passes
+	// both consume it. The artifact key carries the query fingerprint —
+	// a restricted manager answers sink queries differently, so two
+	// queries over the same rules never share one.
+	stage = "sourcesink"
+	qfp := opts.Query.Fingerprint()
+	mgr, err := memo(pl, "sourcesink", opts.SourceSinkRules+"\x00"+qfp, &pl.mgr,
+		func() (*sourcesink.Manager, error) {
+			m, err := manager(pl.sc, opts)
+			if err != nil {
+				return nil, err
+			}
+			m.AttachApp(pl.app)
+			if !opts.Query.IsAll() {
+				if err := m.RestrictSinks(opts.Query.Sinks); err != nil {
+					return nil, fmt.Errorf("core: %w", err)
+				}
+			}
+			return m, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	// Verify: the IR lint pass, gating the solvers on a semantically
 	// valid program. Error diagnostics end the run here — the solvers
 	// assume invariants (resolvable branch targets, registered locals)
@@ -276,22 +307,22 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 	// synthetic lifecycle code is never linted.
 	if opts.Lint {
 		stage = "verify"
-		lres, err := memo(pl, "verify", opts.LintEnable+"|"+opts.LintDisable+"|"+opts.SourceSinkRules, &pl.verify,
+		lres, err := memo(pl, "verify", opts.LintEnable+"|"+opts.LintDisable+"|"+opts.SourceSinkRules+"|"+qfp, &pl.verify,
 			func() (*irlint.Result, error) {
 				ans, err := irlint.Select(opts.LintEnable, opts.LintDisable)
 				if err != nil {
 					return nil, fmt.Errorf("core: %w", err)
 				}
-				mgr, err := manager(pl.sc, opts)
-				if err != nil {
-					return nil, err
-				}
-				return irlint.Run(pl.sc, irlint.Config{
+				cfg := irlint.Config{
 					Analyzers:     ans,
 					Sources:       mgr.Sources(),
 					Sinks:         mgr.Sinks(),
 					ClickHandlers: clickHandlers(pl.app),
-				}), nil
+				}
+				if mgr.Restricted() {
+					cfg.QueriedSinks = mgr.QueriedSinks()
+				}
+				return irlint.Run(pl.sc, cfg), nil
 			})
 		if err != nil {
 			return nil, err
@@ -312,6 +343,23 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 		}
 	}
 
+	// Cone: the backward reachability cone of the queried sinks, built
+	// over app code only (before dummy-main generation — the synthetic
+	// lifecycle code never contains sinks, and the cone must not depend
+	// on the skip set it feeds).
+	var cn *cone.Cone
+	if !opts.Query.IsAll() {
+		stage = "cone"
+		cn, _ = memo(pl, "cone", qfp+"\x00"+opts.SourceSinkRules, &pl.cn,
+			func() (*cone.Cone, error) {
+				return cone.Build(ctx, pl.sc, mgr), nil
+			})
+		if ctx.Err() != nil {
+			pl.cn.built = false // partial cone must not be reused
+			return truncated(), nil
+		}
+	}
+
 	stage = "callbacks"
 	cbs, _ := memo(pl, "callbacks", "", &pl.cbs, func() (*callbacks.Result, error) {
 		return callbacks.DiscoverWith(ctx, pl.app, pl.sc), nil
@@ -323,17 +371,42 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 	}
 
 	stage = "lifecycle"
-	entry, err := memo(pl, "lifecycle", fmt.Sprintf("%+v", opts.Lifecycle), &pl.entry,
+	lopts := opts.Lifecycle
+	if cn != nil {
+		// Components entirely outside the escape closure cannot influence
+		// the queried sinks (static fields are the only cross-component
+		// channel) — leave them out of dummy-main modeling. The skip set
+		// is part of the lifecycle key, so changing the query regenerates
+		// the model.
+		var skip []string
+		for _, comp := range lifecycle.ModeledComponents(pl.app, lopts) {
+			if cn.ComponentSkippable(cbs.EntryPoints(pl.sc, comp)) {
+				skip = append(skip, comp.Class)
+			}
+		}
+		sort.Strings(skip)
+		lopts.SkipComponents = skip
+		res.Counters.ConeMethods = cn.Methods()
+		res.Counters.SkippedComponents = len(skip)
+		if pl.rec != nil {
+			pl.rec.Gauge("cone.skipped_components", metrics.Deterministic).Set(int64(len(skip)))
+		}
+	}
+	entry, err := memo(pl, "lifecycle", fmt.Sprintf("%+v", lopts), &pl.entry,
 		func() (*ir.Method, error) {
 			// The dummy main may already exist in the program (a previous
-			// AnalyzeApp call on the same app); the lifecycle options
-			// never change between ladder rungs, so reuse it.
+			// AnalyzeApp call on the same app); reuse it only when it was
+			// generated for the same component skip set — its marker field
+			// records the set it encoded.
 			if c := pl.app.Program.Class(lifecycle.DummyMainClass); c != nil {
 				if m := c.Method("dummyMain", 0); m != nil {
-					return m, nil
+					if lifecycle.SkipFingerprintOf(c) == lopts.SkipFingerprint() {
+						return m, nil
+					}
+					return nil, fmt.Errorf("core: %s was generated under a different sink query; reload the app to analyze it under a new query", lifecycle.DummyMainClass)
 				}
 			}
-			m, err := lifecycle.GenerateWith(pl.app, cbs, pl.sc, opts.Lifecycle)
+			m, err := lifecycle.GenerateWith(pl.app, cbs, pl.sc, lopts)
 			if err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
@@ -351,6 +424,9 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 	if opts.UseCHA {
 		cgKey = "cha"
 	}
+	// The graph grows from the entry method, so its identity is part of
+	// the key: a regenerated dummy main (new query) invalidates the graph.
+	cgKey = fmt.Sprintf("%s@%p", cgKey, entry)
 	cg, _ := memo(pl, "callgraph", cgKey, &pl.graph, func() (cgArtifact, error) {
 		if opts.UseCHA {
 			return cgArtifact{graph: callgraph.BuildCHA(ctx, pl.sc, entry)}, nil
@@ -379,25 +455,18 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 			return cfg.NewICFG(pl.sc, cg.graph), nil
 		})
 
-	stage = "sourcesink"
-	mgr, err := memo(pl, "sourcesink", opts.SourceSinkRules, &pl.mgr,
-		func() (*sourcesink.Manager, error) {
-			m, err := manager(pl.sc, opts)
-			if err != nil {
-				return nil, err
-			}
-			m.AttachApp(pl.app)
-			return m, nil
-		})
-	if err != nil {
-		return nil, err
-	}
-
 	stage = "taint"
 	tstart = time.Now()
 	tc := opts.Taint
 	if opts.MaxPropagations > 0 {
 		tc.MaxPropagations = opts.MaxPropagations
+	}
+	if cn != nil {
+		tc.Cone = &taint.Cone{
+			Relevant:          cn.Relevant,
+			Methods:           cn.Methods(),
+			SkippedComponents: res.Counters.SkippedComponents,
+		}
 	}
 	tres := func() *taint.Results {
 		defer pl.ran("taint")()

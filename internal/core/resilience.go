@@ -90,6 +90,12 @@ type Counters struct {
 	// (zero when Options.Lint is off).
 	LintErrors   int
 	LintWarnings int
+	// ConeMethods is the size of the query's sink-reaching cone and
+	// SkippedComponents the number of components left out of dummy-main
+	// modeling because they were entirely outside it (both zero on
+	// whole-program runs).
+	ConeMethods       int
+	SkippedComponents int
 }
 
 func countersFromTaint(c *Counters, st taint.Stats) {
@@ -98,6 +104,8 @@ func countersFromTaint(c *Counters, st taint.Stats) {
 	c.Summaries = st.Summaries
 	c.PeakAbstractions = st.PeakAbstractions
 	c.Workers = st.Workers
+	c.ConeMethods = st.ConeMethods
+	c.SkippedComponents = st.SkippedComponents
 }
 
 // stackTrace captures the panicking goroutine's stack for Failure.Stack.

@@ -38,7 +38,7 @@ func TestPanicDuringTaintChargesTaintTime(t *testing.T) {
 	app := timingApp(t)
 	opts := DefaultOptions()
 	pl := newPipeline(app)
-	pl.mgr = artifact[*sourcesink.Manager]{built: true, key: opts.SourceSinkRules}
+	pl.mgr = artifact[*sourcesink.Manager]{built: true, key: opts.SourceSinkRules + "\x00" + opts.Query.Fingerprint()}
 
 	res, err := pl.run(context.Background(), opts)
 	if err != nil {

@@ -392,3 +392,34 @@ func TestRegistrationsClean(t *testing.T) {
 	}
 	wantClean(t, irlint.Run(prog, conf))
 }
+
+func TestRegistrationsQueriedSinkUnmatched(t *testing.T) {
+	prog := parse(t, "class A {\n  method run(): void {\n    android.util.Log.i(\"t\", \"v\")\n    return\n  }\n}")
+	conf := irlint.Config{
+		Analyzers: []*irlint.Analyzer{irlint.Lookup("registrations")},
+		QueriedSinks: []sourcesink.Sink{
+			{Label: "log", Class: "android.util.Log", Name: "i", NArgs: 2}, // matched: no finding
+			{Label: "sms", Class: "android.telephony.SmsManager", Name: "sendTextMessage", NArgs: 5},
+		},
+	}
+	res := irlint.Run(prog, conf)
+	d := wantDiag(t, res, "registrations.sink.unmatched", 0)
+	if d.File != irlint.RulesFile {
+		t.Errorf("diagnostic positioned at %q, want %q", d.File, irlint.RulesFile)
+	}
+	if !strings.Contains(d.Message, "sendTextMessage") {
+		t.Errorf("message %q does not name the unmatched rule", d.Message)
+	}
+	if d.Severity != irlint.Warning {
+		t.Errorf("severity %v, want Warning (an empty query is suspicious, not fatal)", d.Severity)
+	}
+}
+
+func TestRegistrationsQueriedSinksAllMatchedIsClean(t *testing.T) {
+	prog := parse(t, "class A {\n  method run(): void {\n    android.util.Log.i(\"t\", \"v\")\n    return\n  }\n}")
+	conf := irlint.Config{
+		Analyzers:    []*irlint.Analyzer{irlint.Lookup("registrations")},
+		QueriedSinks: []sourcesink.Sink{{Label: "log", Class: "android.util.Log", Name: "i", NArgs: 2}},
+	}
+	wantClean(t, irlint.Run(prog, conf))
+}

@@ -192,6 +192,12 @@ type Config struct {
 	// analyzer checks against the program; empty slices skip the check.
 	Sources []sourcesink.Source
 	Sinks   []sourcesink.Sink
+	// QueriedSinks are the sink rules a demand-driven query selected. The
+	// registrations analyzer warns on any of them matching no call
+	// statement program-wide — such a query silently analyzes nothing for
+	// that rule. Empty skips the check (whole-program runs tolerate
+	// unmatched rules; a rule catalogue always has spares).
+	QueriedSinks []sourcesink.Sink
 	// ClickHandlers maps a layout file path (e.g. "res/layout/main.xml")
 	// to the handler method names its XML registers via android:onClick.
 	ClickHandlers map[string][]string

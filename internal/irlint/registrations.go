@@ -42,6 +42,7 @@ func runRegistrations(pass *Pass) {
 	for _, s := range pass.Config.Sinks {
 		rule("sink", s.Class, s.Name, s.NArgs, s.String())
 	}
+	reportUnmatchedQueriedSinks(pass)
 	for file, handlers := range pass.Config.ClickHandlers {
 		for _, handler := range handlers {
 			if !hasHandler(h, handler) {
@@ -51,6 +52,57 @@ func runRegistrations(pass *Pass) {
 						"\" but no class declares a matching one-argument method",
 				})
 			}
+		}
+	}
+}
+
+// reportUnmatchedQueriedSinks warns on queried sink rules that match no
+// call statement anywhere in the program. The matching mirrors the
+// sourcesink manager's: name, arity, and class compatibility in either
+// subtype direction (call through a subclass, or rule on the implementing
+// class called through the interface).
+func reportUnmatchedQueriedSinks(pass *Pass) {
+	queried := pass.Config.QueriedSinks
+	if len(queried) == 0 {
+		return
+	}
+	h := pass.Prog
+	matched := make([]bool, len(queried))
+	remaining := len(queried)
+	for _, c := range h.Classes() {
+		for _, m := range c.Methods() {
+			for _, s := range m.Body() {
+				call := ir.CallOf(s)
+				if call == nil {
+					continue
+				}
+				cls := call.Ref.Class
+				if call.Kind == ir.VirtualInvoke && call.Base != nil && call.Base.Type.IsRef() {
+					cls = call.Base.Type.Name
+				}
+				for i, snk := range queried {
+					if matched[i] || snk.Name != call.Ref.Name || snk.NArgs != call.Ref.NArgs {
+						continue
+					}
+					if cls == snk.Class ||
+						(cls != "" && snk.Class != "" &&
+							(h.SubtypeOf(cls, snk.Class) || h.SubtypeOf(snk.Class, cls))) {
+						matched[i] = true
+						remaining--
+					}
+				}
+				if remaining == 0 {
+					return
+				}
+			}
+		}
+	}
+	for i, snk := range queried {
+		if !matched[i] {
+			pass.Report(Diagnostic{
+				Code: "registrations.sink.unmatched", Severity: Warning, File: RulesFile,
+				Message: "queried sink rule [" + snk.String() + "] matches no call statement in the program",
+			})
 		}
 	}
 }

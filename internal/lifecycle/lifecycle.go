@@ -9,7 +9,9 @@
 package lifecycle
 
 import (
+	"encoding/hex"
 	"fmt"
+	"strings"
 
 	"flowdroid/internal/apk"
 	"flowdroid/internal/callbacks"
@@ -61,7 +63,18 @@ type Options struct {
 	// mimicking tools that ignore android:enabled (the source of the
 	// InactiveActivity false positive).
 	IncludeDisabled bool
+	// SkipComponents lists component classes to leave out of the dummy
+	// main entirely. The demand-driven pipeline sets it to the components
+	// outside a sink query's reachability cone; the generated class
+	// records the set (see SkipFingerprintOf) so a dummy main built for
+	// one query is never silently reused for another. Callers must keep
+	// the slice sorted — it participates in artifact keys.
+	SkipComponents []string
 }
+
+// SkipFingerprint renders the skip set for artifact keying and the
+// generated-class marker ("" when nothing is skipped).
+func (o Options) SkipFingerprint() string { return strings.Join(o.SkipComponents, ",") }
 
 // effectiveMode folds the legacy ModelLifecycle flag into the mode.
 func (o Options) effectiveMode() Mode {
@@ -97,6 +110,13 @@ func GenerateWith(app *apk.App, cbs *callbacks.Result, h ir.Hierarchy, opts Opti
 	}
 	cb := ir.NewClassIn(prog, DummyMainClass, "")
 	cb.Class().Synthetic = true
+	if fp := opts.SkipFingerprint(); fp != "" {
+		// Record the skip set on the class so a later pipeline run can
+		// tell which query this dummy main was generated for.
+		if _, err := cb.Class().AddField(skipMarkerPrefix+hex.EncodeToString([]byte(fp)), ir.Unknown, true); err != nil {
+			return nil, fmt.Errorf("lifecycle: %w", err)
+		}
+	}
 	mb := cb.StaticMethod("dummyMain", ir.Void)
 
 	g := &generator{app: app, h: h, cbs: cbs, mb: mb, opts: opts}
@@ -162,18 +182,58 @@ func (g *generator) emit() {
 	mb.Label(end).Return(nil)
 }
 
-// components returns the components to model, honoring IncludeDisabled.
+// components returns the components to model, honoring IncludeDisabled
+// and SkipComponents.
 func (g *generator) components() []*apk.Component {
-	if !g.opts.IncludeDisabled {
-		return g.app.Components()
+	return ModeledComponents(g.app, g.opts)
+}
+
+// ModeledComponents returns the components the dummy main would model
+// under the options: the enabled components (or every declared one under
+// IncludeDisabled) minus the SkipComponents set. The demand-driven
+// pipeline uses the same enumeration to decide which components the
+// reachability cone lets it skip.
+func ModeledComponents(app *apk.App, opts Options) []*apk.Component {
+	comps := app.Components()
+	if opts.IncludeDisabled {
+		comps = nil
+		for _, c := range app.Manifest.Components {
+			if app.Program.Class(c.Class) != nil {
+				comps = append(comps, c)
+			}
+		}
 	}
-	var out []*apk.Component
-	for _, c := range g.app.Manifest.Components {
-		if g.app.Program.Class(c.Class) != nil {
+	if len(opts.SkipComponents) == 0 {
+		return comps
+	}
+	skip := make(map[string]bool, len(opts.SkipComponents))
+	for _, c := range opts.SkipComponents {
+		skip[c] = true
+	}
+	out := comps[:0:0]
+	for _, c := range comps {
+		if !skip[c.Class] {
 			out = append(out, c)
 		}
 	}
 	return out
+}
+
+// skipMarkerPrefix prefixes the synthetic static field recording the
+// hex-encoded skip fingerprint on the generated class.
+const skipMarkerPrefix = "queryskip$"
+
+// SkipFingerprintOf recovers the skip fingerprint an existing dummy-main
+// class was generated with ("" for an unfiltered dummy main).
+func SkipFingerprintOf(c *ir.Class) string {
+	for _, f := range c.Fields() {
+		if strings.HasPrefix(f.Name, skipMarkerPrefix) {
+			if raw, err := hex.DecodeString(strings.TrimPrefix(f.Name, skipMarkerPrefix)); err == nil {
+				return string(raw)
+			}
+		}
+	}
+	return ""
 }
 
 // callbacksOf filters the discovered callbacks per the options.

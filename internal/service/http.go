@@ -68,6 +68,10 @@ type Report struct {
 		Summaries        int `json:"summaries"`
 		PeakAbstractions int `json:"peakAbstractions"`
 		Workers          int `json:"workers"`
+		// ConeMethods/SkippedComponents describe the demand-driven
+		// query's reachability cone; zero (omitted) outside query mode.
+		ConeMethods       int `json:"coneMethods,omitempty"`
+		SkippedComponents int `json:"skippedComponents,omitempty"`
 	} `json:"counters"`
 	Passes core.PassStats      `json:"passes,omitempty"`
 	Lint   []irlint.Diagnostic `json:"lint,omitempty"`
@@ -90,6 +94,8 @@ func ResultReport(res *core.Result) Report {
 	rep.Counters.Summaries = res.Counters.Summaries
 	rep.Counters.PeakAbstractions = res.Counters.PeakAbstractions
 	rep.Counters.Workers = res.Counters.Workers
+	rep.Counters.ConeMethods = res.Counters.ConeMethods
+	rep.Counters.SkippedComponents = res.Counters.SkippedComponents
 	return rep
 }
 

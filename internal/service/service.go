@@ -131,6 +131,11 @@ type Request struct {
 	// Lint runs the IR verifier before the solvers; Error diagnostics
 	// end the job with status InvalidProgram.
 	Lint bool `json:"lint,omitempty"`
+	// Sinks restricts the analysis to the named sink selectors (demand-
+	// driven query mode); empty analyzes all sinks. The report is the
+	// whole-program report filtered to the queried sinks. Unknown
+	// selectors fail the job.
+	Sinks []string `json:"sinks,omitempty"`
 }
 
 // JobState is the lifecycle of an admitted job.
@@ -211,6 +216,20 @@ type CircuitOpenError struct {
 
 func (e *CircuitOpenError) Error() string {
 	return fmt.Sprintf("service: circuit open for app %s (retry in %v)", e.Fingerprint, e.RetryAfter.Round(time.Millisecond))
+}
+
+// JobFingerprint keys a submission for the circuit breaker and job
+// identity: the app package's content fingerprint, suffixed with the
+// sink-query fingerprint when the request queries specific sinks. The
+// same app under different queries runs different pipelines (different
+// cones, different dummy mains), so their failure histories must not
+// pollute each other's breaker state.
+func JobFingerprint(req Request) string {
+	fp := Fingerprint(req.Files)
+	if qfp := (core.Query{Sinks: req.Sinks}).Fingerprint(); qfp != "" {
+		fp += "+" + qfp
+	}
+	return fp
 }
 
 // Fingerprint content-hashes an app package: sorted file names and
@@ -312,7 +331,7 @@ func (s *Server) Submit(req Request) (JobView, error) {
 	if len(req.Files) == 0 {
 		return JobView{}, errors.New("service: empty app package")
 	}
-	fp := Fingerprint(req.Files)
+	fp := JobFingerprint(req)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -453,6 +472,7 @@ func (s *Server) runJob(j *job) {
 	opts.Degrade = j.req.Degrade
 	opts.UseCHA = j.req.UseCHA
 	opts.Lint = j.req.Lint
+	opts.Query = core.Query{Sinks: j.req.Sinks}
 	if j.req.APLength > 0 {
 		opts.Taint.APLength = j.req.APLength
 	}

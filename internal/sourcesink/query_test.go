@@ -1,0 +1,94 @@
+package sourcesink
+
+import (
+	"strings"
+	"testing"
+
+	"flowdroid/internal/ir"
+)
+
+func TestMatchesSelector(t *testing.T) {
+	snk := Sink{Label: "sms", Class: "android.telephony.SmsManager", Name: "sendTextMessage", NArgs: 5}
+	for _, sel := range []string{
+		"sms",
+		"android.telephony.SmsManager.sendTextMessage",
+		"android.telephony.SmsManager.sendTextMessage/5",
+		"<android.telephony.SmsManager: sendTextMessage/5>",
+		"  sms  ", // selectors are trimmed
+	} {
+		if !snk.MatchesSelector(sel) {
+			t.Errorf("selector %q should match %v", sel, snk)
+		}
+	}
+	for _, sel := range []string{
+		"",
+		"log",
+		"android.telephony.SmsManager.sendTextMessage/4",
+		"android.telephony.SmsManager.sendDataMessage",
+		"<android.telephony.SmsManager>",
+	} {
+		if snk.MatchesSelector(sel) {
+			t.Errorf("selector %q should not match %v", sel, snk)
+		}
+	}
+}
+
+func TestRestrictSinks(t *testing.T) {
+	m, err := Parse(ir.NewProgram(), `
+sink <a.A: one/1> -> arg0 label out
+sink <a.B: two/1> -> arg0 label out
+sink <a.C: three/1> -> arg0 label other
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Restricted() {
+		t.Fatal("fresh manager should not be restricted")
+	}
+	if got := len(m.QueriedSinks()); got != 3 {
+		t.Fatalf("unrestricted QueriedSinks = %d rules, want all 3", got)
+	}
+
+	// A label selector enables every rule carrying it.
+	if err := m.RestrictSinks([]string{"out"}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Restricted() {
+		t.Fatal("manager should be restricted")
+	}
+	if got := len(m.QueriedSinks()); got != 2 {
+		t.Fatalf("query [out] enabled %d rules, want 2", got)
+	}
+
+	// Re-restricting replaces, not intersects.
+	if err := m.RestrictSinks([]string{"a.C.three/1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.QueriedSinks(); len(got) != 1 || got[0].Label != "other" {
+		t.Fatalf("query [a.C.three/1] enabled %v, want the one 'other' rule", got)
+	}
+
+	// Unknown selectors are an error naming each offender — a query
+	// against them would be silently empty.
+	err = m.RestrictSinks([]string{"out", "nope", "also-nope"})
+	if err == nil {
+		t.Fatal("unknown selectors should be rejected")
+	}
+	if !strings.Contains(err.Error(), "nope") || !strings.Contains(err.Error(), "also-nope") {
+		t.Errorf("error %q does not name the unknown selectors", err)
+	}
+}
+
+func TestQueryFingerprintNormalization(t *testing.T) {
+	a := QueryFingerprint([]string{"sms", "log"})
+	b := QueryFingerprint([]string{" log ", "sms", "sms"})
+	if a == "" || a != b {
+		t.Errorf("order/dup/space-insensitive queries fingerprint %q vs %q", a, b)
+	}
+	if c := QueryFingerprint([]string{"sms"}); c == a {
+		t.Error("distinct queries share a fingerprint")
+	}
+	if QueryFingerprint(nil) != "" || QueryFingerprint([]string{" ", ""}) != "" {
+		t.Error("the empty query must fingerprint to the empty string")
+	}
+}

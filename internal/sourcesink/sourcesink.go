@@ -74,6 +74,13 @@ type Manager struct {
 	sources []Source
 	sinks   []Sink
 
+	// enabledSinks, when non-nil, restricts sink answers to the listed
+	// rule indices (RestrictSinks); nil means every rule answers. A
+	// statement is still resolved against the full table first, so a
+	// restricted manager behaves exactly like the unrestricted one with
+	// its answers filtered to the enabled rules.
+	enabledSinks map[int]bool
+
 	// widgetMu guards the lazily-populated widget maps below: the
 	// per-method password-widget dataflow runs on first query at solve
 	// time, so concurrent SourceAtCall calls race on it without the lock.
@@ -214,8 +221,15 @@ func (m *Manager) SinkAtCall(s ir.Stmt) (Sink, []int, bool) {
 		return Sink{}, nil, false
 	}
 	cls := receiverClass(call)
-	for _, snk := range m.sinks {
+	for i, snk := range m.sinks {
 		if snk.Name == call.Ref.Name && snk.NArgs == call.Ref.NArgs && m.classMatches(cls, snk.Class) {
+			if m.enabledSinks != nil && !m.enabledSinks[i] {
+				// The first matching rule is not part of the query: the
+				// statement is not a sink under this restriction (the
+				// whole-program run would attribute it to this rule, and
+				// filtering that report to the query drops it).
+				return Sink{}, nil, false
+			}
 			args := snk.Args
 			if args == nil {
 				args = make([]int, len(call.Args))

@@ -57,6 +57,16 @@ type Config struct {
 	// record one final insertion, so Stats.Propagations can exceed the
 	// budget by at most Workers-1.
 	MaxPropagations int
+	// Cone, when non-nil, is the demand-driven query cone: the solver
+	// prunes zero-fact exploration at its boundary (descending the zero
+	// fact into a callee for which Relevant is false cannot contribute a
+	// leak on a queried sink — such a call tree has no potential sources,
+	// no queried sinks, and no static-field writes). Taint facts are
+	// never pruned: a tainted value may pass through an irrelevant callee
+	// and return. The Cone is fingerprint-neutral like the rest of the
+	// taint configuration — it changes how much the solver explores,
+	// never which upstream artifact it runs on.
+	Cone *Cone
 	// Workers is the solver worker-pool size. Values <= 1 drain the work
 	// queue sequentially on the calling goroutine; higher values run that
 	// many concurrent workers over the shared queue. For runs that reach
@@ -67,6 +77,20 @@ type Config struct {
 	// schedule-dependent frontier, so its partial leak set and counters
 	// may vary across worker counts.
 	Workers int
+}
+
+// Cone is the solver's view of the reachability-cone pass (built in
+// internal/cone, wired by the pipeline): a pruning predicate plus the
+// cone statistics the run reports.
+type Cone struct {
+	// Relevant reports whether descending the zero exploration fact into
+	// the method can matter to the queried sinks.
+	Relevant func(*ir.Method) bool
+	// Methods is the number of methods in the sink-reaching cone.
+	Methods int
+	// SkippedComponents counts the components dummy-main modeling left
+	// out because they were entirely outside the cone.
+	SkippedComponents int
 }
 
 // DefaultConfig mirrors the paper's FlowDroid configuration.
@@ -179,6 +203,10 @@ type Stats struct {
 	PeakAbstractions int
 	// Workers is the worker-pool size the run used (1 = sequential drain).
 	Workers int
+	// ConeMethods and SkippedComponents mirror the query cone the run was
+	// pruned against (zero on whole-program runs).
+	ConeMethods       int
+	SkippedComponents int
 }
 
 // PathEdges is the total of distinct forward and backward path edges.
@@ -252,6 +280,21 @@ func (r *Results) DistinctSourceSinkPairs() []*Leak {
 		}
 		seen[k] = true
 		out = append(out, l)
+	}
+	return out
+}
+
+// FilterSinks returns a shallow copy of the results keeping only the
+// leaks whose matched sink rule satisfies keep. Stats and Status carry
+// over unchanged. This is the whole-program side of the query-equivalence
+// contract: a query-mode run's canonical report must be byte-identical to
+// the whole-program report filtered to the queried sink rules.
+func (r *Results) FilterSinks(keep func(sourcesink.Sink) bool) *Results {
+	out := &Results{Stats: r.Stats, Status: r.Status}
+	for _, l := range r.Leaks {
+		if keep(l.SinkSpec) {
+			out.Leaks = append(out.Leaks, l)
+		}
 	}
 	return out
 }

@@ -270,6 +270,10 @@ func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
 		PeakAbstractions: e.ai.size(),
 		Workers:          workers,
 	}
+	if e.conf.Cone != nil {
+		stats.ConeMethods = e.conf.Cone.Methods
+		stats.SkippedComponents = e.conf.Cone.SkippedComponents
+	}
 	e.exportMetrics(stats)
 	return &Results{Leaks: e.leaks, Stats: stats, Status: e.q.finalStatus()}
 }
@@ -293,6 +297,10 @@ func (e *engine) exportMetrics(s Stats) {
 	rec.Counter("taint.abstractions", metrics.Deterministic).Add(int64(s.PeakAbstractions))
 	rec.Counter("taint.access_paths", metrics.Deterministic).Add(int64(e.in.size()))
 	rec.Gauge("taint.workers", metrics.Schedule).Set(int64(s.Workers))
+	if e.conf.Cone != nil {
+		rec.Gauge("taint.cone_methods", metrics.Deterministic).Set(int64(s.ConeMethods))
+		rec.Gauge("taint.skipped_components", metrics.Deterministic).Set(int64(s.SkippedComponents))
+	}
 }
 
 // fwPropagate inserts a forward path edge. Only a novel edge is charged
@@ -375,6 +383,14 @@ func (e *engine) fwCall(it item) {
 	for _, callee := range e.icfg.CalleesOf(it.n) {
 		sp := callee.EntryStmt()
 		if sp == nil {
+			continue
+		}
+		// Query-cone pruning: the zero fact exists to discover sources;
+		// descending it into a call tree with no potential sources, no
+		// queried sinks and no static writes cannot change the report.
+		// Taint facts (d2 != zero) always descend — they may pass through
+		// an irrelevant callee and return toward a queried sink.
+		if e.conf.Cone != nil && it.d2 == e.zero && !e.conf.Cone.Relevant(callee) {
 			continue
 		}
 		for _, d3 := range e.callFlow(call, callee, it.d2) {

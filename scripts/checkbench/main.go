@@ -7,8 +7,9 @@
 //
 //	BenchmarkSmokeTaint    → parallel-solver speedup report
 //	BenchmarkSmokeMetrics  → observability-overhead report
+//	BenchmarkQueryTaint    → demand-driven query savings report
 //
-// Usage: go run ./scripts/checkbench BENCH_taint.json [BENCH_metrics.json ...]
+// Usage: go run ./scripts/checkbench BENCH_taint.json [BENCH_metrics.json BENCH_query.json ...]
 package main
 
 import (
@@ -23,6 +24,7 @@ type run struct {
 	WallMS       float64 `json:"wall_ms"`
 	Propagations int     `json:"propagations"`
 	Leaks        int     `json:"leaks"`
+	Allocs       uint64  `json:"allocs"`
 }
 
 type taintReport struct {
@@ -34,6 +36,27 @@ type taintReport struct {
 	Runs       []run   `json:"runs"`
 	Speedup    float64 `json:"speedup"`
 	Note       string  `json:"note"`
+}
+
+type queryRun struct {
+	WallMS            float64 `json:"wall_ms"`
+	Propagations      int     `json:"propagations"`
+	Leaks             int     `json:"leaks"`
+	ConeMethods       int     `json:"cone_methods"`
+	SkippedComponents int     `json:"skipped_components"`
+}
+
+type queryReport struct {
+	Bench                string   `json:"bench"`
+	Profile              string   `json:"profile"`
+	Apps                 int      `json:"apps"`
+	GOMAXPROCS           int      `json:"gomaxprocs"`
+	NumCPU               int      `json:"num_cpu"`
+	Query                []string `json:"query"`
+	Whole                queryRun `json:"whole"`
+	QueryRun             queryRun `json:"query_run"`
+	PropagationReduction float64  `json:"propagation_reduction"`
+	Note                 string   `json:"note"`
 }
 
 type metricsReport struct {
@@ -90,6 +113,8 @@ func check(path string) {
 		checkTaint(path, data)
 	case "BenchmarkSmokeMetrics":
 		checkMetrics(path, data)
+	case "BenchmarkQueryTaint":
+		checkQuery(path, data)
 	default:
 		fail("%s: unknown bench %q", path, kind.Bench)
 	}
@@ -119,6 +144,9 @@ func checkTaint(path string, data []byte) {
 		if ru.Propagations <= 0 {
 			fail("%s: run %d (workers=%d): propagations must be positive", path, i, ru.Workers)
 		}
+		if ru.Allocs == 0 {
+			fail("%s: run %d (workers=%d): allocs missing or zero — the bench stopped recording memory churn", path, i, ru.Workers)
+		}
 		if ru.Propagations != r.Runs[0].Propagations || ru.Leaks != r.Runs[0].Leaks {
 			fail("%s: run %d (workers=%d): propagations/leaks differ across worker counts (%d/%d vs %d/%d) — the solver lost its schedule-independence",
 				path, i, ru.Workers, ru.Propagations, ru.Leaks, r.Runs[0].Propagations, r.Runs[0].Leaks)
@@ -134,6 +162,47 @@ func checkTaint(path string, data []byte) {
 		fail("%s: speedup %.2fx is below 1.5x and no note documents why", path, r.Speedup)
 	}
 	fmt.Printf("checkbench: %s OK (%d runs, speedup %.2fx)\n", path, len(r.Runs), r.Speedup)
+}
+
+func checkQuery(path string, data []byte) {
+	var r queryReport
+	strict(path, data, &r)
+	if r.Profile == "" {
+		fail("%s: profile missing", path)
+	}
+	if r.Apps <= 0 || r.GOMAXPROCS <= 0 || r.NumCPU <= 0 {
+		fail("%s: apps/gomaxprocs/num_cpu must be positive (got %d/%d/%d)", path, r.Apps, r.GOMAXPROCS, r.NumCPU)
+	}
+	if len(r.Query) == 0 {
+		fail("%s: query selector list is empty", path)
+	}
+	if r.Whole.WallMS <= 0 || r.QueryRun.WallMS <= 0 {
+		fail("%s: wall times must be positive (got %v/%v)", path, r.Whole.WallMS, r.QueryRun.WallMS)
+	}
+	if r.Whole.Propagations <= 0 {
+		fail("%s: whole-program propagations must be positive", path)
+	}
+	// The demand-driven mode's reason to exist: a single-sink query must
+	// do strictly less solver work than the whole-program run.
+	if r.QueryRun.Propagations >= r.Whole.Propagations {
+		fail("%s: query propagations (%d) not strictly below whole-program (%d) — the cone pruned nothing",
+			path, r.QueryRun.Propagations, r.Whole.Propagations)
+	}
+	if r.QueryRun.ConeMethods <= 0 {
+		fail("%s: cone_methods must be positive in query mode", path)
+	}
+	if r.Whole.ConeMethods != 0 || r.Whole.SkippedComponents != 0 {
+		fail("%s: whole-program run reports cone counters (%d/%d), want zero",
+			path, r.Whole.ConeMethods, r.Whole.SkippedComponents)
+	}
+	if r.PropagationReduction <= 0 || r.PropagationReduction >= 1 {
+		fail("%s: propagation_reduction = %v, want in (0,1)", path, r.PropagationReduction)
+	}
+	if r.Note == "" {
+		fail("%s: note missing", path)
+	}
+	fmt.Printf("checkbench: %s OK (query %v saved %.0f%% propagations, %d components skipped)\n",
+		path, r.Query, 100*r.PropagationReduction, r.QueryRun.SkippedComponents)
 }
 
 func checkMetrics(path string, data []byte) {

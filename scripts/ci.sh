@@ -20,11 +20,11 @@ go test -race ./...
 echo "==> go test -race ./internal/taint/... (parallel taint solver)"
 go test -race ./internal/taint/...
 
-echo "==> bench smoke (one-shot, compile + run sanity; emits BENCH_taint.json and BENCH_metrics.json)"
-go test -bench Smoke -benchtime=1x -run '^$' .
+echo "==> bench smoke (one-shot, compile + run sanity; emits BENCH_taint.json, BENCH_metrics.json and BENCH_query.json)"
+go test -bench 'Smoke|QueryTaint' -benchtime=1x -run '^$' .
 
-echo "==> checkbench (BENCH_taint.json + BENCH_metrics.json schemas)"
-go run ./scripts/checkbench BENCH_taint.json BENCH_metrics.json
+echo "==> checkbench (BENCH_taint.json + BENCH_metrics.json + BENCH_query.json schemas)"
+go run ./scripts/checkbench BENCH_taint.json BENCH_metrics.json BENCH_query.json
 
 echo "==> irlint -fixtures (IR verifier over every shipped program) + checklint"
 lint_file=$(mktemp)

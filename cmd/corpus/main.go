@@ -39,17 +39,18 @@ import (
 
 func main() {
 	var (
-		profile    = flag.String("profile", "malware", "population profile: play, malware, or stress")
-		n          = flag.Int("n", 100, "number of apps to generate and analyze")
-		seed       = flag.Int64("seed", 1, "generation seed")
-		export     = flag.String("export", "", "also write the generated app packages under this directory")
-		timeout    = flag.Duration("timeout", 0, "per-app analysis deadline (0 = none)")
-		maxProps   = flag.Int("max-propagations", 0, "per-app taint-propagation budget (0 = unlimited)")
-		degrade    = flag.Bool("degrade", false, "retry budget-exhausted apps with cheaper configurations")
+		profile     = flag.String("profile", "malware", "population profile: play, malware, or stress")
+		n           = flag.Int("n", 100, "number of apps to generate and analyze")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		export      = flag.String("export", "", "also write the generated app packages under this directory")
+		timeout     = flag.Duration("timeout", 0, "per-app analysis deadline (0 = none)")
+		maxProps    = flag.Int("max-propagations", 0, "per-app taint-propagation budget (0 = unlimited)")
+		degrade     = flag.Bool("degrade", false, "retry budget-exhausted apps with cheaper configurations")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "per-app taint solver worker-pool size (<=1 = sequential)")
 		forcePanic  = flag.String("force-panic", "", "inject a panic while analyzing the named app (tests batch isolation)")
 		lint        = flag.Bool("lint", false, "run the IR verifier before each app's solvers")
 		sinks       = flag.String("sinks", "", "comma-separated sink selectors for a demand-driven query (empty = all sinks)")
+		summaryDir  = flag.String("summary-dir", "", "persistent method-summary store directory; a repeated run over the same corpus re-analyzes warm (empty = disabled)")
 		traceFile   = flag.String("trace", "", "write a JSONL span trace of every app's pipeline to this file")
 		showMetrics = flag.Bool("metrics", false, "print the corpus-aggregated metrics snapshot as JSON after the summary")
 	)
@@ -81,6 +82,7 @@ func main() {
 		Workers:         *workers,
 		FaultInject:     *forcePanic,
 		Lint:            *lint,
+		SummaryDir:      *summaryDir,
 	}
 	if *sinks != "" {
 		for _, sel := range strings.Split(*sinks, ",") {

@@ -39,6 +39,12 @@
 // The distinct leak report is identical at any worker count; only the
 // path witnesses (-paths) may pick different derivations.
 //
+// -summary-dir DIR enables the persistent method-summary store: completed
+// runs record per-method summaries under DIR, and later runs on updated
+// versions of the app replay the summaries of unchanged methods instead
+// of re-solving them. The leak report is identical with or without the
+// store; -stats and -json expose the hit/miss/reuse counters.
+//
 // Observability (all opt-in, zero cost when absent):
 //
 //	-trace FILE    write a JSONL span trace of the pipeline (validated
@@ -101,6 +107,14 @@ type jsonReport struct {
 		// modeling skip; zero (omitted) outside query mode.
 		ConeMethods       int `json:"coneMethods,omitempty"`
 		SkippedComponents int `json:"skippedComponents,omitempty"`
+		// Summary-store counters, all zero (omitted) without -summary-dir.
+		SummaryHits        int `json:"summaryHits,omitempty"`
+		SummaryMisses      int `json:"summaryMisses,omitempty"`
+		SummaryInvalidated int `json:"summaryInvalidated,omitempty"`
+		SummaryCorrupt     int `json:"summaryCorrupt,omitempty"`
+		MethodsExplored    int `json:"methodsExplored,omitempty"`
+		MethodsReused      int `json:"methodsReused,omitempty"`
+		SummariesPersisted int `json:"summariesPersisted,omitempty"`
 	} `json:"counters"`
 	// Passes reports per-pipeline-pass execution vs. memoized-artifact
 	// reuse (runs/hits), non-trivial when -degrade retried the analysis.
@@ -142,6 +156,7 @@ func run() int {
 		maxProps    = flags.Int("max-propagations", 0, "taint-propagation budget; 0 = unlimited")
 		degrade     = flags.Bool("degrade", false, "on budget exhaustion retry with cheaper configurations (CHA, shorter access paths)")
 		workers     = flags.Int("workers", runtime.GOMAXPROCS(0), "taint solver worker-pool size (<=1 = sequential)")
+		summaryDir  = flags.String("summary-dir", "", "persistent method-summary store directory for warm re-analysis (empty = disabled)")
 		lint        = flags.Bool("lint", false, "run the IR verifier before the solvers; Error diagnostics abort with status InvalidProgram")
 		lintEnable  = flags.String("lint.enable", "", "comma-separated analyzer names to run (default: all)")
 		lintDisable = flags.String("lint.disable", "", "comma-separated analyzer names to skip")
@@ -166,6 +181,7 @@ func run() int {
 	opts.MaxPropagations = *maxProps
 	opts.Degrade = *degrade
 	opts.Taint.Workers = *workers
+	opts.SummaryDir = *summaryDir
 	opts.Lint = *lint || *lintJSON || *lintEnable != "" || *lintDisable != ""
 	opts.LintEnable = *lintEnable
 	opts.LintDisable = *lintDisable
@@ -275,6 +291,13 @@ func run() int {
 		rep.Counters.Workers = res.Counters.Workers
 		rep.Counters.ConeMethods = res.Counters.ConeMethods
 		rep.Counters.SkippedComponents = res.Counters.SkippedComponents
+		rep.Counters.SummaryHits = res.Counters.SummaryHits
+		rep.Counters.SummaryMisses = res.Counters.SummaryMisses
+		rep.Counters.SummaryInvalidated = res.Counters.SummaryInvalidated
+		rep.Counters.SummaryCorrupt = res.Counters.SummaryCorrupt
+		rep.Counters.MethodsExplored = res.Counters.MethodsExplored
+		rep.Counters.MethodsReused = res.Counters.MethodsReused
+		rep.Counters.SummariesPersisted = res.Counters.SummariesPersisted
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -336,6 +359,11 @@ func run() int {
 		fmt.Printf("\nsetup %v, taint analysis %v (%d worker(s))\n", res.SetupTime, res.TaintTime, st.Workers)
 		fmt.Printf("forward edges %d, backward edges %d, alias queries %d, summaries %d, peak abstractions %d\n",
 			st.ForwardEdges, st.BackwardEdges, st.AliasQueries, st.Summaries, st.PeakAbstractions)
+		if ss := st.Store; ss != nil {
+			fmt.Printf("summary store: %d hit(s), %d miss(es), %d invalidated, %d corrupt; %d method(s) reused, %d explored (%.1f%% reuse), %d persisted\n",
+				ss.Hits, ss.Misses, ss.Invalidated, ss.Corrupt,
+				ss.MethodsReused, ss.MethodsExplored, 100*ss.ReuseRate(), ss.Persisted)
+		}
 		if len(res.Passes) > 0 {
 			fmt.Printf("passes: %s\n", res.Passes)
 		}

@@ -81,6 +81,7 @@ func run() int {
 		breakerCool  = flags.Duration("breaker-cooldown", 30*time.Second, "how long a tripped circuit stays open before one probe is admitted")
 		drainTimeout = flags.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before cancelling them")
 		retainJobs   = flags.Int("retain-jobs", 1024, "finished jobs kept queryable before eviction")
+		summaryDir   = flags.String("summary-dir", "", "persistent method-summary store directory shared by all jobs; resubmitted app updates re-analyze warm (empty = disabled)")
 		traceFile    = flags.String("trace", "", "write a JSONL span trace of every job's pipeline to this file")
 		pprofOn      = flags.Bool("pprof", false, "also mount /debug/pprof and /debug/vars on the API mux")
 	)
@@ -120,6 +121,7 @@ func run() int {
 		BreakerTrip:            *breakerTrip,
 		BreakerCooldown:        *breakerCool,
 		RetainJobs:             *retainJobs,
+		SummaryDir:             *summaryDir,
 		Recorder:               rec,
 	})
 

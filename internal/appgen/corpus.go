@@ -116,6 +116,11 @@ type RunOptions struct {
 	// Sinks restricts each app's analysis to the named sink selectors
 	// (demand-driven query mode); empty analyzes all sinks.
 	Sinks []string
+	// SummaryDir, when non-empty, runs every app through the persistent
+	// method-summary store rooted there (see internal/summarystore): a
+	// second corpus run over the same or lightly mutated apps re-analyzes
+	// warm. Leak statistics are store-independent.
+	SummaryDir string
 }
 
 // AvgLeaksPerApp is the paper's "1.85 leaks per application" figure.
@@ -284,6 +289,7 @@ func analyzeOne(ctx context.Context, app App, ro RunOptions) (res *core.Result, 
 	opts.Taint.Workers = ro.Workers
 	opts.Lint = ro.Lint
 	opts.Query = core.Query{Sinks: ro.Sinks}
+	opts.SummaryDir = ro.SummaryDir
 	return core.AnalyzeFiles(ctx, app.Files, opts)
 }
 

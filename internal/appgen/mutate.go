@@ -1,0 +1,65 @@
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// MutateMethods models an app update: it returns a copy of the package
+// with a benign statement inserted at the top of roughly fraction of the
+// methods in classes.ir (deterministically selected from the seed), plus
+// the number of methods actually mutated. The inserted statement assigns
+// a string constant to a fresh local, so it changes the mutated method's
+// body — and therefore its summary-store content hash — without changing
+// any data flow: the update-stream experiments rely on the leak report
+// staying identical while only the mutated methods (and their hash-cone
+// ancestors) re-analyze.
+func MutateMethods(files map[string]string, fraction float64, seed int64) (map[string]string, int) {
+	out := make(map[string]string, len(files))
+	for k, v := range files {
+		out[k] = v
+	}
+	code, ok := out["classes.ir"]
+	if !ok || fraction <= 0 {
+		return out, 0
+	}
+	lines := strings.Split(code, "\n")
+	var opens []int
+	for i, l := range lines {
+		if (strings.HasPrefix(l, "  method ") || strings.HasPrefix(l, "  static method ")) &&
+			strings.HasSuffix(strings.TrimSpace(l), "{") {
+			opens = append(opens, i)
+		}
+	}
+	if len(opens) == 0 {
+		return out, 0
+	}
+	n := int(float64(len(opens))*fraction + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(opens) {
+		n = len(opens)
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(opens), func(i, j int) { opens[i], opens[j] = opens[j], opens[i] })
+	sel := append([]int(nil), opens[:n]...)
+	sort.Ints(sel)
+	mutated := make(map[int]bool, n)
+	for _, i := range sel {
+		mutated[i] = true
+	}
+	grown := make([]string, 0, len(lines)+n)
+	for i, l := range lines {
+		grown = append(grown, l)
+		if mutated[i] {
+			// The local name is derived from the line index, so repeated
+			// mutation rounds keep producing fresh names.
+			grown = append(grown, fmt.Sprintf("    upd%d = \"upd\"", i))
+		}
+	}
+	out["classes.ir"] = strings.Join(grown, "\n")
+	return out, n
+}

@@ -28,6 +28,7 @@ import (
 	"flowdroid/internal/pta"
 	"flowdroid/internal/scene"
 	"flowdroid/internal/sourcesink"
+	"flowdroid/internal/summarystore"
 	"flowdroid/internal/taint"
 )
 
@@ -70,6 +71,19 @@ type Options struct {
 	// then access-path length 3, then 1), recording each downgrade in
 	// Result.Degraded.
 	Degrade bool
+	// SummaryDir, when non-empty, enables the persistent method-summary
+	// store rooted at that directory (see internal/summarystore): the
+	// taint solver replays summaries recorded by earlier completed runs
+	// for methods whose bodies and resolved callees are unchanged, and
+	// persists fresh ones after a completed run. The store never changes
+	// the leak report — only how much of it is recomputed. Corrupt or
+	// stale entries are treated as cache misses, never errors.
+	SummaryDir string
+	// SummaryStore is an already opened summary store to use instead of
+	// opening SummaryDir; a resident daemon shares one store across jobs
+	// this way. When nil and SummaryDir is set, AnalyzeApp opens the
+	// directory itself.
+	SummaryStore *summarystore.Store
 }
 
 // DefaultOptions mirrors the paper's FlowDroid configuration.
@@ -132,6 +146,9 @@ func (r *Result) Leaks() []*taint.Leak { return r.Taint.DistinctSourceSinkPairs(
 func AnalyzeApp(ctx context.Context, app *apk.App, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if opts.SummaryStore == nil && opts.SummaryDir != "" {
+		opts.SummaryStore = summarystore.Open(opts.SummaryDir)
 	}
 	pl := newPipeline(app)
 	res, err := pl.run(ctx, opts)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"flowdroid/internal/pta"
 	"flowdroid/internal/scene"
 	"flowdroid/internal/sourcesink"
+	"flowdroid/internal/summarystore"
 	"flowdroid/internal/taint"
 )
 
@@ -31,7 +34,8 @@ type PassStat struct {
 }
 
 // PassStats maps pass names (scene, sourcesink, verify, cone, callbacks,
-// lifecycle, callgraph, icfg, taint) to their run/hit counters.
+// lifecycle, callgraph, icfg, summaries, taint) to their run/hit
+// counters.
 type PassStats map[string]PassStat
 
 // TotalRuns sums the Runs of every pass.
@@ -95,6 +99,7 @@ type artifact[T any] struct {
 //	lifecycle  : Options.Lifecycle including the cone's skip set
 //	callgraph  : Options.UseCHA + the entry method it grows from
 //	icfg       : the call-graph artifact it stitches
+//	summaries  : the summary fingerprint + the call graph it hashed
 //	taint      : always runs (it is the pass being retried)
 //
 // Every artifact a sink query can change carries the query fingerprint in
@@ -125,6 +130,7 @@ type pipeline struct {
 	graph artifact[cgArtifact]
 	icfg  artifact[*cfg.ICFG]
 	mgr   artifact[*sourcesink.Manager]
+	sums  artifact[*summarystore.Session]
 }
 
 // clickHandlers collects each layout's declaratively registered click
@@ -145,6 +151,40 @@ func clickHandlers(app *apk.App) map[string][]string {
 type cgArtifact struct {
 	graph    *callgraph.Graph
 	ptaProps int
+}
+
+// summaryFingerprint digests every configuration input that changes the
+// taint solver's transfer functions or seeds, scoping the persistent
+// summary store's namespace: two runs may only share summaries when they
+// would compute identical per-method-context facts. Schedule-only knobs
+// (Workers, MaxPropagations, MaxLeaks) are deliberately excluded — they
+// change how much is explored, never what a completed run computes.
+// The store format version is folded in so a scheme change invalidates
+// wholesale, and the layout password controls are included because they
+// synthesize per-app source rules.
+func summaryFingerprint(app *apk.App, opts Options, qfp string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n", summarystore.FormatVersion)
+	fmt.Fprintf(h, "rules:%s\n", opts.SourceSinkRules)
+	fmt.Fprintf(h, "query:%s\n", qfp)
+	tc := opts.Taint
+	fmt.Fprintf(h, "taint:%d,%t,%t,%t,%t,%t,%t\n",
+		tc.APLength, tc.EnableAliasing, tc.EnableActivation, tc.InjectContext,
+		tc.FieldSensitive, tc.FlowSensitive, tc.ArrayIndexSensitive)
+	fmt.Fprintf(h, "wrapper:%s\n", tc.Wrapper.Fingerprint())
+	fmt.Fprintf(h, "cha:%t\n", opts.UseCHA)
+	fmt.Fprintf(h, "lifecycle:%+v\n", opts.Lifecycle)
+	var layouts []string
+	for name, l := range app.Layouts {
+		for _, c := range l.PasswordControls() {
+			layouts = append(layouts, name+"/"+c.Kind+"#"+c.ID)
+		}
+	}
+	sort.Strings(layouts)
+	for _, l := range layouts {
+		fmt.Fprintf(h, "layout:%s\n", l)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 func newPipeline(app *apk.App) *pipeline {
@@ -455,6 +495,21 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 			return cfg.NewICFG(pl.sc, cg.graph), nil
 		})
 
+	// Summaries: the persistent-store session for this run, keyed by the
+	// configuration fingerprint and the call graph it hashed methods
+	// against. A degrade rung that changes the fingerprint (CHA,
+	// access-path length) gets its own namespace — its summaries are not
+	// interchangeable with the original configuration's.
+	var sess *summarystore.Session
+	if opts.SummaryStore != nil {
+		stage = "summaries"
+		sumFP := summaryFingerprint(pl.app, opts, qfp)
+		sess, _ = memo(pl, "summaries", fmt.Sprintf("%s@%p", sumFP, cg.graph), &pl.sums,
+			func() (*summarystore.Session, error) {
+				return opts.SummaryStore.Session(pl.app.Package, sumFP, summarystore.HashMethods(cg.graph)), nil
+			})
+	}
+
 	stage = "taint"
 	tstart = time.Now()
 	tc := opts.Taint
@@ -468,10 +523,21 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 			SkippedComponents: res.Counters.SkippedComponents,
 		}
 	}
+	if sess != nil {
+		tc.Summaries = sess
+	}
 	tres := func() *taint.Results {
 		defer pl.ran("taint")()
 		return taint.Analyze(ctx, icfg, mgr, tc, entry)
 	}()
+	if sess != nil {
+		// Write back the summaries a completed run recorded. A flush
+		// failure (full disk, permissions) degrades the cache, never the
+		// analysis: count it and move on.
+		if err := sess.Flush(); err != nil {
+			pl.rec.Counter("summary.store.flush_errors", metrics.Schedule).Add(1)
+		}
+	}
 	res.Taint = tres
 	attribute()
 	countersFromTaint(&res.Counters, tres.Stats)

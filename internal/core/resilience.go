@@ -96,6 +96,31 @@ type Counters struct {
 	// whole-program runs).
 	ConeMethods       int
 	SkippedComponents int
+	// Summary-store effect counters, all zero when no store was
+	// configured (Options.SummaryDir). Hits/Misses/Invalidated/Corrupt
+	// classify the store lookups the solver made; MethodsReused and
+	// MethodsExplored split the reachable analyzable methods into those
+	// covered by replayed summaries versus those actually re-solved;
+	// SummariesPersisted counts the method-context records written back
+	// after a completed run.
+	SummaryHits        int
+	SummaryMisses      int
+	SummaryInvalidated int
+	SummaryCorrupt     int
+	MethodsExplored    int
+	MethodsReused      int
+	SummariesPersisted int
+}
+
+// SummaryReuseRate is the fraction of reachable analyzable methods whose
+// summaries were replayed from the store instead of re-solved (0 when no
+// store was in play).
+func (c Counters) SummaryReuseRate() float64 {
+	total := c.MethodsReused + c.MethodsExplored
+	if c.MethodsReused == 0 || total == 0 {
+		return 0
+	}
+	return float64(c.MethodsReused) / float64(total)
 }
 
 func countersFromTaint(c *Counters, st taint.Stats) {
@@ -106,6 +131,15 @@ func countersFromTaint(c *Counters, st taint.Stats) {
 	c.Workers = st.Workers
 	c.ConeMethods = st.ConeMethods
 	c.SkippedComponents = st.SkippedComponents
+	if ss := st.Store; ss != nil {
+		c.SummaryHits = ss.Hits
+		c.SummaryMisses = ss.Misses
+		c.SummaryInvalidated = ss.Invalidated
+		c.SummaryCorrupt = ss.Corrupt
+		c.MethodsExplored = ss.MethodsExplored
+		c.MethodsReused = ss.MethodsReused
+		c.SummariesPersisted = ss.Persisted
+	}
 }
 
 // stackTrace captures the panicking goroutine's stack for Failure.Stack.

@@ -109,16 +109,36 @@ type workItem[D comparable] struct {
 	d1, d2 D
 }
 
+// SummaryHooks lets a caller observe and pre-install end summaries —
+// the generic solver's side of a persistent summary store (the taint
+// engine has its own specialized implementation; see internal/taint and
+// internal/summarystore). Lookup is consulted once per (callee, entry
+// fact) context before the solver seeds the callee's subtree: returning
+// ok=true installs the given exit facts as the context's complete end
+// summary and skips the subtree. Installed is called for every end
+// summary the solver computes itself.
+type SummaryHooks[D comparable] interface {
+	// Lookup returns the complete end summary for the context, if known.
+	// The exits are (exit statement, fact) pairs for the callee.
+	Lookup(callee *ir.Method, d3 D) (exits []ir.Stmt, facts []D, ok bool)
+	// Installed reports one end-summary entry the solver computed.
+	Installed(m *ir.Method, d1 D, exit ir.Stmt, d2 D)
+}
+
 // Solver runs an IFDS problem over an ICFG and records the reachable
 // exploded-graph facts.
 type Solver[D comparable] struct {
 	ICFG    *cfg.ICFG
 	Problem Problem[D]
+	// Summaries, when non-nil, is consulted per context to reuse end
+	// summaries instead of exploring callee subtrees (see SummaryHooks).
+	Summaries SummaryHooks[D]
 
-	jump     map[ir.Stmt]map[pair[D]]bool
-	incoming map[methodCtx[D]]map[callerCtx[D]]bool
-	endSum   map[methodCtx[D]][]exitPair[D]
-	work     []workItem[D]
+	jump         map[ir.Stmt]map[pair[D]]bool
+	incoming     map[methodCtx[D]]map[callerCtx[D]]bool
+	endSum       map[methodCtx[D]][]exitPair[D]
+	sumInstalled map[methodCtx[D]]bool
+	work         []workItem[D]
 
 	// PropagateCount counts path-edge insertions, exposed for the
 	// benchmark harness.
@@ -225,6 +245,7 @@ func (s *Solver[D]) processCall(it workItem[D]) {
 		}
 		for _, d3 := range s.Problem.Call(it.n, callee, it.d2) {
 			key := methodCtx[D]{callee, d3}
+			installed := s.installSummary(key)
 			inc := s.incoming[key]
 			if inc == nil {
 				inc = make(map[callerCtx[D]]bool)
@@ -238,7 +259,9 @@ func (s *Solver[D]) processCall(it workItem[D]) {
 					s.applyReturn(cc, callee, ep)
 				}
 			}
-			s.propagate(d3, sp, d3)
+			if !installed {
+				s.propagate(d3, sp, d3)
+			}
 		}
 	}
 	// Call-to-return on the caller's side.
@@ -249,11 +272,42 @@ func (s *Solver[D]) processCall(it workItem[D]) {
 	}
 }
 
+// installSummary consults the summary hooks for a context, once. On a
+// hit the stored exits become the context's end summary (so callers
+// registered before and after replay them identically) and the callee's
+// subtree is not seeded. A context the solver already has an end
+// summary or installed decision for is never looked up again.
+func (s *Solver[D]) installSummary(key methodCtx[D]) bool {
+	if s.Summaries == nil {
+		return false
+	}
+	if done, ok := s.sumInstalled[key]; ok {
+		return done
+	}
+	exits, facts, ok := s.Summaries.Lookup(key.m, key.d1)
+	if s.sumInstalled == nil {
+		s.sumInstalled = make(map[methodCtx[D]]bool)
+	}
+	s.sumInstalled[key] = ok
+	if !ok {
+		return false
+	}
+	for i, exit := range exits {
+		if i < len(facts) {
+			s.endSum[key] = append(s.endSum[key], exitPair[D]{exit, facts[i]})
+		}
+	}
+	return true
+}
+
 func (s *Solver[D]) processExit(it workItem[D]) {
 	m := it.n.Method()
 	key := methodCtx[D]{m, it.d1}
 	ep := exitPair[D]{it.n, it.d2}
 	s.endSum[key] = append(s.endSum[key], ep)
+	if s.Summaries != nil {
+		s.Summaries.Installed(m, it.d1, it.n, it.d2)
+	}
 	for cc := range s.incoming[key] {
 		s.applyReturn(cc, m, ep)
 	}

@@ -1,0 +1,115 @@
+package ifds
+
+import (
+	"context"
+	"testing"
+
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/ir"
+	"flowdroid/internal/irtext"
+	"flowdroid/internal/pta"
+)
+
+// replayHooks is a minimal in-memory SummaryHooks implementation: in
+// record mode it captures every end summary the solver computes; in
+// serve mode it answers lookups from the recorded map. Running the same
+// problem twice over one program exercises the install path end to end.
+type replayHooks struct {
+	record  bool
+	store   map[methodCtx[*ir.Local]][]exitPair[*ir.Local]
+	lookups int
+	serves  int
+}
+
+func (h *replayHooks) Lookup(callee *ir.Method, d3 *ir.Local) ([]ir.Stmt, []*ir.Local, bool) {
+	if h.record {
+		return nil, nil, false
+	}
+	h.lookups++
+	eps, ok := h.store[methodCtx[*ir.Local]{callee, d3}]
+	if !ok {
+		return nil, nil, false
+	}
+	h.serves++
+	exits := make([]ir.Stmt, len(eps))
+	facts := make([]*ir.Local, len(eps))
+	for i, ep := range eps {
+		exits[i] = ep.exit
+		facts[i] = ep.d2
+	}
+	return exits, facts, true
+}
+
+func (h *replayHooks) Installed(m *ir.Method, d1 *ir.Local, exit ir.Stmt, d2 *ir.Local) {
+	if !h.record {
+		return
+	}
+	key := methodCtx[*ir.Local]{m, d1}
+	h.store[key] = append(h.store[key], exitPair[*ir.Local]{exit, d2})
+}
+
+// TestSummaryHooksReplay solves the local-taint program twice over the
+// same parsed program: the first solver records end summaries, the
+// second replays them. Both must agree on every sink's leak verdict and
+// on the facts at the first sink, and the replayed run must do strictly
+// less propagation work.
+func TestSummaryHooksReplay(t *testing.T) {
+	prog, err := irtext.ParseProgram(taintSrc, "t.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Class("T").Method("main", 0)
+	res := pta.Build(context.Background(), prog, main)
+	icfg := cfg.NewICFG(prog, res.Graph)
+
+	hooks := &replayHooks{record: true, store: make(map[methodCtx[*ir.Local]][]exitPair[*ir.Local])}
+
+	solve := func() (*localTaint, *Solver[*ir.Local]) {
+		problem := &localTaint{entry: main.EntryStmt(), leaks: make(map[ir.Stmt]bool)}
+		s := NewSolver[*ir.Local](icfg, problem)
+		s.Summaries = hooks
+		s.Solve()
+		return problem, s
+	}
+
+	p1, s1 := solve()
+	if len(hooks.store) == 0 {
+		t.Fatal("record run installed no end summaries")
+	}
+
+	hooks.record = false
+	p2, s2 := solve()
+	if hooks.lookups == 0 {
+		t.Fatal("replay run performed no lookups")
+	}
+	if hooks.serves == 0 {
+		t.Fatal("replay run served no summaries")
+	}
+
+	var sinks []ir.Stmt
+	for _, st := range main.Body() {
+		if c := ir.CallOf(st); c != nil && c.Ref.Name == "sink" {
+			sinks = append(sinks, st)
+		}
+	}
+	if len(sinks) != 5 {
+		t.Fatalf("expected 5 sink calls, found %d", len(sinks))
+	}
+	for i, sink := range sinks {
+		if p1.leaks[sink] != p2.leaks[sink] {
+			t.Errorf("sink %d: record run leak=%v, replay run leak=%v",
+				i, p1.leaks[sink], p2.leaks[sink])
+		}
+	}
+	// Same dataflow facts at the first sink under both regimes.
+	for _, name := range []string{"a", "b"} {
+		l := main.LookupLocal(name)
+		if got, want := s2.HasFactAt(sinks[0], l), s1.HasFactAt(sinks[0], l); got != want {
+			t.Errorf("HasFactAt(sink0, %s): replay %v, record %v", name, got, want)
+		}
+	}
+	if s2.PropagateCount >= s1.PropagateCount {
+		t.Errorf("replay did not save work: %d propagations vs %d",
+			s2.PropagateCount, s1.PropagateCount)
+	}
+}

@@ -72,6 +72,15 @@ type Report struct {
 		// query's reachability cone; zero (omitted) outside query mode.
 		ConeMethods       int `json:"coneMethods,omitempty"`
 		SkippedComponents int `json:"skippedComponents,omitempty"`
+		// Summary-store counters, all zero (omitted) when the daemon has
+		// no Config.SummaryDir.
+		SummaryHits        int `json:"summaryHits,omitempty"`
+		SummaryMisses      int `json:"summaryMisses,omitempty"`
+		SummaryInvalidated int `json:"summaryInvalidated,omitempty"`
+		SummaryCorrupt     int `json:"summaryCorrupt,omitempty"`
+		MethodsExplored    int `json:"methodsExplored,omitempty"`
+		MethodsReused      int `json:"methodsReused,omitempty"`
+		SummariesPersisted int `json:"summariesPersisted,omitempty"`
 	} `json:"counters"`
 	Passes core.PassStats      `json:"passes,omitempty"`
 	Lint   []irlint.Diagnostic `json:"lint,omitempty"`
@@ -96,6 +105,13 @@ func ResultReport(res *core.Result) Report {
 	rep.Counters.Workers = res.Counters.Workers
 	rep.Counters.ConeMethods = res.Counters.ConeMethods
 	rep.Counters.SkippedComponents = res.Counters.SkippedComponents
+	rep.Counters.SummaryHits = res.Counters.SummaryHits
+	rep.Counters.SummaryMisses = res.Counters.SummaryMisses
+	rep.Counters.SummaryInvalidated = res.Counters.SummaryInvalidated
+	rep.Counters.SummaryCorrupt = res.Counters.SummaryCorrupt
+	rep.Counters.MethodsExplored = res.Counters.MethodsExplored
+	rep.Counters.MethodsReused = res.Counters.MethodsReused
+	rep.Counters.SummariesPersisted = res.Counters.SummariesPersisted
 	return rep
 }
 
@@ -136,7 +152,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
 	if retryAfter > 0 {
-		secs := int64(retryAfter / time.Second)
+		// Round up to whole seconds: truncation would tell a client with
+		// 2.5s of cooldown left to come back after 2s (or, sub-second,
+		// after 0s) and get rejected again. The exact wait stays available
+		// in the JSON body's retryAfterMs.
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
 		if secs < 1 {
 			secs = 1
 		}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -204,6 +205,50 @@ func TestHTTPRejections(t *testing.T) {
 	}
 	release <- struct{}{}
 	release <- struct{}{}
+}
+
+// TestRetryAfterRoundsUp pins the admission-rejection header contract:
+// a positive wait never emits Retry-After: 0 (sub-second cooldowns used
+// to truncate to zero and well-behaved clients hammered immediately),
+// the header rounds up so it never under-states the wait, and the JSON
+// body keeps the exact wait in milliseconds.
+func TestRetryAfterRoundsUp(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		for _, wait := range []time.Duration{
+			time.Millisecond, 250 * time.Millisecond, 999 * time.Millisecond,
+			time.Second, 1500 * time.Millisecond, 2500 * time.Millisecond, 3 * time.Second,
+		} {
+			rr := httptest.NewRecorder()
+			writeError(rr, code, "try later", wait)
+			h := rr.Header().Get("Retry-After")
+			secs, err := strconv.Atoi(h)
+			if err != nil {
+				t.Fatalf("code %d wait %v: Retry-After %q is not an integer", code, wait, h)
+			}
+			if secs < 1 {
+				t.Fatalf("code %d wait %v: Retry-After %d, want >= 1 on a positive wait", code, wait, secs)
+			}
+			if float64(secs) < wait.Seconds() {
+				t.Fatalf("code %d wait %v: Retry-After %d under-states the wait", code, wait, secs)
+			}
+			if float64(secs)-wait.Seconds() >= 1 {
+				t.Fatalf("code %d wait %v: Retry-After %d over-states the wait by a second or more", code, wait, secs)
+			}
+			var he httpError
+			if err := json.Unmarshal(rr.Body.Bytes(), &he); err != nil {
+				t.Fatal(err)
+			}
+			if he.RetryAfterMS != wait.Milliseconds() {
+				t.Fatalf("code %d wait %v: retryAfterMs %d, want exact %d", code, wait, he.RetryAfterMS, wait.Milliseconds())
+			}
+		}
+	}
+	// No wait, no header.
+	rr := httptest.NewRecorder()
+	writeError(rr, http.StatusServiceUnavailable, "draining", 0)
+	if h := rr.Header().Get("Retry-After"); h != "" {
+		t.Fatalf("zero wait emitted Retry-After %q", h)
+	}
 }
 
 func TestHTTPUnknownJob(t *testing.T) {

@@ -39,6 +39,7 @@ import (
 
 	"flowdroid/internal/core"
 	"flowdroid/internal/metrics"
+	"flowdroid/internal/summarystore"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -75,6 +76,13 @@ type Config struct {
 	// 1024). The oldest finished jobs are evicted first; queued and
 	// running jobs are never evicted.
 	RetainJobs int
+	// SummaryDir, when non-empty, gives the daemon a persistent
+	// method-summary store shared by every job (see internal/summarystore):
+	// a resubmitted app update replays the summaries of its unchanged
+	// methods instead of re-solving them (warm re-analysis). The store
+	// never changes any job's leak report; its effect shows up in the
+	// summary.store.* metrics and the per-job summary counters.
+	SummaryDir string
 	// Recorder receives the service and pipeline metrics. Nil runs the
 	// service unobserved (every instrument no-ops).
 	Recorder *metrics.Recorder
@@ -192,10 +200,10 @@ type JobView struct {
 	State       JobState
 	// Workers is the taint-worker share granted from the global budget
 	// (0 until the job starts).
-	Workers                        int
-	Submitted, Started, Finished   time.Time
-	Result                         *core.Result
-	Err                            error
+	Workers                      int
+	Submitted, Started, Finished time.Time
+	Result                       *core.Result
+	Err                          error
 }
 
 // Admission errors. ErrQueueFull and ErrDraining are retriable from the
@@ -264,6 +272,10 @@ type Server struct {
 	wg     sync.WaitGroup
 	budget *workerBudget
 	brk    *breaker
+	// store is the shared persistent summary store (nil without
+	// Config.SummaryDir); core scopes sessions by app and configuration
+	// fingerprint, so concurrent jobs share it safely.
+	store *summarystore.Store
 
 	mu       sync.Mutex
 	draining bool
@@ -275,16 +287,16 @@ type Server struct {
 	// with the job's bounded context; blocking it holds the executor.
 	beforeJob func(ctx context.Context, id string)
 
-	cSubmitted    *metrics.Counter
-	cRejectedFull *metrics.Counter
-	cRejectedOpen *metrics.Counter
+	cSubmitted     *metrics.Counter
+	cRejectedFull  *metrics.Counter
+	cRejectedOpen  *metrics.Counter
 	cRejectedDrain *metrics.Counter
-	cDone         *metrics.Counter
-	cFailed       *metrics.Counter
-	cTripped      *metrics.Counter
-	gQueue        *metrics.Gauge
-	gActive       *metrics.Gauge
-	gLeased       *metrics.Gauge
+	cDone          *metrics.Counter
+	cFailed        *metrics.Counter
+	cTripped       *metrics.Counter
+	gQueue         *metrics.Gauge
+	gActive        *metrics.Gauge
+	gLeased        *metrics.Gauge
 }
 
 // New starts a Server: its executors begin waiting for jobs
@@ -300,6 +312,7 @@ func New(cfg Config) *Server {
 		queue:     make(chan *job, cfg.QueueSize),
 		budget:    newWorkerBudget(cfg.WorkerBudget, cfg.Analyses),
 		brk:       newBreaker(cfg.BreakerTrip, cfg.BreakerCooldown),
+		store:     summarystore.Open(cfg.SummaryDir),
 		jobs:      make(map[string]*job),
 
 		cSubmitted:     cfg.Recorder.Counter("service.submitted", metrics.Schedule),
@@ -476,6 +489,7 @@ func (s *Server) runJob(j *job) {
 	if j.req.APLength > 0 {
 		opts.Taint.APLength = j.req.APLength
 	}
+	opts.SummaryStore = s.store
 
 	res, err := analyze(ctx, j.req.Files, opts)
 	cancel()

@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -196,5 +200,202 @@ func TestServiceSoak(t *testing.T) {
 				goroutinesBefore, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// submitAndWait pushes one app through the HTTP API and returns its
+// canonical leak report (JSON-compacted) once the job is done.
+func submitAndWait(t *testing.T, ts *httptest.Server, s *Server, files map[string]string) []byte {
+	t.Helper()
+	body, err := json.Marshal(Request{Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		resp.Body.Close()
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var sub SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitJob(t, s, sub.ID)
+	if v.State != Done {
+		t.Fatalf("job %s: state %v err %v", sub.ID, v.State, v.Err)
+	}
+	if v.Result.Status != core.Complete {
+		t.Fatalf("job %s: status %v, want Complete", sub.ID, v.Result.Status)
+	}
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Leaks json.RawMessage `json:"leaks"`
+	}
+	err = json.NewDecoder(rresp.Body).Decode(&rep)
+	rresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, rep.Leaks); err != nil {
+		t.Fatal(err)
+	}
+	return compact.Bytes()
+}
+
+// oneShotLeaks is the oracle: a store-less one-shot core run's canonical
+// leaks, compacted the same way the service endpoint's are.
+func oneShotLeaks(t *testing.T, files map[string]string) []byte {
+	t.Helper()
+	res, err := core.AnalyzeFiles(context.Background(), files, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := res.Taint.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, want); err != nil {
+		t.Fatal(err)
+	}
+	return compact.Bytes()
+}
+
+// TestServiceWarmResubmit models the daemon's warm re-analysis path: a
+// corpus is submitted cold into a per-daemon summary store, then every
+// app is resubmitted with a simulated update (2% of methods mutated).
+// At every worker budget the warm results must be byte-identical to a
+// store-less cold run of the updated app, and the daemon's metrics must
+// show the store actually served summaries.
+func TestServiceWarmResubmit(t *testing.T) {
+	apps := appgen.GenerateCorpus(appgen.Play, 4, 7)
+	updated := make([]map[string]string, len(apps))
+	for i, app := range apps {
+		files, n := appgen.MutateMethods(app.Files, 0.02, int64(i)+2)
+		if n == 0 {
+			t.Fatalf("app %s: mutation changed nothing", app.Name)
+		}
+		updated[i] = files
+	}
+	want := make([][]byte, len(apps))
+	for i := range apps {
+		want[i] = oneShotLeaks(t, updated[i])
+	}
+
+	for _, budget := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", budget), func(t *testing.T) {
+			rec := metrics.New()
+			s := New(Config{
+				QueueSize:    16,
+				Analyses:     2,
+				WorkerBudget: budget,
+				Recorder:     rec,
+				SummaryDir:   t.TempDir(),
+			})
+			ts := httptest.NewServer(s.Handler(false))
+			defer ts.Close()
+
+			for i := range apps {
+				submitAndWait(t, ts, s, apps[i].Files)
+				if got := submitAndWait(t, ts, s, updated[i]); !bytes.Equal(got, want[i]) {
+					t.Fatalf("app %s: warm resubmission report differs from cold run\nwarm: %s\ncold: %s",
+						apps[i].Name, got, want[i])
+				}
+			}
+
+			snap := rec.Snapshot()
+			if snap.Deterministic["summary.store.hit"] == 0 {
+				t.Fatal("resubmissions never hit the daemon's summary store")
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := s.Shutdown(ctx); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+		})
+	}
+}
+
+// TestServiceWarmStoreCorruption damages every stored summary file —
+// cycling through a bit flip, a truncation, and a format-version rewrite
+// — between a cold round and a resubmission round. Every damaged entry
+// must degrade to a miss: the jobs still complete and their reports stay
+// byte-identical to a store-less run, with the corruption visible only
+// in the metrics.
+func TestServiceWarmStoreCorruption(t *testing.T) {
+	apps := appgen.GenerateCorpus(appgen.Play, 3, 11)
+	dir := t.TempDir()
+
+	cold := New(Config{QueueSize: 8, Analyses: 1, WorkerBudget: 2, SummaryDir: dir})
+	tsCold := httptest.NewServer(cold.Handler(false))
+	for i := range apps {
+		submitAndWait(t, tsCold, cold, apps[i].Files)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cold.Shutdown(ctx); err != nil {
+		t.Fatalf("cold drain: %v", err)
+	}
+	tsCold.Close()
+
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".sum") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		switch n % 3 {
+		case 0:
+			data[0] ^= 0xff // bit flip: unparseable JSON
+		case 1:
+			data = data[:len(data)/2] // truncation
+		case 2:
+			data = bytes.Replace(data, []byte(`"formatVersion": 1`), []byte(`"formatVersion": 99`), 1)
+		}
+		n++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("cold round left no summary files to corrupt")
+	}
+
+	rec := metrics.New()
+	warm := New(Config{QueueSize: 8, Analyses: 1, WorkerBudget: 2, SummaryDir: dir, Recorder: rec})
+	tsWarm := httptest.NewServer(warm.Handler(false))
+	defer tsWarm.Close()
+	for i := range apps {
+		got := submitAndWait(t, tsWarm, warm, apps[i].Files)
+		if want := oneShotLeaks(t, apps[i].Files); !bytes.Equal(got, want) {
+			t.Fatalf("app %s: report over corrupted store differs from store-less run\ngot: %s\nwant: %s",
+				apps[i].Name, got, want)
+		}
+	}
+
+	snap := rec.Snapshot()
+	if snap.Deterministic["summary.store.corrupt"] == 0 {
+		t.Fatal("corrupted entries were not observed as corrupt")
+	}
+	if snap.Deterministic["summary.store.hit"] != 0 {
+		t.Fatalf("corrupted store produced %d hits", snap.Deterministic["summary.store.hit"])
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wcancel()
+	if err := warm.Shutdown(wctx); err != nil {
+		t.Fatalf("warm drain: %v", err)
 	}
 }

@@ -1,0 +1,320 @@
+// Package summarystore is a disk-backed, versioned store of taint
+// method summaries for warm re-analysis: the per-method end summaries
+// (and the alias-derived facts folded into them) that the IFDS solvers
+// compute die with the process today, so re-scanning version N+1 of an
+// app repays the whole cost. The store keys each summary by a content
+// hash of the method body *plus* the fingerprints of everything its
+// call subtree can reach — a hash match therefore validates the entire
+// subtree and makes the transitive summary (including the leaks found
+// below the method) safe to replay verbatim.
+//
+// Invalidation needs no explicit dependency tracking: the scene's
+// resolution results are hashed into every call site, so a hierarchy
+// change that redirects virtual dispatch, adds an override, or turns a
+// stub into a body changes the hashes of every method whose subtree is
+// affected, and their entries simply stop matching.
+//
+// The discipline mirrors the in-memory pass pipeline's: corrupt,
+// truncated, or version-mismatched entries are misses, never errors,
+// and partial summaries from truncated runs are never persisted (the
+// taint engine only hands summaries over on Completed runs, and the
+// session only writes on Flush).
+package summarystore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+
+	"flowdroid/internal/callgraph"
+	"flowdroid/internal/ir"
+)
+
+// HashMethods computes the transitive content hash of every method
+// reachable in the built call graph (plus every resolved callee, so
+// abstract stubs participate in their callers' hashes). The hash of a
+// method covers:
+//
+//   - its own signature, staticness, locals and statement list,
+//     including the *resolved* field of every field access (field
+//     resolution is a hierarchy fact, not a syntactic one), and
+//   - per call site, the sorted signatures of the methods the call
+//     graph resolved it to (including bodyless targets — whether a
+//     call has a stub target changes the library-default flows), and
+//   - the hashes of every method transitively reachable from it,
+//     condensed over strongly connected components so recursion cycles
+//     hash to a fixed point.
+//
+// Two programs assigning a method the same hash therefore agree on its
+// entire call subtree, byte for byte and resolution for resolution.
+func HashMethods(graph *callgraph.Graph) map[*ir.Method]string {
+	if graph == nil {
+		return nil
+	}
+	// Collect the node set: reachable methods and everything they call.
+	local := make(map[*ir.Method]string)
+	succs := make(map[*ir.Method][]*ir.Method)
+	var order []*ir.Method
+	add := func(m *ir.Method) {
+		if _, ok := local[m]; ok {
+			return
+		}
+		local[m] = "" // reserve before recursion-free expansion below
+		order = append(order, m)
+	}
+	for _, m := range graph.Reachable() {
+		add(m)
+	}
+	for i := 0; i < len(order); i++ {
+		m := order[i]
+		var out []*ir.Method
+		seen := make(map[*ir.Method]bool)
+		for _, s := range m.Body() {
+			if !ir.IsCall(s) {
+				continue
+			}
+			for _, c := range graph.CalleesOf(s) {
+				if c == nil || seen[c] {
+					continue
+				}
+				seen[c] = true
+				out = append(out, c)
+				add(c)
+			}
+		}
+		succs[m] = out
+	}
+	for _, m := range order {
+		local[m] = localHash(m, graph)
+	}
+
+	sccs := condense(order, succs)
+	// sccs come out of Tarjan in reverse topological order: every
+	// successor SCC is finished before the SCC that reaches it.
+	sccHash := make(map[int]string)
+	sccOf := make(map[*ir.Method]int)
+	for i, scc := range sccs {
+		for _, m := range scc {
+			sccOf[m] = i
+		}
+	}
+	for i, scc := range sccs {
+		members := make([]string, 0, len(scc))
+		for _, m := range scc {
+			members = append(members, local[m])
+		}
+		sort.Strings(members)
+		succSet := make(map[int]bool)
+		for _, m := range scc {
+			for _, c := range succs[m] {
+				if j := sccOf[c]; j != i {
+					succSet[j] = true
+				}
+			}
+		}
+		below := make([]string, 0, len(succSet))
+		for j := range succSet {
+			below = append(below, sccHash[j])
+		}
+		sort.Strings(below)
+		h := sha256.New()
+		io.WriteString(h, "scc\x00")
+		for _, s := range members {
+			io.WriteString(h, s)
+			io.WriteString(h, "\x00")
+		}
+		io.WriteString(h, "|")
+		for _, s := range below {
+			io.WriteString(h, s)
+			io.WriteString(h, "\x00")
+		}
+		sccHash[i] = hex.EncodeToString(h.Sum(nil))
+	}
+
+	out := make(map[*ir.Method]string, len(order))
+	for _, m := range order {
+		h := sha256.New()
+		io.WriteString(h, local[m])
+		io.WriteString(h, "@")
+		io.WriteString(h, sccHash[sccOf[m]])
+		out[m] = hex.EncodeToString(h.Sum(nil))
+	}
+	return out
+}
+
+// localHash hashes one method's own content: signature, locals,
+// statements with resolved field references, and per-call-site resolved
+// callee signatures.
+func localHash(m *ir.Method, graph *callgraph.Graph) string {
+	h := sha256.New()
+	io.WriteString(h, m.String())
+	io.WriteString(h, "\x00")
+	if m.Static {
+		io.WriteString(h, "static")
+	}
+	io.WriteString(h, m.Return.String())
+	io.WriteString(h, "\x00")
+	for _, l := range m.Locals() {
+		io.WriteString(h, l.Name)
+		io.WriteString(h, ":")
+		io.WriteString(h, l.Type.String())
+		io.WriteString(h, "\x00")
+	}
+	for i, s := range m.Body() {
+		writeInt(h, i)
+		io.WriteString(h, s.String())
+		io.WriteString(h, "\x00")
+		io.WriteString(h, s.Label())
+		io.WriteString(h, "\x00")
+		hashStmtRefs(h, s)
+		if ir.IsCall(s) {
+			sigs := make([]string, 0, 4)
+			for _, c := range graph.CalleesOf(s) {
+				sig := c.String()
+				if c.Abstract() {
+					sig += "/abstract"
+				}
+				sigs = append(sigs, sig)
+			}
+			sort.Strings(sigs)
+			for _, sig := range sigs {
+				io.WriteString(h, sig)
+				io.WriteString(h, "\x00")
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeInt(h hash.Hash, v int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+// hashStmtRefs folds resolved references into the statement hash:
+// Stmt.String renders field accesses by name only, but which declared
+// field a name resolves to is a hierarchy fact that the transfer
+// functions depend on (access paths are chains of resolved *ir.Field).
+// Branch targets are hashed by index for the same reason — labels are
+// cosmetic, the resolved target is what the CFG uses.
+func hashStmtRefs(h hash.Hash, s ir.Stmt) {
+	switch s := s.(type) {
+	case *ir.AssignStmt:
+		hashValueRefs(h, s.LHS)
+		hashValueRefs(h, s.RHS)
+	case *ir.InvokeStmt:
+		hashValueRefs(h, s.Call)
+	case *ir.ReturnStmt:
+		hashValueRefs(h, s.Value)
+	case *ir.IfStmt:
+		writeInt(h, s.TargetIndex)
+	case *ir.GotoStmt:
+		writeInt(h, s.TargetIndex)
+	}
+}
+
+func hashValueRefs(h hash.Hash, v ir.Value) {
+	switch v := v.(type) {
+	case nil:
+		return
+	case *ir.FieldRef:
+		io.WriteString(h, fieldSig(v.Field))
+		io.WriteString(h, "\x00")
+	case *ir.StaticFieldRef:
+		io.WriteString(h, fieldSig(v.Field))
+		io.WriteString(h, "\x00")
+	case *ir.ArrayRef:
+		hashValueRefs(h, v.Index)
+	case *ir.Binop:
+		hashValueRefs(h, v.L)
+		hashValueRefs(h, v.R)
+	case *ir.Cast:
+		hashValueRefs(h, v.X)
+	case *ir.InvokeExpr:
+		for _, a := range v.Args {
+			hashValueRefs(h, a)
+		}
+	}
+}
+
+func fieldSig(f *ir.Field) string {
+	if f == nil {
+		return "?"
+	}
+	return fmt.Sprintf("%s#%s:%v:%s", f.Class.Name, f.Name, f.Static, f.Type.String())
+}
+
+// condense returns the strongly connected components of the call
+// relation in reverse topological order (successors before the
+// components that reach them) — Tarjan's invariant, implemented
+// iteratively so deep call chains cannot overflow the stack.
+func condense(nodes []*ir.Method, succs map[*ir.Method][]*ir.Method) [][]*ir.Method {
+	index := make(map[*ir.Method]int, len(nodes))
+	low := make(map[*ir.Method]int, len(nodes))
+	onStack := make(map[*ir.Method]bool, len(nodes))
+	var stack []*ir.Method
+	var sccs [][]*ir.Method
+	next := 0
+
+	type frame struct {
+		m  *ir.Method
+		si int // next successor to visit
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		frames := []frame{{m: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.si < len(succs[f.m]) {
+				c := succs[f.m][f.si]
+				f.si++
+				if _, ok := index[c]; !ok {
+					index[c] = next
+					low[c] = next
+					next++
+					stack = append(stack, c)
+					onStack[c] = true
+					frames = append(frames, frame{m: c})
+				} else if onStack[c] && index[c] < low[f.m] {
+					low[f.m] = index[c]
+				}
+				continue
+			}
+			// f.m is finished.
+			if low[f.m] == index[f.m] {
+				var scc []*ir.Method
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == f.m {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+			m := f.m
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].m
+				if low[m] < low[p] {
+					low[p] = low[m]
+				}
+			}
+		}
+	}
+	return sccs
+}

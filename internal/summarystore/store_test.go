@@ -1,0 +1,421 @@
+package summarystore
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"flowdroid/internal/callgraph"
+	"flowdroid/internal/cfg"
+	"flowdroid/internal/framework"
+	"flowdroid/internal/ir"
+	"flowdroid/internal/irtext"
+	"flowdroid/internal/pta"
+	"flowdroid/internal/sourcesink"
+	"flowdroid/internal/taint"
+)
+
+const testRules = `
+source <Src: secret/0> -> return label secret
+sink <Snk: leak/1> -> arg0 label leak
+`
+
+// testSrc is a small interprocedural program: one real leak through an
+// identity helper, one clean flow through a constant-returning helper.
+const testSrc = `
+class Src {
+  static method secret(): java.lang.String;
+}
+class Snk {
+  static method leak(x: java.lang.String): void;
+}
+class Help {
+  static method id(x: java.lang.String): java.lang.String {
+    y = x.trim()
+    return y
+  }
+  static method wash(x: java.lang.String): java.lang.String {
+    r = "clean"
+    return r
+  }
+  static method deep(x: java.lang.String): java.lang.String {
+    z = Help.id(x)
+    return z
+  }
+}
+class Main {
+  static method main(): void {
+    a = Src.secret()
+    b = Help.deep(a)
+    Snk.leak(b)
+    c = "ok"
+    d = Help.wash(c)
+    Snk.leak(d)
+    return
+  }
+}
+`
+
+// build parses the program and assembles the analysis inputs.
+func build(t *testing.T, src string) (*ir.Program, *callgraph.Graph, *cfg.ICFG, *sourcesink.Manager, *ir.Method) {
+	t.Helper()
+	prog := framework.NewProgram()
+	if err := irtext.ParseInto(prog, src, "test.ir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Link(); err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Class("Main").Method("main", 0)
+	if main == nil {
+		t.Fatal("Main.main/0 not found")
+	}
+	graph := pta.Build(context.Background(), prog, main).Graph
+	icfg := cfg.NewICFG(prog, graph)
+	mgr, err := sourcesink.Parse(prog, testRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, graph, icfg, mgr, main
+}
+
+// byName reindexes a method-hash map by method signature, for comparing
+// hashes across separately parsed program instances.
+func byName(hashes map[*ir.Method]string) map[string]string {
+	out := make(map[string]string, len(hashes))
+	for m, h := range hashes {
+		out[m.String()] = h
+	}
+	return out
+}
+
+func TestHashMethodsStable(t *testing.T) {
+	_, g1, _, _, _ := build(t, testSrc)
+	_, g2, _, _, _ := build(t, testSrc)
+	h1, h2 := byName(HashMethods(g1)), byName(HashMethods(g2))
+	if len(h1) == 0 {
+		t.Fatal("no methods hashed")
+	}
+	for sig, h := range h1 {
+		if h2[sig] != h {
+			t.Errorf("%s: hash differs across identical parses: %s vs %s", sig, h, h2[sig])
+		}
+	}
+}
+
+func TestHashMethodsSensitivity(t *testing.T) {
+	_, g1, _, _, _ := build(t, testSrc)
+	// Mutate Help.id's body only.
+	mutated := strings.Replace(testSrc, "y = x.trim()", "y = x.trim()\n    u = \"upd\"", 1)
+	_, g2, _, _, _ := build(t, mutated)
+	h1, h2 := byName(HashMethods(g1)), byName(HashMethods(g2))
+
+	changed := []string{"Help.id/1", "Help.deep/1", "Main.main/0"} // callee + its transitive callers
+	for _, sig := range changed {
+		if h1[sig] == "" || h2[sig] == "" {
+			t.Fatalf("%s: missing hash (%q / %q)", sig, h1[sig], h2[sig])
+		}
+		if h1[sig] == h2[sig] {
+			t.Errorf("%s: hash did not change after callee mutation", sig)
+		}
+	}
+	for _, sig := range []string{"Help.wash/1"} {
+		if h1[sig] != h2[sig] {
+			t.Errorf("%s: hash of untouched method changed", sig)
+		}
+	}
+}
+
+// runWith analyzes testSrc, opening a session over the given store if
+// any, and flushes it afterwards, as the pipeline does. The session is
+// created from the run's own call graph — summaries are keyed by
+// *ir.Method pointers, so it must share the analysis's program instance.
+// Each call parses the program afresh, simulating a new process.
+func runWith(t *testing.T, store *Store) *taint.Results {
+	t.Helper()
+	_, graph, icfg, mgr, main := build(t, testSrc)
+	conf := taint.DefaultConfig()
+	var sess *Session
+	if store != nil {
+		sess = store.Session("test.app", "fp", HashMethods(graph))
+		conf.Summaries = sess
+	}
+	res := taint.Analyze(context.Background(), icfg, mgr, conf, main)
+	if res.Status != taint.Completed {
+		t.Fatalf("run did not complete: %v", res.Status)
+	}
+	if sess != nil {
+		if err := sess.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	return res
+}
+
+// sessionFor additionally exposes the parsed graph's hash map and a
+// method-by-signature resolver for corruption targeting.
+func sessionFor(t *testing.T, dir string) (*Session, map[*ir.Method]string) {
+	t.Helper()
+	_, graph, _, _, _ := build(t, testSrc)
+	hashes := HashMethods(graph)
+	return Open(dir).Session("test.app", "fp", hashes), hashes
+}
+
+func methodBySig(hashes map[*ir.Method]string, sig string) *ir.Method {
+	for m := range hashes {
+		if m.String() == sig {
+			return m
+		}
+	}
+	return nil
+}
+
+func TestWarmRunMatchesColdByteForByte(t *testing.T) {
+	dir := t.TempDir()
+
+	baseline := runWith(t, nil)
+	want, err := baseline.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := runWith(t, Open(dir))
+	if st := cold.Stats.Store; st == nil || st.Persisted == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", cold.Stats.Store)
+	} else if st.Hits != 0 {
+		t.Fatalf("cold run reported hits: %+v", st)
+	}
+	coldJSON, err := cold.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, want) {
+		t.Fatalf("cold store run changed the report:\n%s\nvs\n%s", coldJSON, want)
+	}
+
+	warm := runWith(t, Open(dir))
+	st := warm.Stats.Store
+	if st == nil || st.Hits == 0 {
+		t.Fatalf("warm run hit nothing: %+v", st)
+	}
+	if st.MethodsReused == 0 {
+		t.Fatalf("warm run reused no methods: %+v", st)
+	}
+	warmJSON, err := warm.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warmJSON, want) {
+		t.Fatalf("warm report differs from cold:\n%s\nvs\n%s", warmJSON, want)
+	}
+	if warm.Stats.ForwardEdges >= cold.Stats.ForwardEdges {
+		t.Errorf("warm run did not save forward edges: warm %d, cold %d",
+			warm.Stats.ForwardEdges, cold.Stats.ForwardEdges)
+	}
+}
+
+// corruptOneFile locates the session's file for sig and rewrites it via
+// mutate. Fatals if the file does not exist yet.
+func corruptOneFile(t *testing.T, dir, sig string, mutate func([]byte) []byte) {
+	t.Helper()
+	sess, hashes := sessionFor(t, dir)
+	m := methodBySig(hashes, sig)
+	if m == nil {
+		t.Fatalf("method %s not found", sig)
+	}
+	path := sess.path(m)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("summary file for %s: %v", sig, err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lookupStatus(t *testing.T, dir, sig, shape string) taint.LookupStatus {
+	t.Helper()
+	sess, hashes := sessionFor(t, dir)
+	m := methodBySig(hashes, sig)
+	if m == nil {
+		t.Fatalf("method %s not found", sig)
+	}
+	_, st := sess.Lookup(m, shape)
+	return st
+}
+
+// anyShape returns one persisted shape key from sig's summary file.
+func anyShape(t *testing.T, dir, sig string) string {
+	t.Helper()
+	sess, hashes := sessionFor(t, dir)
+	m := methodBySig(hashes, sig)
+	if m == nil {
+		t.Fatalf("method %s not found", sig)
+	}
+	data, err := os.ReadFile(sess.path(m))
+	if err != nil {
+		t.Fatalf("summary file for %s: %v", sig, err)
+	}
+	var rec fileRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	for shape := range rec.Entries {
+		return shape
+	}
+	t.Fatalf("no shapes persisted for %s", sig)
+	return ""
+}
+
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	const sig = "Help.id/1"
+	seed := func(t *testing.T) (string, string) {
+		dir := t.TempDir()
+		runWith(t, Open(dir)) // cold run persists
+		shape := anyShape(t, dir, sig)
+		if st := lookupStatus(t, dir, sig, shape); st != taint.LookupHit {
+			t.Fatalf("seed store does not serve %s shape %q: %v", sig, shape, st)
+		}
+		return dir, shape
+	}
+
+	t.Run("bit-flip", func(t *testing.T) {
+		dir, shape := seed(t)
+		corruptOneFile(t, dir, sig, func(b []byte) []byte {
+			b[len(b)/2] ^= 0xff
+			return b
+		})
+		if st := lookupStatus(t, dir, sig, shape); st != taint.LookupCorrupt {
+			t.Errorf("bit-flipped file: got %v, want corrupt", st)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		dir, shape := seed(t)
+		corruptOneFile(t, dir, sig, func(b []byte) []byte { return b[:len(b)/3] })
+		if st := lookupStatus(t, dir, sig, shape); st != taint.LookupCorrupt {
+			t.Errorf("truncated file: got %v, want corrupt", st)
+		}
+	})
+	t.Run("wrong-version", func(t *testing.T) {
+		dir, shape := seed(t)
+		corruptOneFile(t, dir, sig, func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"formatVersion": 1`), []byte(`"formatVersion": 99`), 1)
+		})
+		if st := lookupStatus(t, dir, sig, shape); st != taint.LookupCorrupt {
+			t.Errorf("version-mismatched file: got %v, want corrupt", st)
+		}
+	})
+	t.Run("absent", func(t *testing.T) {
+		dir, shape := seed(t)
+		sess, hashes := sessionFor(t, dir)
+		m := methodBySig(hashes, sig)
+		if err := os.Remove(sess.path(m)); err != nil {
+			t.Fatal(err)
+		}
+		if st := lookupStatus(t, dir, sig, shape); st != taint.LookupMiss {
+			t.Errorf("absent file: got %v, want miss", st)
+		}
+	})
+	t.Run("stale-hash", func(t *testing.T) {
+		dir, shape := seed(t)
+		_, graph, _, _, _ := build(t, testSrc)
+		hashes := HashMethods(graph)
+		m := methodBySig(hashes, sig)
+		hashes[m] = "0000000000000000000000000000000000000000000000000000000000000000"
+		sess := Open(dir).Session("test.app", "fp", hashes)
+		if _, st := sess.Lookup(m, shape); st != taint.LookupInvalidated {
+			t.Errorf("stale hash: got %v, want invalidated", st)
+		}
+	})
+	t.Run("unknown-shape", func(t *testing.T) {
+		dir, _ := seed(t)
+		sess, hashes := sessionFor(t, dir)
+		m := methodBySig(hashes, sig)
+		if _, st := sess.Lookup(m, "L:nonexistent|no.Class#f"); st != taint.LookupMiss {
+			t.Errorf("unknown shape: got %v, want miss", st)
+		}
+	})
+}
+
+// TestCorruptStoreStillCorrectReport sabotages every stored file and
+// checks the warm run degrades to a correct cold run.
+func TestCorruptStoreStillCorrectReport(t *testing.T) {
+	dir := t.TempDir()
+	cold := runWith(t, Open(dir))
+	want, _ := cold.CanonicalJSON()
+
+	sess, hashes := sessionFor(t, dir)
+	n := 0
+	for m := range hashes {
+		path := sess.path(m)
+		if data, err := os.ReadFile(path); err == nil {
+			data[0] ^= 0xff // the opening brace: guaranteed-invalid JSON
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no summary files to corrupt")
+	}
+
+	warm := runWith(t, Open(dir))
+	st := warm.Stats.Store
+	if st == nil || st.Corrupt == 0 {
+		t.Fatalf("corruption not observed: %+v", st)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("corrupted store produced hits: %+v", st)
+	}
+	got, _ := warm.CanonicalJSON()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report over corrupted store differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestFlushMergesShapes(t *testing.T) {
+	dir := t.TempDir()
+	s1, hashes := sessionFor(t, dir)
+	m := methodBySig(hashes, "Help.id/1")
+	if m == nil {
+		t.Fatal("Help.id/1 not found")
+	}
+	recA := &taint.MethodSummary{Exits: []taint.SummaryExit{{ExitIndex: 1, Fact: taint.SymbolicFact{Base: "y", Entry: true, Active: true}}}}
+	recB := &taint.MethodSummary{Exits: []taint.SummaryExit{{ExitIndex: 1, Fact: taint.SymbolicFact{Base: "x", Entry: true, Active: true}}}}
+	s1.Persist(m, "L:a", recA)
+	if err := s1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, hashes2 := sessionFor(t, dir)
+	m2 := methodBySig(hashes2, "Help.id/1")
+	s2.Persist(m2, "L:b", recB)
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	s3, hashes3 := sessionFor(t, dir)
+	m3 := methodBySig(hashes3, "Help.id/1")
+	gotA, stA := s3.Lookup(m3, "L:a")
+	gotB, stB := s3.Lookup(m3, "L:b")
+	if stA != taint.LookupHit || stB != taint.LookupHit {
+		t.Fatalf("merged shapes not both served: %v / %v", stA, stB)
+	}
+	if gotA.Exits[0].Fact.Base != "y" || gotB.Exits[0].Fact.Base != "x" {
+		t.Fatalf("merged records swapped: %+v / %+v", gotA, gotB)
+	}
+}
+
+func TestOpenEmptyDirIsNil(t *testing.T) {
+	if Open("") != nil {
+		t.Fatal("Open(\"\") must return a nil store")
+	}
+	var s *Store
+	if s.Session("a", "b", nil) != nil {
+		t.Fatal("nil store must yield a nil session")
+	}
+}

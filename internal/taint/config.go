@@ -67,6 +67,16 @@ type Config struct {
 	// taint configuration — it changes how much the solver explores,
 	// never which upstream artifact it runs on.
 	Cone *Cone
+	// Summaries, when non-nil, is a persistent method-summary session
+	// (see internal/summarystore): the solver consults it once per
+	// method context, replays stored end summaries and subtree leaks on
+	// hits instead of re-exploring the subtree, and hands complete
+	// records back at the end of a Completed run. The session is
+	// fingerprint-scoped by its creator — every setting above that
+	// changes transfer-function behaviour must be part of that scope.
+	// Like the Cone it never changes the leak report, only how much of
+	// it is recomputed.
+	Summaries Summaries
 	// Workers is the solver worker-pool size. Values <= 1 drain the work
 	// queue sequentially on the calling goroutine; higher values run that
 	// many concurrent workers over the shared queue. For runs that reach
@@ -207,6 +217,9 @@ type Stats struct {
 	// pruned against (zero on whole-program runs).
 	ConeMethods       int
 	SkippedComponents int
+	// Store reports the persistent summary store's effect on the run;
+	// nil when no summary session was configured.
+	Store *StoreStats
 }
 
 // PathEdges is the total of distinct forward and backward path edges.

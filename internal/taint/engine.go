@@ -68,6 +68,23 @@ type engine struct {
 	actMu    sync.RWMutex
 	actCache map[actKey]bool
 
+	// sumMu guards the per-context summary-store decision map; the first
+	// worker to reach a context looks it up (and installs on a hit) for
+	// everyone. nil maps when no summary session is configured. Lock
+	// order: sumMu before callMu / leakMu, never the reverse.
+	sumMu       sync.Mutex
+	sumDecision map[methodCtx]sumDec
+	// leakAttr attributes every leak to the method context whose subtree
+	// it was found in (before global deduplication — a context's record
+	// must carry the leak even when another context reported it first).
+	// Guarded by leakMu; nil when no summary session is configured.
+	leakAttr map[methodCtx]map[leakKey]*Leak
+
+	// entrySet marks the analysis entry methods (the synthetic lifecycle
+	// mains): they drive the seeding, have no callers, and so can never
+	// be served from a summary store — the reuse stats exclude them.
+	entrySet map[*ir.Method]bool
+
 	// srcRecs interns SourceRecords by (statement, source rule).
 	// Abstractions are interned by a key that includes the *SourceRecord
 	// pointer (absKey in abstraction.go), so the same conceptual source
@@ -102,6 +119,13 @@ type engineStats struct {
 	backwardEdges atomic.Int64
 	aliasQueries  atomic.Int64
 	summaries     atomic.Int64
+
+	// Summary-store outcome counters, one per distinct method context.
+	storeHits        atomic.Int64
+	storeMisses      atomic.Int64
+	storeInvalidated atomic.Int64
+	storeCorrupt     atomic.Int64
+	storeUncacheable atomic.Int64
 }
 
 type edge struct{ d1, d2 *Abstraction }
@@ -162,9 +186,25 @@ func (e *engine) sourceRecord(n ir.Stmt, src sourcesink.Source) *SourceRecord {
 // MaxLeaks cap is configured, the recorder never stores more than the cap
 // and hitting it aborts the run with LeakLimitReached — a truncated
 // analysis is always distinguishable from an exhaustive one.
-func (e *engine) recordLeak(n ir.Stmt, snk sourcesink.Sink, d *Abstraction) {
+//
+// ctx is the method context the leak was found under (the sink
+// statement's method plus the path-edge context there); when a summary
+// session is attached the leak is attributed to it before global
+// deduplication, so the context's persisted record carries every leak
+// of its subtree even if another context reported the same leak first.
+func (e *engine) recordLeak(ctx methodCtx, n ir.Stmt, snk sourcesink.Sink, d *Abstraction) {
 	k := leakKey{n, d.Source, d.AP}
 	e.leakMu.Lock()
+	if e.leakAttr != nil {
+		per := e.leakAttr[ctx]
+		if per == nil {
+			per = make(map[leakKey]*Leak)
+			e.leakAttr[ctx] = per
+		}
+		if per[k] == nil {
+			per[k] = &Leak{Sink: n, SinkSpec: snk, Abstraction: d}
+		}
+	}
 	if e.leakSeen[k] || (e.conf.MaxLeaks > 0 && len(e.leaks) >= e.conf.MaxLeaks) {
 		e.leakMu.Unlock()
 		return
@@ -196,6 +236,10 @@ func newEngine(icfg *cfg.ICFG, mgr *sourcesink.Manager, conf Config) *engine {
 		actCache: make(map[actKey]bool),
 		srcRecs:  make(map[srcKey]*SourceRecord),
 		q:        newWorkQueue(),
+	}
+	if conf.Summaries != nil {
+		e.sumDecision = make(map[methodCtx]sumDec)
+		e.leakAttr = make(map[methodCtx]map[leakKey]*Leak)
 	}
 	e.zero = e.ai.get(nil, true, nil, nil, nil, nil)
 	e.idxFields = make(map[int64]*ir.Field)
@@ -233,7 +277,9 @@ func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
 		e.q.depth = e.rec.Gauge("taint.queue_depth", metrics.Schedule)
 	}
 
+	e.entrySet = make(map[*ir.Method]bool, len(entries))
 	for _, m := range entries {
+		e.entrySet[m] = true
 		if sp := m.EntryStmt(); sp != nil {
 			e.fwPropagate(e.zero, sp, e.zero)
 		}
@@ -274,6 +320,10 @@ func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
 		stats.ConeMethods = e.conf.Cone.Methods
 		stats.SkippedComponents = e.conf.Cone.SkippedComponents
 	}
+	if e.conf.Summaries != nil {
+		st := e.finalizeSummaries(e.q.finalStatus() == Completed)
+		stats.Store = &st
+	}
 	e.exportMetrics(stats)
 	return &Results{Leaks: e.leaks, Stats: stats, Status: e.q.finalStatus()}
 }
@@ -300,6 +350,15 @@ func (e *engine) exportMetrics(s Stats) {
 	if e.conf.Cone != nil {
 		rec.Gauge("taint.cone_methods", metrics.Deterministic).Set(int64(s.ConeMethods))
 		rec.Gauge("taint.skipped_components", metrics.Deterministic).Set(int64(s.SkippedComponents))
+	}
+	if st := s.Store; st != nil {
+		rec.Counter("summary.store.hit", metrics.Deterministic).Add(int64(st.Hits))
+		rec.Counter("summary.store.miss", metrics.Deterministic).Add(int64(st.Misses))
+		rec.Counter("summary.store.invalidated", metrics.Deterministic).Add(int64(st.Invalidated))
+		rec.Counter("summary.store.corrupt", metrics.Deterministic).Add(int64(st.Corrupt))
+		rec.Counter("summary.store.methods_explored", metrics.Deterministic).Add(int64(st.MethodsExplored))
+		rec.Counter("summary.store.methods_reused", metrics.Deterministic).Add(int64(st.MethodsReused))
+		rec.Counter("summary.store.persisted", metrics.Deterministic).Add(int64(st.Persisted))
 	}
 }
 
@@ -394,8 +453,15 @@ func (e *engine) fwCall(it item) {
 			continue
 		}
 		for _, d3 := range e.callFlow(call, callee, it.d2) {
+			// Summary store: a context installed from the store has its
+			// complete end summary and subtree leaks replayed; seeding the
+			// subtree again would only recompute them. Callers still
+			// register — returns flow through the installed summaries.
+			installed := e.summaryFor(callee, d3)
 			e.registerIncoming(callee, d3, it.n, it.d1)
-			e.fwPropagate(d3, sp, d3)
+			if !installed {
+				e.fwPropagate(d3, sp, d3)
+			}
 		}
 	}
 	// Call-to-return on the caller's side: sources, sinks, shortcut

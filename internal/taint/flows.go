@@ -217,7 +217,7 @@ func (e *engine) callToReturn(n ir.Stmt, call *ir.InvokeExpr, d1, d2 *Abstractio
 			for _, idx := range args {
 				if idx < len(call.Args) {
 					if l, ok := call.Args[idx].(*ir.Local); ok && d2.AP.Base == l {
-						e.recordLeak(n, snk, d2)
+						e.recordLeak(methodCtx{n.Method(), d1}, n, snk, d2)
 					}
 				}
 			}

@@ -2,7 +2,11 @@ package taint
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -259,6 +263,30 @@ wrap <java.lang.Integer: parseInt/1> arg0 -> return
 wrap <java.lang.Integer: valueOf/1> arg0 -> return
 wrap <java.lang.Integer: intValue/0> base -> return
 `
+
+// Fingerprint returns a stable digest of the rule table, independent of
+// registration order, for configuration fingerprinting (the summary
+// store keys its namespaces by it — shortcut rules change transfer
+// functions, so two runs may only share summaries when their wrappers
+// agree).
+func (w *Wrapper) Fingerprint() string {
+	if w == nil {
+		return "none"
+	}
+	var lines []string
+	for _, rs := range w.rules {
+		for _, r := range rs {
+			lines = append(lines, fmt.Sprintf("%s:%s/%d:%d->%v", r.Class, r.Name, r.NArgs, r.From, r.To))
+		}
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		io.WriteString(h, l)
+		io.WriteString(h, "\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
 
 // MergeWrappers combines several rule tables into a new one; nil tables
 // are skipped. Rules from all inputs apply (duplicates are harmless).

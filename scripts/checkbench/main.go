@@ -5,11 +5,12 @@
 //
 // The artifact kind is dispatched on the "bench" field:
 //
-//	BenchmarkSmokeTaint    → parallel-solver speedup report
-//	BenchmarkSmokeMetrics  → observability-overhead report
-//	BenchmarkQueryTaint    → demand-driven query savings report
+//	BenchmarkSmokeTaint        → parallel-solver speedup report
+//	BenchmarkSmokeMetrics      → observability-overhead report
+//	BenchmarkQueryTaint        → demand-driven query savings report
+//	BenchmarkIncrementalTaint  → warm re-analysis (summary store) report
 //
-// Usage: go run ./scripts/checkbench BENCH_taint.json [BENCH_metrics.json BENCH_query.json ...]
+// Usage: go run ./scripts/checkbench BENCH_taint.json [BENCH_metrics.json BENCH_query.json BENCH_incr.json ...]
 package main
 
 import (
@@ -57,6 +58,33 @@ type queryReport struct {
 	QueryRun             queryRun `json:"query_run"`
 	PropagationReduction float64  `json:"propagation_reduction"`
 	Note                 string   `json:"note"`
+}
+
+type incrRun struct {
+	WallMS          float64 `json:"wall_ms"`
+	Propagations    int     `json:"propagations"`
+	Leaks           int     `json:"leaks"`
+	SummaryHits     int     `json:"summary_hits"`
+	SummaryMisses   int     `json:"summary_misses"`
+	Invalidated     int     `json:"invalidated"`
+	MethodsReused   int     `json:"methods_reused"`
+	MethodsExplored int     `json:"methods_explored"`
+	Persisted       int     `json:"persisted"`
+}
+
+type incrReport struct {
+	Bench            string  `json:"bench"`
+	Profile          string  `json:"profile"`
+	Apps             int     `json:"apps"`
+	MutatedFraction  float64 `json:"mutated_fraction"`
+	MutatedMethods   int     `json:"mutated_methods"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	NumCPU           int     `json:"num_cpu"`
+	Cold             incrRun `json:"cold"`
+	Warm             incrRun `json:"warm"`
+	ReuseRate        float64 `json:"reuse_rate"`
+	ReportsIdentical bool    `json:"reports_identical"`
+	Note             string  `json:"note"`
 }
 
 type metricsReport struct {
@@ -115,6 +143,8 @@ func check(path string) {
 		checkMetrics(path, data)
 	case "BenchmarkQueryTaint":
 		checkQuery(path, data)
+	case "BenchmarkIncrementalTaint":
+		checkIncr(path, data)
 	default:
 		fail("%s: unknown bench %q", path, kind.Bench)
 	}
@@ -203,6 +233,53 @@ func checkQuery(path string, data []byte) {
 	}
 	fmt.Printf("checkbench: %s OK (query %v saved %.0f%% propagations, %d components skipped)\n",
 		path, r.Query, 100*r.PropagationReduction, r.QueryRun.SkippedComponents)
+}
+
+func checkIncr(path string, data []byte) {
+	var r incrReport
+	strict(path, data, &r)
+	if r.Profile == "" {
+		fail("%s: profile missing", path)
+	}
+	if r.Apps <= 0 || r.GOMAXPROCS <= 0 || r.NumCPU <= 0 {
+		fail("%s: apps/gomaxprocs/num_cpu must be positive (got %d/%d/%d)", path, r.Apps, r.GOMAXPROCS, r.NumCPU)
+	}
+	if r.MutatedFraction <= 0 || r.MutatedFraction >= 1 {
+		fail("%s: mutated_fraction = %v, want in (0,1)", path, r.MutatedFraction)
+	}
+	if r.MutatedMethods <= 0 {
+		fail("%s: mutated_methods must be positive — the update stream changed nothing", path)
+	}
+	if r.Cold.WallMS <= 0 || r.Warm.WallMS <= 0 {
+		fail("%s: wall times must be positive (got %v/%v)", path, r.Cold.WallMS, r.Warm.WallMS)
+	}
+	if r.Cold.SummaryHits != 0 || r.Cold.Persisted <= 0 {
+		fail("%s: cold run must persist without hits (hits=%d, persisted=%d)", path, r.Cold.SummaryHits, r.Cold.Persisted)
+	}
+	if r.Warm.SummaryHits <= 0 {
+		fail("%s: warm run hit no stored summaries", path)
+	}
+	if r.Warm.Invalidated <= 0 {
+		fail("%s: warm run invalidated nothing — the update stream never touched live code", path)
+	}
+	// The store's reason to exist: at 2% churn the warm run must reuse at
+	// least 90% of the analyzable methods.
+	if r.ReuseRate < 0.9 {
+		fail("%s: reuse_rate %.3f below the 0.9 floor", path, r.ReuseRate)
+	}
+	if r.ReuseRate > 1 {
+		fail("%s: reuse_rate %v exceeds 1", path, r.ReuseRate)
+	}
+	// The store's safety contract: warm results indistinguishable from a
+	// cold re-analysis of the updated corpus.
+	if !r.ReportsIdentical {
+		fail("%s: warm reports were not byte-identical to the cold run", path)
+	}
+	if r.Note == "" {
+		fail("%s: note missing", path)
+	}
+	fmt.Printf("checkbench: %s OK (reuse %.1f%%, %d hits, %d invalidated, reports identical)\n",
+		path, 100*r.ReuseRate, r.Warm.SummaryHits, r.Warm.Invalidated)
 }
 
 func checkMetrics(path string, data []byte) {

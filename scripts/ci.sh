@@ -20,11 +20,14 @@ go test -race ./...
 echo "==> go test -race ./internal/taint/... (parallel taint solver)"
 go test -race ./internal/taint/...
 
-echo "==> bench smoke (one-shot, compile + run sanity; emits BENCH_taint.json, BENCH_metrics.json and BENCH_query.json)"
-go test -bench 'Smoke|QueryTaint' -benchtime=1x -run '^$' .
+echo "==> bench smoke (one-shot, compile + run sanity; emits BENCH_taint.json, BENCH_metrics.json, BENCH_query.json and BENCH_incr.json)"
+go test -bench 'Smoke|QueryTaint|IncrementalTaint' -benchtime=1x -run '^$' .
 
-echo "==> checkbench (BENCH_taint.json + BENCH_metrics.json + BENCH_query.json schemas)"
-go run ./scripts/checkbench BENCH_taint.json BENCH_metrics.json BENCH_query.json
+echo "==> checkbench (BENCH_taint.json + BENCH_metrics.json + BENCH_query.json + BENCH_incr.json schemas)"
+go run ./scripts/checkbench BENCH_taint.json BENCH_metrics.json BENCH_query.json BENCH_incr.json
+
+echo "==> summary store smoke (round-trip + deliberately corrupted entries degrade to misses)"
+go test -run 'TestWarmRunMatchesColdByteForByte|TestCorrupt' ./internal/summarystore/
 
 echo "==> irlint -fixtures (IR verifier over every shipped program) + checklint"
 lint_file=$(mktemp)
@@ -52,7 +55,7 @@ rm -f "$trace_file"
 echo "==> checkhealth (flowdroidd submit/poll/result, /healthz, /metrics, SIGTERM drain)"
 go run ./scripts/checkhealth
 
-echo "==> service soak smoke (bounded queue, fair completion, drain; race-enabled)"
-go test -race -run 'TestServiceSoak' ./internal/service/
+echo "==> service soak smoke (bounded queue, fair completion, warm resubmission, drain; race-enabled)"
+go test -race -run 'TestServiceSoak|TestServiceWarm' ./internal/service/
 
 echo "CI OK"

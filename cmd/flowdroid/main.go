@@ -143,6 +143,7 @@ func run() int {
 		apLength    = flags.Int("ap-length", 5, "maximal access-path length")
 		noAlias     = flags.Bool("no-alias", false, "disable the on-demand alias analysis")
 		noAct       = flags.Bool("no-activation", false, "disable activation statements (Andromeda-style aliasing)")
+		noCarriers  = flags.Bool("no-string-carriers", false, "disable the string-carrier fast path (String/StringBuilder/StringBuffer transfer functions and alias-search gating)")
 		noLifecycle = flags.Bool("no-lifecycle", false, "model only component creation, not the full lifecycle")
 		flat        = flags.Bool("flat-lifecycle", false, "single-pass lifecycle in canonical order")
 		useCHA      = flags.Bool("cha", false, "use the CHA call graph instead of points-to")
@@ -177,6 +178,7 @@ func run() int {
 	opts.Taint.APLength = *apLength
 	opts.Taint.EnableAliasing = !*noAlias
 	opts.Taint.EnableActivation = !*noAct
+	opts.Taint.StringCarriers = !*noCarriers
 	opts.UseCHA = *useCHA
 	opts.MaxPropagations = *maxProps
 	opts.Degrade = *degrade
@@ -357,8 +359,8 @@ func run() int {
 	if *showStats {
 		st := res.Taint.Stats
 		fmt.Printf("\nsetup %v, taint analysis %v (%d worker(s))\n", res.SetupTime, res.TaintTime, st.Workers)
-		fmt.Printf("forward edges %d, backward edges %d, alias queries %d, summaries %d, peak abstractions %d\n",
-			st.ForwardEdges, st.BackwardEdges, st.AliasQueries, st.Summaries, st.PeakAbstractions)
+		fmt.Printf("forward edges %d, backward edges %d, alias queries %d (%d gated), summaries %d, peak abstractions %d\n",
+			st.ForwardEdges, st.BackwardEdges, st.AliasQueries, st.GatedAliasQueries, st.Summaries, st.PeakAbstractions)
 		if ss := st.Store; ss != nil {
 			fmt.Printf("summary store: %d hit(s), %d miss(es), %d invalidated, %d corrupt; %d method(s) reused, %d explored (%.1f%% reuse), %d persisted\n",
 				ss.Hits, ss.Misses, ss.Invalidated, ss.Corrupt,

@@ -234,13 +234,25 @@ func (g *gen) emitHelper(idx, methods int, stmts minMax) {
 		n := stmts.pick(g.r)
 		for s := 0; s < n; s++ {
 			nxt := g.fresh("v")
-			switch g.r.Intn(4) {
+			switch g.r.Intn(5) {
 			case 0:
 				fmt.Fprintf(&g.code, "    %s = %s + \"-%d\"\n", nxt, cur, s)
 			case 1:
 				fmt.Fprintf(&g.code, "    %s = %s.trim()\n", nxt, cur)
 			case 2:
 				fmt.Fprintf(&g.code, "    %s = %s.toUpperCase()\n", nxt, cur)
+			case 3:
+				// Launder through a StringBuilder chain: taint must survive
+				// append/insert (value into receiver) and toString (receiver
+				// back out), exercising the string-carrier transfers. The
+				// multi-call chain gives the receiver alias search a real
+				// backward region to walk when the carrier gate is off.
+				sb := g.fresh("sb")
+				fmt.Fprintf(&g.code, "    %s = new java.lang.StringBuilder()\n", sb)
+				fmt.Fprintf(&g.code, "    %s.append(\"seed-%d\")\n", sb, s)
+				fmt.Fprintf(&g.code, "    %s.append(%s)\n", sb, cur)
+				fmt.Fprintf(&g.code, "    %s.insert(0, %s)\n", sb, cur)
+				fmt.Fprintf(&g.code, "    %s = %s.toString()\n", nxt, sb)
 			default:
 				fmt.Fprintf(&g.code, "    %s = %s.substring(1)\n", nxt, cur)
 			}

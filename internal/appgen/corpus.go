@@ -121,6 +121,9 @@ type RunOptions struct {
 	// second corpus run over the same or lightly mutated apps re-analyzes
 	// warm. Leak statistics are store-independent.
 	SummaryDir string
+	// NoStringCarriers disables the string-carrier fast path (kill
+	// switch; see taint.Config.StringCarriers).
+	NoStringCarriers bool
 }
 
 // AvgLeaksPerApp is the paper's "1.85 leaks per application" figure.
@@ -287,6 +290,7 @@ func analyzeOne(ctx context.Context, app App, ro RunOptions) (res *core.Result, 
 	opts.MaxPropagations = ro.MaxPropagations
 	opts.Degrade = ro.Degrade
 	opts.Taint.Workers = ro.Workers
+	opts.Taint.StringCarriers = !ro.NoStringCarriers
 	opts.Lint = ro.Lint
 	opts.Query = core.Query{Sinks: ro.Sinks}
 	opts.SummaryDir = ro.SummaryDir

@@ -1,0 +1,47 @@
+package droidbench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"flowdroid/internal/core"
+)
+
+// TestStringCarrierEquivalence: the string-carrier fast path is pure
+// mechanism — every DroidBench case must produce a byte-identical
+// canonical leak report with carriers on and off, at worker counts 1, 2
+// and 8.
+func TestStringCarrierEquivalence(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			var base []byte
+			var baseMode string
+			for _, carriers := range []bool{true, false} {
+				for _, w := range []int{1, 2, 8} {
+					opts := core.DefaultOptions()
+					opts.Taint.Workers = w
+					opts.Taint.StringCarriers = carriers
+					res, err := core.AnalyzeFiles(context.Background(), c.Files, opts)
+					if err != nil {
+						t.Fatalf("carriers=%v workers=%d: %v", carriers, w, err)
+					}
+					js, err := res.Taint.CanonicalJSON()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if base == nil {
+						base, baseMode = js, fmt.Sprintf("carriers=%v workers=%d", carriers, w)
+						continue
+					}
+					if !bytes.Equal(base, js) {
+						t.Errorf("carriers=%v workers=%d report differs from %s:\n%s\nvs\n%s",
+							carriers, w, baseMode, base, js)
+					}
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ class java.lang.String {
   method init(s: java.lang.String): void;
   method concat(s: java.lang.String): java.lang.String;
   method substring(b: int): java.lang.String;
+  method substring(b: int, e: int): java.lang.String;
   method toCharArray(): char[];
   method getBytes(): byte[];
   method isEmpty(): boolean;
@@ -52,6 +53,8 @@ class java.lang.StringBuilder {
 class java.lang.StringBuffer {
   method init(): void;
   method append(s: java.lang.String): java.lang.StringBuffer;
+  method insert(i: int, s: java.lang.String): java.lang.StringBuffer;
+  method reverse(): java.lang.StringBuffer;
 }
 
 class java.lang.Integer {

@@ -83,6 +83,12 @@ type Config struct {
 	// never changes any job's leak report; its effect shows up in the
 	// summary.store.* metrics and the per-job summary counters.
 	SummaryDir string
+	// DisableStringCarriers turns off the string-carrier fast path for
+	// every job (kill switch; see taint.Config.StringCarriers). The flag
+	// is part of the summary-store config fingerprint, so toggling it
+	// between daemon runs sharing a SummaryDir invalidates cleanly
+	// instead of replaying artifacts from the other mode.
+	DisableStringCarriers bool
 	// Recorder receives the service and pipeline metrics. Nil runs the
 	// service unobserved (every instrument no-ops).
 	Recorder *metrics.Recorder
@@ -489,6 +495,7 @@ func (s *Server) runJob(j *job) {
 	if j.req.APLength > 0 {
 		opts.Taint.APLength = j.req.APLength
 	}
+	opts.Taint.StringCarriers = !s.cfg.DisableStringCarriers
 	opts.SummaryStore = s.store
 
 	res, err := analyze(ctx, j.req.Files, opts)

@@ -39,6 +39,13 @@ type Abstraction struct {
 	// reconstruction. First derivation wins.
 	pred     *Abstraction
 	predStmt ir.Stmt
+
+	// self is the singleton slice {a}, built once at intern time so the
+	// flow functions' many pass-through returns share it instead of
+	// allocating a fresh one-element slice per evaluation. Callers only
+	// ever range over flow-function results, never mutate them; an append
+	// to a full len-1 slice reallocates and so cannot corrupt it.
+	self []*Abstraction
 }
 
 // String renders the abstraction for debugging and reports.
@@ -90,6 +97,7 @@ func (ai *absInterner) get(ap *AccessPath, active bool, act ir.Stmt, src *Source
 		return a
 	}
 	a = &Abstraction{AP: ap, Active: active, Activation: act, Source: src, pred: pred, predStmt: predStmt}
+	a.self = []*Abstraction{a}
 	ai.abs[k] = a
 	return a
 }

@@ -7,9 +7,10 @@
 package taint
 
 import (
-	"fmt"
+	"encoding/binary"
 	"strings"
 	"sync"
+	"unsafe"
 
 	"flowdroid/internal/ir"
 )
@@ -62,21 +63,23 @@ func newInterner(maxLen int) *interner {
 
 // intern returns the canonical path for key k, building it with mk when
 // absent. Double-checked under the RWMutex: the common hit path takes
-// only the read lock.
-func (in *interner) intern(k string, mk func() *AccessPath) *AccessPath {
+// only the read lock. k is a scratch byte key; the map lookups via
+// string(k) compile to allocation-free probes, and the key is cloned to a
+// real string only when a new entry is inserted.
+func (in *interner) intern(k []byte, mk func() *AccessPath) *AccessPath {
 	in.mu.RLock()
-	ap, ok := in.paths[k]
+	ap, ok := in.paths[string(k)]
 	in.mu.RUnlock()
 	if ok {
 		return ap
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if ap, ok := in.paths[k]; ok {
+	if ap, ok := in.paths[string(k)]; ok {
 		return ap
 	}
 	ap = mk()
-	in.paths[k] = ap
+	in.paths[string(k)] = ap
 	return ap
 }
 
@@ -87,17 +90,29 @@ func (in *interner) size() int {
 	return len(in.paths)
 }
 
-func (in *interner) key(base *ir.Local, static *ir.Field, fields []*ir.Field) string {
-	var sb strings.Builder
+// keyScratch is the stack buffer key() fills: a tag byte plus one 8-byte
+// pointer per component covers the root and the default path lengths
+// without spilling; longer paths fall back to an append that may heap-
+// allocate, which only affects interner misses on unusually deep configs.
+type keyScratch [1 + 8*9]byte
+
+// key builds the identity of a path — the root pointer plus the field
+// pointers, tagged by root kind — into buf. The previous implementation
+// rendered pointers with fmt ("L%p.%p..."), which allocated on every
+// lookup; the binary form in a caller-provided scratch buffer keeps the
+// hot interner probes allocation-free.
+func (in *interner) key(buf []byte, base *ir.Local, static *ir.Field, fields []*ir.Field) []byte {
 	if base != nil {
-		fmt.Fprintf(&sb, "L%p", base)
+		buf = append(buf, 'L')
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(uintptr(unsafe.Pointer(base))))
 	} else {
-		fmt.Fprintf(&sb, "S%p", static)
+		buf = append(buf, 'S')
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(uintptr(unsafe.Pointer(static))))
 	}
 	for _, f := range fields {
-		fmt.Fprintf(&sb, ".%p", f)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(uintptr(unsafe.Pointer(f))))
 	}
-	return sb.String()
+	return buf
 }
 
 // local interns the path base.fields, truncating to the maximum length.
@@ -105,7 +120,8 @@ func (in *interner) local(base *ir.Local, fields ...*ir.Field) *AccessPath {
 	if len(fields) > in.maxLen {
 		fields = fields[:in.maxLen]
 	}
-	k := in.key(base, nil, fields)
+	var scratch keyScratch
+	k := in.key(scratch[:0], base, nil, fields)
 	return in.intern(k, func() *AccessPath {
 		return &AccessPath{Base: base, Fields: append([]*ir.Field(nil), fields...)}
 	})
@@ -116,7 +132,8 @@ func (in *interner) static(root *ir.Field, fields ...*ir.Field) *AccessPath {
 	if len(fields) > in.maxLen {
 		fields = fields[:in.maxLen]
 	}
-	k := in.key(nil, root, fields)
+	var scratch keyScratch
+	k := in.key(scratch[:0], nil, root, fields)
 	return in.intern(k, func() *AccessPath {
 		return &AccessPath{StaticRoot: root, Fields: append([]*ir.Field(nil), fields...)}
 	})

@@ -1,0 +1,489 @@
+package taint
+
+import (
+	"sync"
+
+	"flowdroid/internal/ir"
+)
+
+// carrier.go implements the string-carrier fast path (Config.StringCarriers)
+// and the per-call-site memoization it rides on.
+//
+// TAJ's observation (Tripp et al., PLDI 2009) is that the string classes —
+// java.lang.String, StringBuilder, StringBuffer — behave like primitive
+// value carriers: their operations move taint between receiver, arguments
+// and result in fixed per-method patterns, and none of them stores its
+// receiver anywhere a heap analysis could observe. The engine pays full
+// freight for them anyway: every wrapper gen on a receiver spawns a
+// backward alias search, and every flow-function evaluation re-resolves
+// the rule table and re-derives destination access paths.
+//
+// The fast path does two things at recognized carrier call sites:
+//
+//  1. Compiles the wrapper rules into a flat transfer table with the
+//     destination access paths pre-interned, so evaluating the site is a
+//     few pointer compares and one derive per triggered transfer — no rule
+//     re-resolution and no slot dispatch per evaluation.
+//  2. Skips the backward alias search on the receiver when a bounded
+//     backward scan of the enclosing method proves the search is
+//     report-neutral (aliasGateRedundant). This is the expensive half: on
+//     builder-heavy code, most receiver alias queries are such no-ops —
+//     the receiver was freshly allocated a few statements up and nothing
+//     upstream ever reads it.
+//
+// Correctness contract: the compiled table is a faithful unrolling of the
+// generic rule loop, so the generated facts are identical with the flag on
+// or off; the alias gate is the only behavioral difference, and it fires
+// only when the skipped search provably contributes no report-visible
+// facts. The carrier equivalence suites pin this with byte-identical
+// canonical reports across carriers on/off at workers 1/2/8.
+
+// The carrier classes. Subclasses are not recognized (user code extending
+// StringBuilder falls back to the generic wrapper path).
+const (
+	classString        = "java.lang.String"
+	classStringBuilder = "java.lang.StringBuilder"
+	classStringBuffer  = "java.lang.StringBuffer"
+)
+
+func isCarrierClass(name string) bool {
+	switch name {
+	case classString, classStringBuilder, classStringBuffer:
+		return true
+	}
+	return false
+}
+
+// carrierOp classifies a modeled carrier operation; the classification is
+// informational (stats, tests, docs) — the transfer behavior itself comes
+// from the compiled rule table.
+type carrierOp uint8
+
+const (
+	opNone      carrierOp = iota
+	opAppend              // append: value arg -> receiver and result (result aliases the receiver)
+	opInsert              // insert: value arg -> receiver and result; the index argument is taint-neutral
+	opConcat              // concat: receiver or argument -> result
+	opTransform           // toString/substring/trim/...: receiver -> result snapshot
+	opValueOf             // valueOf/format: static, argument -> result
+	opInit                // constructor: argument -> receiver
+	opNeutral             // excluded methods (length, isEmpty, ...): no flows
+	opOther               // modeled by rules fitting no named shape
+)
+
+func (op carrierOp) String() string {
+	switch op {
+	case opAppend:
+		return "append"
+	case opInsert:
+		return "insert"
+	case opConcat:
+		return "concat"
+	case opTransform:
+		return "transform"
+	case opValueOf:
+		return "valueOf"
+	case opInit:
+		return "init"
+	case opNeutral:
+		return "neutral"
+	case opOther:
+		return "other"
+	}
+	return "none"
+}
+
+func classifyCarrierOp(name string) carrierOp {
+	switch name {
+	case "append":
+		return opAppend
+	case "insert":
+		return opInsert
+	case "concat":
+		return opConcat
+	case "valueOf", "format", "copyValueOf":
+		return opValueOf
+	case "init":
+		return opInit
+	case "toString", "substring", "trim", "toUpperCase", "toLowerCase",
+		"replace", "reverse", "split", "toCharArray", "getBytes", "deleteCharAt":
+		return opTransform
+	}
+	return opOther
+}
+
+// carrierXfer is one compiled transfer: when the from slot is tainted,
+// derive the taint onto the pre-interned destination path. spawn marks
+// heap destinations (receiver/argument) that require an alias search;
+// toBase marks the receiver destination, the only one the gate may skip.
+type carrierXfer struct {
+	from   int
+	dst    *AccessPath
+	spawn  bool
+	toBase bool
+}
+
+// callSite memoizes the static facts of one call statement: the resolved
+// wrapper rules, the stub-dispatch flag, and (for carrier sites) the
+// compiled transfer table. All fields are immutable after construction
+// except the lazily computed alias gate.
+type callSite struct {
+	call   *ir.InvokeExpr
+	result *ir.Local
+	rules  []WrapperRule
+	stub   bool
+
+	carrier  bool
+	op       carrierOp
+	compiled []carrierXfer
+
+	gateOnce sync.Once
+	gate     bool
+}
+
+// siteOf returns the memoized record for call statement n, computing it on
+// first use. Sites are static program facts, so racing workers compute
+// identical values and LoadOrStore picks one winner.
+func (e *engine) siteOf(n ir.Stmt) *callSite {
+	if v, ok := e.sites.Load(n); ok {
+		return v.(*callSite)
+	}
+	s := e.buildSite(n)
+	actual, _ := e.sites.LoadOrStore(n, s)
+	return actual.(*callSite)
+}
+
+func (e *engine) buildSite(n ir.Stmt) *callSite {
+	call := ir.CallOf(n)
+	s := &callSite{call: call, result: ir.CallResult(n), stub: e.hasStubTarget(n)}
+	if e.conf.Wrapper != nil {
+		s.rules = e.conf.Wrapper.RulesFor(e.icfg.Prog, call)
+	}
+	if e.conf.StringCarriers && s.stub && len(s.rules) > 0 {
+		e.compileCarrier(s)
+	}
+	return s
+}
+
+// compileCarrier recognizes a carrier call site and unrolls its wrapper
+// rules into the flat transfer table. The unrolling preserves the generic
+// loop's rule and destination order exactly (dropping only destinations
+// that can never materialize, e.g. a return slot with no result local), so
+// carrierFlow generates the same facts in the same order as libraryFlow.
+func (e *engine) compileCarrier(s *callSite) {
+	cls := s.call.Ref.Class
+	if s.call.Base != nil && s.call.Base.Type.IsRef() {
+		cls = s.call.Base.Type.Name
+	}
+	if !isCarrierClass(cls) {
+		return
+	}
+	neutral := true
+	for _, r := range s.rules {
+		for _, to := range r.To {
+			neutral = false
+			dst := e.slotPath(s, to)
+			if dst == nil {
+				continue
+			}
+			s.compiled = append(s.compiled, carrierXfer{
+				from:   r.From,
+				dst:    dst,
+				spawn:  to != SlotReturn,
+				toBase: to == SlotBase,
+			})
+		}
+	}
+	s.carrier = true
+	if neutral {
+		s.op = opNeutral
+	} else {
+		s.op = classifyCarrierOp(s.call.Ref.Name)
+	}
+}
+
+// slotPath interns the access path a slot destination denotes at this
+// site, or nil when the slot has no materialization (missing result local,
+// non-local argument).
+func (e *engine) slotPath(s *callSite, slot int) *AccessPath {
+	switch slot {
+	case SlotReturn:
+		if s.result == nil {
+			return nil
+		}
+		return e.in.local(s.result)
+	case SlotBase:
+		if s.call.Base == nil {
+			return nil
+		}
+		return e.in.local(s.call.Base)
+	default:
+		if slot < 0 || slot >= len(s.call.Args) {
+			return nil
+		}
+		if l, ok := s.call.Args[slot].(*ir.Local); ok {
+			return e.in.local(l)
+		}
+		return nil
+	}
+}
+
+// slotTainted reports whether d2's access path roots at the slot. Same
+// semantics as libraryFlow's taintsSlot closure, shared so the compiled
+// and generic paths cannot drift.
+func slotTainted(call *ir.InvokeExpr, ap *AccessPath, slot int) bool {
+	switch slot {
+	case SlotBase:
+		return call.Base != nil && ap.Base == call.Base
+	default:
+		if slot < 0 || slot >= len(call.Args) {
+			return false
+		}
+		l, ok := call.Args[slot].(*ir.Local)
+		return ok && ap.Base == l
+	}
+}
+
+// carrierFlow evaluates a compiled carrier site: the direct transfer
+// functions of the string-carrier domain. Facts are identical to the
+// generic wrapper path; the alias search on the receiver is skipped (and
+// counted as gated) when the site's gate proves it report-neutral.
+func (e *engine) carrierFlow(n ir.Stmt, si *callSite, d1, d2 *Abstraction) []*Abstraction {
+	ap := d2.AP
+	var outs []*Abstraction
+	for i := range si.compiled {
+		x := &si.compiled[i]
+		if !slotTainted(si.call, ap, x.from) {
+			continue
+		}
+		na := e.ai.derive(d2, x.dst, n)
+		outs = append(outs, na)
+		if !x.spawn {
+			continue
+		}
+		if x.toBase && e.carrierGate(n, si) {
+			e.stats.gatedAliasQueries.Add(1)
+			continue
+		}
+		e.spawnAliasSearch(n, d1, na)
+	}
+	return outs
+}
+
+// carrierGate lazily decides whether the receiver alias search at this
+// site can be skipped. The gate only ever fires under the default solver
+// shape — aliasing, activation statements and flow-sensitive strong
+// updates all on — because the redundancy proof leans on activation
+// semantics (an alias fact born from the skipped search could only become
+// leak-relevant by crossing its activation statement).
+func (e *engine) carrierGate(n ir.Stmt, si *callSite) bool {
+	si.gateOnce.Do(func() {
+		if !e.conf.EnableAliasing || !e.conf.EnableActivation || !e.conf.FlowSensitive || si.call.Base == nil {
+			return
+		}
+		si.gate = e.aliasGateRedundant(n, si.call.Base)
+	})
+	return si.gate
+}
+
+// gateRegionCap bounds the backward-region scan; methods with larger
+// upstream regions keep the full alias search.
+const gateRegionCap = 128
+
+// aliasGateRedundant proves that the backward alias search a carrier gen
+// on `base` at site n would spawn cannot contribute report-visible facts.
+// The search walks backward from n and forward-injects the inactive alias
+// at assignments it crosses; skipping it is sound when:
+//
+//   - base is not a parameter or the receiver of the enclosing method (a
+//     param-rooted alias maps back into callers via returnFlow);
+//   - no call site in the method can transitively re-enter the method
+//     (otherwise a fact seeded outside the scanned region could activate
+//     early at such a site instead of at n);
+//   - every statement backward-reachable from n either terminates the
+//     walk at a definition of base whose value originates there (new,
+//     constant — the alias chain provably ends) or neither reads base nor
+//     captures an alias of it. Receiver-only stub calls on base are
+//     allowed when their rules keep receiver taint confined to receiver
+//     and result (baseRulesConfined) and the result is unused — then the
+//     injected alias can only re-derive facts that already exist.
+//
+// Facts the injected alias would create downstream of n are inactive with
+// activation n and can never flow backward over n, so only the upstream
+// region needs scanning; the region is bounded by gateRegionCap.
+func (e *engine) aliasGateRedundant(n ir.Stmt, base *ir.Local) bool {
+	m := n.Method()
+	if m == nil || base == m.This {
+		return false
+	}
+	for _, p := range m.Params {
+		if p == base {
+			return false
+		}
+	}
+	for _, s := range m.Body() {
+		if ir.IsCall(s) && e.canActivate(s, n) {
+			return false
+		}
+	}
+	seen := map[ir.Stmt]bool{n: true}
+	stack := make([]ir.Stmt, 0, 16)
+	push := func(s ir.Stmt) {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for _, p := range e.icfg.PredsOf(n) {
+		push(p)
+	}
+	for len(stack) > 0 {
+		if len(seen) > gateRegionCap {
+			return false
+		}
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		kills, safe := e.gateStep(s, base)
+		if !safe {
+			return false
+		}
+		if kills {
+			continue
+		}
+		if s.Index() == 0 {
+			// Reached the method entry without a killing definition: base
+			// flows in from outside the modeled region. (Unreachable for
+			// verified IR — non-param locals are defined before use — but
+			// stay conservative.)
+			return false
+		}
+		for _, p := range e.icfg.PredsOf(s) {
+			push(p)
+		}
+	}
+	return true
+}
+
+// gateStep examines one backward-region statement. kills reports that the
+// statement defines base from a fresh value (the scan need not look above
+// it); !safe aborts the gate — the statement reads base, captures an
+// alias, or is of a kind the scan does not model.
+func (e *engine) gateStep(s ir.Stmt, base *ir.Local) (kills, safe bool) {
+	if call := ir.CallOf(s); call != nil {
+		result := ir.CallResult(s)
+		for _, arg := range call.Args {
+			if l, ok := arg.(*ir.Local); ok && l == base {
+				return false, false
+			}
+		}
+		if call.Base == base {
+			if result != nil || e.hasBodiedCallee(s) || !e.baseRulesConfined(s) {
+				return false, false
+			}
+			return false, true
+		}
+		if result == base {
+			if e.hasBodiedCallee(s) {
+				// The backward walk would map the result into the callee.
+				return false, false
+			}
+			// A bodyless call defines base: the alias chain ends here.
+			return true, true
+		}
+		return false, true
+	}
+	switch st := s.(type) {
+	case *ir.AssignStmt:
+		if valueReadsLocal(st.RHS, base) {
+			return false, false
+		}
+		switch lhs := st.LHS.(type) {
+		case *ir.Local:
+			if lhs != base {
+				return false, true
+			}
+			switch st.RHS.(type) {
+			case *ir.New, *ir.NewArray, *ir.Const:
+				return true, true
+			default:
+				// Copy/cast/load into base: the alias chain continues into
+				// another location — the search is load-bearing.
+				return false, false
+			}
+		case *ir.FieldRef:
+			if lhs.Base == base {
+				return false, false
+			}
+			return false, true
+		case *ir.ArrayRef:
+			if lhs.Base == base || valueReadsLocal(lhs.Index, base) {
+				return false, false
+			}
+			return false, true
+		case *ir.StaticFieldRef:
+			return false, true
+		default:
+			return false, false
+		}
+	case *ir.ReturnStmt:
+		if st.Value != nil && valueReadsLocal(st.Value, base) {
+			return false, false
+		}
+		return false, true
+	case *ir.IfStmt, *ir.GotoStmt, *ir.NopStmt:
+		// Conditions are opaque in this IR; no operands to read.
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// valueReadsLocal reports whether evaluating v reads l.
+func valueReadsLocal(v ir.Value, l *ir.Local) bool {
+	switch v := v.(type) {
+	case *ir.Local:
+		return v == l
+	case *ir.Cast:
+		return valueReadsLocal(v.X, l)
+	case *ir.FieldRef:
+		return v.Base == l
+	case *ir.ArrayRef:
+		return v.Base == l || valueReadsLocal(v.Index, l)
+	case *ir.Binop:
+		return valueReadsLocal(v.L, l) || valueReadsLocal(v.R, l)
+	case *ir.NewArray:
+		return v.Len != nil && valueReadsLocal(v.Len, l)
+	}
+	return false
+}
+
+// hasBodiedCallee reports whether any resolved dispatch target of s has an
+// analyzable body.
+func (e *engine) hasBodiedCallee(s ir.Stmt) bool {
+	for _, c := range e.icfg.CalleesOf(s) {
+		if c.EntryStmt() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// baseRulesConfined reports whether every wrapper rule at s that fires on
+// a tainted receiver writes only to the receiver or the result — i.e. a
+// receiver-rooted alias flowing over s cannot taint an argument. Unmodeled
+// calls are confined too: the native default only fires on tainted
+// arguments, never on the receiver alone.
+func (e *engine) baseRulesConfined(s ir.Stmt) bool {
+	si := e.siteOf(s)
+	for _, r := range si.rules {
+		if r.From != SlotBase {
+			continue
+		}
+		for _, to := range r.To {
+			if to != SlotBase && to != SlotReturn {
+				return false
+			}
+		}
+	}
+	return true
+}

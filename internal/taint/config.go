@@ -42,6 +42,14 @@ type Config struct {
 	// indices conservatively); the commercial-tool baselines do, which is
 	// why they avoid the ArrayAccess1 false positive.
 	ArrayIndexSensitive bool
+	// StringCarriers enables the string-carrier fast path (TAJ-style):
+	// java.lang.String / StringBuilder / StringBuffer operations get
+	// compiled transfer functions at recognized call sites, and backward
+	// alias searches on carrier bases are skipped where a bounded
+	// backward-region scan proves the search is report-neutral. The leak
+	// report is byte-identical with the flag on or off; only solver
+	// effort (alias queries, allocations) changes.
+	StringCarriers bool
 	// Wrapper is the library shortcut table; nil disables shortcuts and
 	// falls back to the native default everywhere.
 	Wrapper *Wrapper
@@ -112,6 +120,7 @@ func DefaultConfig() Config {
 		InjectContext:    true,
 		FieldSensitive:   true,
 		FlowSensitive:    true,
+		StringCarriers:   true,
 		Wrapper:          DefaultWrapper(),
 	}
 }
@@ -201,6 +210,10 @@ type Stats struct {
 	ForwardEdges  int
 	BackwardEdges int
 	AliasQueries  int
+	// GatedAliasQueries counts backward alias searches the string-carrier
+	// fast path proved redundant and skipped. Always 0 when
+	// Config.StringCarriers is off.
+	GatedAliasQueries int
 	// Propagations counts novel path-edge insertions (forward plus
 	// backward); duplicates the jump tables absorb are not counted. This
 	// is the unit MaxPropagations charges, and it always equals

@@ -108,17 +108,22 @@ type engine struct {
 	idxFields map[int64]*ir.Field
 	idxClass  *ir.Class
 
+	// sites memoizes per-call-site static facts (resolved wrapper rules,
+	// stub dispatch, compiled carrier transfers); see carrier.go.
+	sites sync.Map // ir.Stmt -> *callSite
+
 	q *workQueue
 }
 
 // engineStats are the live counters; workers update them with atomic
 // increments and run snapshots them into the exported Stats.
 type engineStats struct {
-	propagations  atomic.Int64
-	forwardEdges  atomic.Int64
-	backwardEdges atomic.Int64
-	aliasQueries  atomic.Int64
-	summaries     atomic.Int64
+	propagations      atomic.Int64
+	forwardEdges      atomic.Int64
+	backwardEdges     atomic.Int64
+	aliasQueries      atomic.Int64
+	gatedAliasQueries atomic.Int64
+	summaries         atomic.Int64
 
 	// Summary-store outcome counters, one per distinct method context.
 	storeHits        atomic.Int64
@@ -308,13 +313,14 @@ func (e *engine) run(ctx context.Context, entries []*ir.Method) *Results {
 	}
 
 	stats := Stats{
-		ForwardEdges:     int(e.stats.forwardEdges.Load()),
-		BackwardEdges:    int(e.stats.backwardEdges.Load()),
-		AliasQueries:     int(e.stats.aliasQueries.Load()),
-		Propagations:     int(e.stats.propagations.Load()),
-		Summaries:        int(e.stats.summaries.Load()),
-		PeakAbstractions: e.ai.size(),
-		Workers:          workers,
+		ForwardEdges:      int(e.stats.forwardEdges.Load()),
+		BackwardEdges:     int(e.stats.backwardEdges.Load()),
+		AliasQueries:      int(e.stats.aliasQueries.Load()),
+		GatedAliasQueries: int(e.stats.gatedAliasQueries.Load()),
+		Propagations:      int(e.stats.propagations.Load()),
+		Summaries:         int(e.stats.summaries.Load()),
+		PeakAbstractions:  e.ai.size(),
+		Workers:           workers,
 	}
 	if e.conf.Cone != nil {
 		stats.ConeMethods = e.conf.Cone.Methods
@@ -343,6 +349,7 @@ func (e *engine) exportMetrics(s Stats) {
 	rec.Counter("taint.backward_edges", metrics.Deterministic).Add(int64(s.BackwardEdges))
 	rec.Counter("taint.propagations", metrics.Deterministic).Add(int64(s.Propagations))
 	rec.Counter("taint.alias_queries", metrics.Deterministic).Add(int64(s.AliasQueries))
+	rec.Counter("taint.alias_queries_gated", metrics.Deterministic).Add(int64(s.GatedAliasQueries))
 	rec.Counter("taint.summaries", metrics.Deterministic).Add(int64(s.Summaries))
 	rec.Counter("taint.abstractions", metrics.Deterministic).Add(int64(s.PeakAbstractions))
 	rec.Counter("taint.access_paths", metrics.Deterministic).Add(int64(e.in.size()))
@@ -628,7 +635,7 @@ func (e *engine) processBackward(it item) {
 				e.fwPropagate(it.d1, n, out)
 			}
 		} else {
-			outs = []*Abstraction{d2}
+			outs = d2.self
 		}
 	}
 
@@ -658,7 +665,7 @@ func (e *engine) bwCall(it item) []*Abstraction {
 	result := ir.CallResult(n)
 
 	if d2.AP == nil {
-		return []*Abstraction{d2}
+		return d2.self
 	}
 
 	for _, callee := range e.icfg.CalleesOf(n) {
@@ -680,7 +687,7 @@ func (e *engine) bwCall(it item) []*Abstraction {
 	if result != nil && d2.AP.Base == result {
 		return nil
 	}
-	return []*Abstraction{d2}
+	return d2.self
 }
 
 type bwSeed struct {
@@ -728,32 +735,32 @@ func (e *engine) bwCallFlow(call *ir.InvokeExpr, result *ir.Local, callee *ir.Me
 // side). Locals are strongly updated backwards; heap locations are not.
 func (e *engine) bwAssign(a *ir.AssignStmt, d2 *Abstraction) []*Abstraction {
 	if d2.AP == nil {
-		return []*Abstraction{d2}
+		return d2.self
 	}
 	ap := d2.AP
 	switch lhs := a.LHS.(type) {
 	case *ir.Local:
 		if ap.Base != lhs {
-			return []*Abstraction{d2}
+			return d2.self
 		}
 		// Rebase through the RHS; the binding of lhs starts here, so the
 		// lhs-rooted fact does not survive above this statement.
 		switch rhs := a.RHS.(type) {
 		case *ir.Local:
-			return []*Abstraction{e.ai.derive(d2, e.in.rebase(ap, rhs), a)}
+			return e.ai.derive(d2, e.in.rebase(ap, rhs), a).self
 		case *ir.Cast:
 			if x, ok := rhs.X.(*ir.Local); ok {
-				return []*Abstraction{e.ai.derive(d2, e.in.rebase(ap, x), a)}
+				return e.ai.derive(d2, e.in.rebase(ap, x), a).self
 			}
 			return nil
 		case *ir.FieldRef:
-			return []*Abstraction{e.ai.derive(d2, e.appendField(rhs.Base, rhs.Field, ap.Fields), a)}
+			return e.ai.derive(d2, e.appendField(rhs.Base, rhs.Field, ap.Fields), a).self
 		case *ir.StaticFieldRef:
-			return []*Abstraction{e.ai.derive(d2, e.in.appendStatic(rhs.Field, ap.Fields), a)}
+			return e.ai.derive(d2, e.in.appendStatic(rhs.Field, ap.Fields), a).self
 		case *ir.ArrayRef:
 			// The value came out of the array: treat the whole array as
 			// the alias (array indices are not modeled).
-			return []*Abstraction{e.ai.derive(d2, e.in.local(rhs.Base), a)}
+			return e.ai.derive(d2, e.in.local(rhs.Base), a).self
 		default:
 			// new, newarray, constants, binops: the value originates
 			// here; the alias chain ends.
@@ -767,7 +774,7 @@ func (e *engine) bwAssign(a *ir.AssignStmt, d2 *Abstraction) []*Abstraction {
 				return []*Abstraction{d2, rebased}
 			}
 		}
-		return []*Abstraction{d2}
+		return d2.self
 	case *ir.StaticFieldRef:
 		if ap.StaticRoot == lhs.Field {
 			if src, ok := a.RHS.(*ir.Local); ok {
@@ -775,7 +782,7 @@ func (e *engine) bwAssign(a *ir.AssignStmt, d2 *Abstraction) []*Abstraction {
 				return []*Abstraction{d2, rebased}
 			}
 		}
-		return []*Abstraction{d2}
+		return d2.self
 	case *ir.ArrayRef:
 		if ap.Base == lhs.Base {
 			if src, ok := a.RHS.(*ir.Local); ok {
@@ -783,9 +790,9 @@ func (e *engine) bwAssign(a *ir.AssignStmt, d2 *Abstraction) []*Abstraction {
 				return []*Abstraction{d2, rebased}
 			}
 		}
-		return []*Abstraction{d2}
+		return d2.self
 	}
-	return []*Abstraction{d2}
+	return d2.self
 }
 
 // stripFieldPrefix matches ap against base.field...: ap = base.field.F

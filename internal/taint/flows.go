@@ -19,11 +19,11 @@ func (e *engine) appendField(base *ir.Local, f *ir.Field, suffix []*ir.Field) *A
 // newly created heap taints that must trigger the backward alias search.
 func (e *engine) normalFlow(n ir.Stmt, d2 *Abstraction) (outs, triggers []*Abstraction) {
 	if d2 == e.zero {
-		return []*Abstraction{e.zero}, nil
+		return e.zero.self, nil
 	}
 	a, ok := n.(*ir.AssignStmt)
 	if !ok {
-		return []*Abstraction{d2}, nil
+		return d2.self, nil
 	}
 	ap := d2.AP
 
@@ -124,11 +124,11 @@ func (e *engine) rhsTaint(rhs ir.Value, ap *AccessPath) ([]*ir.Field, bool) {
 // fact explores every callee.
 func (e *engine) callFlow(call *ir.InvokeExpr, callee *ir.Method, d2 *Abstraction) []*Abstraction {
 	if d2 == e.zero {
-		return []*Abstraction{e.zero}
+		return e.zero.self
 	}
 	ap := d2.AP
 	if ap.IsStatic() {
-		return []*Abstraction{d2}
+		return d2.self
 	}
 	var out []*Abstraction
 	if call.Base != nil && ap.Base == call.Base && callee.This != nil {
@@ -152,7 +152,7 @@ func (e *engine) returnFlow(site ir.Stmt, callee *ir.Method, exit ir.Stmt, d2 *A
 	}
 	ap := d2.AP
 	if ap.IsStatic() {
-		return []*Abstraction{d2}
+		return d2.self
 	}
 	call := ir.CallOf(site)
 	var out []*Abstraction
@@ -196,15 +196,15 @@ func reassignsLocal(m *ir.Method, l *ir.Local) bool {
 // rules and the native-call default for bodyless targets, kills the
 // redefined result local, and passes everything else through.
 func (e *engine) callToReturn(n ir.Stmt, call *ir.InvokeExpr, d1, d2 *Abstraction) []*Abstraction {
-	result := ir.CallResult(n)
+	si := e.siteOf(n)
+	result := si.result
 
 	if d2 == e.zero {
-		outs := []*Abstraction{e.zero}
 		if src, ok := e.mgr.SourceAtCall(n); ok && result != nil {
 			rec := e.sourceRecord(n, src)
-			outs = append(outs, e.ai.get(e.in.local(result), true, nil, rec, nil, n))
+			return []*Abstraction{e.zero, e.ai.get(e.in.local(result), true, nil, rec, nil, n)}
 		}
-		return outs
+		return e.zero.self
 	}
 
 	// Activation at call sites: the activation statement's call tree may
@@ -229,18 +229,27 @@ func (e *engine) callToReturn(n ir.Stmt, call *ir.InvokeExpr, d1, d2 *Abstractio
 		return nil
 	}
 
-	outs := []*Abstraction{d2}
-
 	// Library handling for targets without analyzable bodies.
-	if e.hasStubTarget(n) {
-		outs = append(outs, e.libraryFlow(n, call, result, d1, d2)...)
+	if !si.stub {
+		return d2.self
 	}
-	return outs
+	var lib []*Abstraction
+	if si.carrier {
+		lib = e.carrierFlow(n, si, d1, d2)
+	} else {
+		lib = e.libraryFlow(n, si, d1, d2)
+	}
+	if len(lib) == 0 {
+		return d2.self
+	}
+	outs := make([]*Abstraction, 0, len(lib)+1)
+	outs = append(outs, d2)
+	return append(outs, lib...)
 }
 
 // hasStubTarget reports whether the call may dispatch to a method without
 // a body (or resolves to nothing at all), requiring wrapper/native
-// handling.
+// handling. Memoized per call site via siteOf.
 func (e *engine) hasStubTarget(n ir.Stmt) bool {
 	all := e.icfg.AllCalleesOf(n)
 	if len(all) == 0 {
@@ -256,47 +265,16 @@ func (e *engine) hasStubTarget(n ir.Stmt) bool {
 
 // libraryFlow applies the taint-wrapper shortcut rules, or the
 // native-call default when no rule matches: if any argument is tainted,
-// the return value and the arguments become tainted.
-func (e *engine) libraryFlow(n ir.Stmt, call *ir.InvokeExpr, result *ir.Local, d1, d2 *Abstraction) []*Abstraction {
+// the return value and the arguments become tainted. The resolved rule
+// slice comes from the per-site cache; string-carrier sites take the
+// compiled carrierFlow path instead and never reach here.
+func (e *engine) libraryFlow(n ir.Stmt, si *callSite, d1, d2 *Abstraction) []*Abstraction {
+	call := si.call
 	ap := d2.AP
-	taintsSlot := func(slot int) bool {
-		switch slot {
-		case SlotBase:
-			return call.Base != nil && ap.Base == call.Base
-		default:
-			if slot < 0 || slot >= len(call.Args) {
-				return false
-			}
-			l, ok := call.Args[slot].(*ir.Local)
-			return ok && ap.Base == l
-		}
-	}
-	slotAP := func(slot int) *AccessPath {
-		switch slot {
-		case SlotReturn:
-			if result == nil {
-				return nil
-			}
-			return e.in.local(result)
-		case SlotBase:
-			if call.Base == nil {
-				return nil
-			}
-			return e.in.local(call.Base)
-		default:
-			if slot < 0 || slot >= len(call.Args) {
-				return nil
-			}
-			if l, ok := call.Args[slot].(*ir.Local); ok {
-				return e.in.local(l)
-			}
-			return nil
-		}
-	}
 
 	var outs []*Abstraction
 	gen := func(slot int) {
-		dst := slotAP(slot)
+		dst := e.slotPath(si, slot)
 		if dst == nil {
 			return
 		}
@@ -309,13 +287,9 @@ func (e *engine) libraryFlow(n ir.Stmt, call *ir.InvokeExpr, result *ir.Local, d
 		}
 	}
 
-	var rules []WrapperRule
-	if e.conf.Wrapper != nil {
-		rules = e.conf.Wrapper.RulesFor(e.icfg.Prog, call)
-	}
-	if len(rules) > 0 {
-		for _, r := range rules {
-			if taintsSlot(r.From) {
+	if len(si.rules) > 0 {
+		for _, r := range si.rules {
+			if slotTainted(call, ap, r.From) {
 				for _, to := range r.To {
 					gen(to)
 				}
@@ -328,7 +302,7 @@ func (e *engine) libraryFlow(n ir.Stmt, call *ir.InvokeExpr, result *ir.Local, d
 	// return value (Section 5, "Native Calls").
 	anyArgTainted := false
 	for i := range call.Args {
-		if taintsSlot(i) {
+		if slotTainted(call, ap, i) {
 			anyArgTainted = true
 			break
 		}

@@ -52,7 +52,9 @@ type workQueue struct {
 }
 
 func newWorkQueue() *workQueue {
-	q := &workQueue{}
+	// Even small apps enqueue thousands of path edges; starting with a
+	// real backing array skips the first several append growths.
+	q := &workQueue{items: make([]task, 0, 1024)}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -280,7 +282,9 @@ func (t *jumpTable) insert(n ir.Stmt, pe edge) bool {
 	defer sh.mu.Unlock()
 	edges := sh.m[n]
 	if edges == nil {
-		edges = make(map[edge]bool)
+		// Most statements accumulate a handful of edges; pre-sizing the
+		// bucket skips the first grow-and-rehash cycles.
+		edges = make(map[edge]bool, 8)
 		sh.m[n] = edges
 	}
 	if edges[pe] {

@@ -68,14 +68,22 @@ func (w *Wrapper) Add(r WrapperRule) {
 // RulesFor returns the shortcut rules applicable to an invocation, or nil
 // if the method is not modeled (callers then fall back to the native-call
 // default). Class matching is by subtype in either direction, so a rule on
-// java.util.List applies to calls through ArrayList and vice versa.
+// java.util.List applies to calls through ArrayList and vice versa. When
+// several matched rules disagree on the class, the most specific class
+// wins (see mostSpecific), and the result is in a canonical order
+// independent of Add registration order.
 func (w *Wrapper) RulesFor(prog ir.Hierarchy, call *ir.InvokeExpr) []WrapperRule {
 	candidates := w.rules[ruleKey(call.Ref.Name, call.Ref.NArgs)]
 	if len(candidates) == 0 {
 		return nil
 	}
+	// Refine the receiver class from the base local's declared type
+	// whenever one exists. The dispatch kind is irrelevant for rule
+	// lookup: special (and interface-style) invokes through a typed base
+	// would otherwise silently miss rules keyed on the concrete class and
+	// fall back to the declared ref class.
 	cls := call.Ref.Class
-	if call.Kind == ir.VirtualInvoke && call.Base != nil && call.Base.Type.IsRef() {
+	if call.Base != nil && call.Base.Type.IsRef() {
 		cls = call.Base.Type.Name
 	}
 	var out []WrapperRule
@@ -85,7 +93,55 @@ func (w *Wrapper) RulesFor(prog ir.Hierarchy, call *ir.InvokeExpr) []WrapperRule
 			out = append(out, r)
 		}
 	}
-	return out
+	return mostSpecific(prog, cls, out)
+}
+
+// mostSpecific resolves class conflicts among matched rules: a rule whose
+// class exactly matches the receiver wins outright, and otherwise any rule
+// declared on a strict supertype of another matched rule's class is
+// shadowed by the more specific one (a java.lang.Object fallback must not
+// fire alongside a java.lang.StringBuilder rule for the same method). The
+// survivors are sorted into a canonical order so the selection — and
+// everything derived from it, like compiled carrier transfers — is
+// deterministic regardless of Add insertion order.
+func mostSpecific(prog ir.Hierarchy, cls string, matched []WrapperRule) []WrapperRule {
+	if len(matched) > 1 {
+		exact := matched[:0:0]
+		for _, r := range matched {
+			if r.Class == cls {
+				exact = append(exact, r)
+			}
+		}
+		if len(exact) > 0 {
+			matched = exact
+		} else {
+			keep := matched[:0:0]
+			for _, r := range matched {
+				shadowed := false
+				for _, o := range matched {
+					if o.Class != r.Class && prog.SubtypeOf(o.Class, r.Class) {
+						shadowed = true
+						break
+					}
+				}
+				if !shadowed {
+					keep = append(keep, r)
+				}
+			}
+			matched = keep
+		}
+	}
+	sort.SliceStable(matched, func(i, j int) bool {
+		a, b := matched[i], matched[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return fmt.Sprint(a.To) < fmt.Sprint(b.To)
+	})
+	return matched
 }
 
 // Has reports whether any rule exists for the invocation.
@@ -202,6 +258,7 @@ const DefaultWrapperRules = `
 wrap <java.lang.String: concat/1> base -> return
 wrap <java.lang.String: concat/1> arg0 -> return
 wrap <java.lang.String: substring/1> base -> return
+wrap <java.lang.String: substring/2> base -> return
 wrap <java.lang.String: toCharArray/0> base -> return
 wrap <java.lang.String: getBytes/0> base -> return
 wrap <java.lang.String: toUpperCase/0> base -> return
@@ -228,6 +285,9 @@ wrap <java.lang.StringBuilder: insert/2> base -> return
 wrap <java.lang.StringBuilder: reverse/0> base -> return
 wrap <java.lang.StringBuffer: append/1> arg0 -> base, return
 wrap <java.lang.StringBuffer: append/1> base -> return
+wrap <java.lang.StringBuffer: insert/2> arg1 -> base, return
+wrap <java.lang.StringBuffer: insert/2> base -> return
+wrap <java.lang.StringBuffer: reverse/0> base -> return
 
 # ---------------------------------------------------------- collections
 # Adding a tainted element taints the entire collection.

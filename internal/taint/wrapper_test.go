@@ -1,0 +1,123 @@
+package taint
+
+import (
+	"reflect"
+	"testing"
+
+	"flowdroid/internal/ir"
+)
+
+// hierarchy builds a small class hierarchy for rule-selection tests:
+// Object <- Widget <- FancyWidget, plus an unrelated Loner.
+func hierarchy(t *testing.T) *ir.Program {
+	t.Helper()
+	prog := ir.NewProgram()
+	for _, c := range []*ir.Class{
+		{Name: "java.lang.Object"},
+		{Name: "Widget", Super: "java.lang.Object"},
+		{Name: "FancyWidget", Super: "Widget"},
+		{Name: "Loner", Super: "java.lang.Object"},
+	} {
+		if err := prog.AddClass(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return prog
+}
+
+func invoke(kind ir.InvokeKind, refClass, baseClass, name string, nargs int) *ir.InvokeExpr {
+	e := &ir.InvokeExpr{
+		Kind: kind,
+		Ref:  ir.MethodRef{Class: refClass, Name: name, NArgs: nargs},
+	}
+	if baseClass != "" {
+		e.Base = &ir.Local{Name: "b", Type: ir.Ref(baseClass)}
+	}
+	return e
+}
+
+func classesOf(rules []WrapperRule) []string {
+	var out []string
+	for _, r := range rules {
+		out = append(out, r.Class)
+	}
+	return out
+}
+
+// TestRulesForRefinesBaseType: the receiver class must be refined from the
+// base local's declared type for every invoke kind that has a typed base,
+// not just virtual dispatch. A special invoke through a FancyWidget-typed
+// base whose ref names Widget must still pick the FancyWidget rule.
+func TestRulesForRefinesBaseType(t *testing.T) {
+	prog := hierarchy(t)
+	w := NewWrapper()
+	w.Add(WrapperRule{Class: "Widget", Name: "poke", NArgs: 0, From: SlotBase, To: []int{SlotReturn}})
+	w.Add(WrapperRule{Class: "FancyWidget", Name: "poke", NArgs: 0, From: SlotBase, To: []int{SlotBase, SlotReturn}})
+
+	for _, kind := range []ir.InvokeKind{ir.VirtualInvoke, ir.SpecialInvoke} {
+		call := invoke(kind, "Widget", "FancyWidget", "poke", 0)
+		got := classesOf(w.RulesFor(prog, call))
+		if !reflect.DeepEqual(got, []string{"FancyWidget"}) {
+			t.Errorf("%v invoke: rule classes = %v, want [FancyWidget]", kind, got)
+		}
+	}
+
+	// A static invoke has no base: the ref class is all there is.
+	call := invoke(ir.StaticInvoke, "Widget", "", "poke", 0)
+	got := classesOf(w.RulesFor(prog, call))
+	if !reflect.DeepEqual(got, []string{"Widget"}) {
+		t.Errorf("static invoke: rule classes = %v, want [Widget]", got)
+	}
+}
+
+// TestRulesForMostSpecificShadowing: a rule declared on a strict supertype
+// must not fire alongside the subtype's own rule for the same method — the
+// java.lang.Object fallback yields to the specific class.
+func TestRulesForMostSpecificShadowing(t *testing.T) {
+	prog := hierarchy(t)
+	w := NewWrapper()
+	w.Add(WrapperRule{Class: "java.lang.Object", Name: "describe", NArgs: 0, From: SlotBase, To: []int{SlotReturn}})
+	w.Add(WrapperRule{Class: "Widget", Name: "describe", NArgs: 0, From: SlotBase, To: []int{SlotBase}})
+
+	// Receiver Widget: the Object rule is shadowed.
+	got := classesOf(w.RulesFor(prog, invoke(ir.VirtualInvoke, "Widget", "Widget", "describe", 0)))
+	if !reflect.DeepEqual(got, []string{"Widget"}) {
+		t.Errorf("Widget receiver: rule classes = %v, want [Widget]", got)
+	}
+
+	// Receiver FancyWidget: no exact match; Widget (more specific than
+	// Object) still shadows the fallback.
+	got = classesOf(w.RulesFor(prog, invoke(ir.VirtualInvoke, "FancyWidget", "FancyWidget", "describe", 0)))
+	if !reflect.DeepEqual(got, []string{"Widget"}) {
+		t.Errorf("FancyWidget receiver: rule classes = %v, want [Widget]", got)
+	}
+
+	// Receiver Loner: only the Object fallback applies.
+	got = classesOf(w.RulesFor(prog, invoke(ir.VirtualInvoke, "Loner", "Loner", "describe", 0)))
+	if !reflect.DeepEqual(got, []string{"java.lang.Object"}) {
+		t.Errorf("Loner receiver: rule classes = %v, want [java.lang.Object]", got)
+	}
+}
+
+// TestRulesForDeterministicOrder: the selected rule slice must not depend
+// on Add registration order.
+func TestRulesForDeterministicOrder(t *testing.T) {
+	prog := hierarchy(t)
+	rules := []WrapperRule{
+		{Class: "Widget", Name: "mix", NArgs: 1, From: 0, To: []int{SlotBase}},
+		{Class: "Widget", Name: "mix", NArgs: 1, From: SlotBase, To: []int{SlotReturn}},
+		{Class: "Widget", Name: "mix", NArgs: 1, From: 0, To: []int{SlotReturn}},
+	}
+	fwd, rev := NewWrapper(), NewWrapper()
+	for _, r := range rules {
+		fwd.Add(r)
+	}
+	for i := len(rules) - 1; i >= 0; i-- {
+		rev.Add(rules[i])
+	}
+	call := invoke(ir.VirtualInvoke, "Widget", "Widget", "mix", 1)
+	a, b := fwd.RulesFor(prog, call), rev.RulesFor(prog, call)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("rule order depends on registration order:\n%v\nvs\n%v", a, b)
+	}
+}

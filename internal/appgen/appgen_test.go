@@ -106,3 +106,62 @@ func TestMalwareCorpusStats(t *testing.T) {
 	}
 	t.Logf("\n%s\n%s", mal.Render(), play.Render())
 }
+
+// TestReflectionGroundTruthRecovered: with reflection resolution on (the
+// default), every planted leak of the reflection profile — including the
+// forName/getMethod/invoke chains and the StringBuilder-assembled
+// variant — is found, genuinely dynamic chains surface as unresolved
+// soundness entries instead of leaks, and no false positives appear.
+func TestReflectionGroundTruthRecovered(t *testing.T) {
+	apps := GenerateCorpus(Reflection, 15, 11)
+	sawReflective, sawDynamic := false, false
+	for _, app := range apps {
+		res, err := core.AnalyzeFiles(context.Background(), app.Files, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if got := len(res.Leaks()); got != app.InjectedLeaks {
+			t.Errorf("%s: found %d leaks, injected %d (%v)",
+				app.Name, got, app.InjectedLeaks, app.LeakKinds)
+		}
+		if app.ReflectiveLeaks > 0 {
+			sawReflective = true
+			if res.Soundness == nil || res.Soundness.ResolvedSites == 0 {
+				t.Errorf("%s: reflective leaks planted but no resolved sites reported", app.Name)
+			}
+		}
+		if app.DynamicReflectiveChains > 0 {
+			sawDynamic = true
+			if res.Soundness == nil || len(res.Soundness.Unresolved) == 0 {
+				t.Errorf("%s: dynamic chain planted but soundness report is empty", app.Name)
+			}
+		}
+	}
+	if !sawReflective || !sawDynamic {
+		t.Fatalf("corpus sample exercised reflective=%t dynamic=%t; want both (adjust seed)",
+			sawReflective, sawDynamic)
+	}
+}
+
+// TestReflectionOffMissesReflectiveLeaks: the same corpus under
+// -no-reflection finds exactly the non-reflective leaks — the soundness
+// gap made measurable.
+func TestReflectionOffMissesReflectiveLeaks(t *testing.T) {
+	apps := GenerateCorpus(Reflection, 15, 11)
+	opts := core.DefaultOptions()
+	opts.ResolveReflection = false
+	for _, app := range apps {
+		res, err := core.AnalyzeFiles(context.Background(), app.Files, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		want := app.InjectedLeaks - app.ReflectiveLeaks
+		if got := len(res.Leaks()); got != want {
+			t.Errorf("%s: reflection off found %d leaks, want %d of %d (%v)",
+				app.Name, got, want, app.InjectedLeaks, app.LeakKinds)
+		}
+		if res.Soundness != nil {
+			t.Errorf("%s: soundness report present with reflection off", app.Name)
+		}
+	}
+}

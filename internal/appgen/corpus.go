@@ -90,6 +90,12 @@ type CorpusStats struct {
 	// counters above.
 	ConeMethods       int
 	SkippedComponents int
+
+	// ReflectionResolved/ReflectionUnresolved sum each app's soundness
+	// accounting: reflective sites resolved into call edges versus left
+	// opaque (both zero under RunOptions.NoReflection).
+	ReflectionResolved   int
+	ReflectionUnresolved int
 }
 
 // RunOptions bound and harden a corpus run. The zero value reproduces
@@ -124,6 +130,10 @@ type RunOptions struct {
 	// NoStringCarriers disables the string-carrier fast path (kill
 	// switch; see taint.Config.StringCarriers).
 	NoStringCarriers bool
+	// NoReflection disables the reflection-resolving constant-propagation
+	// pass (kill switch; see core.Options.ResolveReflection). Reflective
+	// leaks planted by the reflection profile go unfound under it.
+	NoReflection bool
 }
 
 // AvgLeaksPerApp is the paper's "1.85 leaks per application" figure.
@@ -249,6 +259,8 @@ func RunCorpusWith(ctx context.Context, p Profile, n int, seed int64, ro RunOpti
 		}
 		stats.ConeMethods += res.Counters.ConeMethods
 		stats.SkippedComponents += res.Counters.SkippedComponents
+		stats.ReflectionResolved += res.Counters.ReflectionResolved
+		stats.ReflectionUnresolved += res.Counters.ReflectionUnresolved
 		leaks := res.Leaks()
 		stats.TotalFound += len(leaks)
 		if len(leaks) > 0 {
@@ -291,6 +303,7 @@ func analyzeOne(ctx context.Context, app App, ro RunOptions) (res *core.Result, 
 	opts.Degrade = ro.Degrade
 	opts.Taint.Workers = ro.Workers
 	opts.Taint.StringCarriers = !ro.NoStringCarriers
+	opts.ResolveReflection = !ro.NoReflection
 	opts.Lint = ro.Lint
 	opts.Query = core.Query{Sinks: ro.Sinks}
 	opts.SummaryDir = ro.SummaryDir
@@ -327,6 +340,10 @@ func (s CorpusStats) Render() string {
 	sort.Strings(sinks)
 	for _, k := range sinks {
 		fmt.Fprintf(&sb, "  leaks into %-12s %d\n", k+":", s.BySink[k])
+	}
+	if s.ReflectionResolved+s.ReflectionUnresolved > 0 {
+		fmt.Fprintf(&sb, "  reflection: %d site(s) resolved into call edges, %d left opaque (see soundness reports)\n",
+			s.ReflectionResolved, s.ReflectionUnresolved)
 	}
 	if len(s.QueriedSinks) > 0 {
 		fmt.Fprintf(&sb, "  sink query [%s]: reachability cone %d method(s), %d component(s) skipped (summed across apps)\n",

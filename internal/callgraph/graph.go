@@ -284,6 +284,15 @@ func (r *Resolver) DispatchOn(runtimeClass string, e *ir.InvokeExpr) *ir.Method 
 // so far. When h carries a shared resolver (scene.Scene), it is reused
 // instead of re-indexing the program.
 func BuildCHA(ctx context.Context, h ir.Hierarchy, entries ...*ir.Method) *Graph {
+	return BuildCHAWithExtra(ctx, h, nil, entries...)
+}
+
+// BuildCHAWithExtra is BuildCHA with additional resolved call edges —
+// site statement to target method — merged into the exploration. The
+// constant-propagation pass supplies resolved reflective sites this
+// way: each extra target is a synthesized bridge method that becomes
+// reachable (and explorable) exactly like a statically resolved callee.
+func BuildCHAWithExtra(ctx context.Context, h ir.Hierarchy, extra map[ir.Stmt][]*ir.Method, entries ...*ir.Method) *Graph {
 	g := NewGraph(entries...)
 	defer g.exportMetrics(ctx)
 	r := ResolverFor(h)
@@ -307,6 +316,12 @@ func BuildCHA(ctx context.Context, h ir.Hierarchy, entries ...*ir.Method) *Graph
 				continue
 			}
 			for _, t := range r.TargetsOf(call) {
+				g.AddEdge(s, t)
+				if !seen[t] && !t.Abstract() {
+					work = append(work, t)
+				}
+			}
+			for _, t := range extra[s] {
 				g.AddEdge(s, t)
 				if !seen[t] && !t.Abstract() {
 					work = append(work, t)

@@ -57,6 +57,17 @@ type Cone struct {
 // partial (unsound) cone; callers must discard it, as the pipeline's
 // truncation handling does.
 func Build(ctx context.Context, h ir.Hierarchy, mgr *sourcesink.Manager) *Cone {
+	return BuildWithExtra(ctx, h, mgr, nil)
+}
+
+// BuildWithExtra is Build with additional resolved call edges — site
+// statement to target method — folded into the reverse call relation.
+// Resolved reflective edges participate in the backward closure exactly
+// like ordinary call edges: a sink reachable only through a reflective
+// bridge still pulls the invoking method (and its callers) into the
+// cone, keeping demand-driven pruning consistent with the reflection-
+// aware call graph the pipeline builds afterwards.
+func BuildWithExtra(ctx context.Context, h ir.Hierarchy, mgr *sourcesink.Manager, extra map[ir.Stmt][]*ir.Method) *Cone {
 	res := callgraph.ResolverFor(h)
 	c := &Cone{
 		inCone:   make(map[*ir.Method]bool),
@@ -101,6 +112,11 @@ func Build(ctx context.Context, h ir.Hierarchy, mgr *sourcesink.Manager) *Cone {
 					isSrc = true
 				}
 				for _, t := range res.TargetsOf(call) {
+					if !t.Abstract() {
+						callersOf[t] = append(callersOf[t], m)
+					}
+				}
+				for _, t := range extra[s] {
 					if !t.Abstract() {
 						callersOf[t] = append(callersOf[t], m)
 					}

@@ -20,6 +20,7 @@ import (
 	"flowdroid/internal/callgraph"
 	"flowdroid/internal/cfg"
 	"flowdroid/internal/cone"
+	"flowdroid/internal/constprop"
 	"flowdroid/internal/framework"
 	"flowdroid/internal/ir"
 	"flowdroid/internal/irlint"
@@ -61,6 +62,15 @@ type Options struct {
 	// UseCHA selects the class-hierarchy call graph instead of the
 	// points-to-refined one (faster, less precise).
 	UseCHA bool
+	// ResolveReflection runs the interprocedural constant-string
+	// propagation pass (internal/constprop) between scene construction
+	// and call-graph building: reflective call sites whose class and
+	// method names resolve to a bounded constant set become real call
+	// edges (through synthesized bridge methods), and every unresolvable
+	// site is recorded in Result.Soundness. Default on; -no-reflection
+	// on the CLIs turns it off, restoring the pre-reflection pipeline
+	// byte for byte.
+	ResolveReflection bool
 	// MaxPropagations bounds the taint solver's attempted propagations;
 	// 0 is unlimited. Exhausting the budget yields Status ==
 	// BudgetExhausted with the partial leak set.
@@ -89,10 +99,19 @@ type Options struct {
 // DefaultOptions mirrors the paper's FlowDroid configuration.
 func DefaultOptions() Options {
 	return Options{
-		Taint:     taint.DefaultConfig(),
-		Lifecycle: lifecycle.DefaultOptions(),
+		Taint:             taint.DefaultConfig(),
+		Lifecycle:         lifecycle.DefaultOptions(),
+		ResolveReflection: true,
 	}
 }
+
+// SoundnessReport is the constant-propagation pass's account of the
+// reflective surface: resolved site count plus every site left opaque
+// with its reason. See internal/constprop.
+type SoundnessReport = constprop.SoundnessReport
+
+// UnresolvedSite is one reflective call the analysis left opaque.
+type UnresolvedSite = constprop.UnresolvedSite
 
 // Result is the outcome of a full pipeline run.
 type Result struct {
@@ -111,6 +130,11 @@ type Result struct {
 	// Lint holds the IR verifier's diagnostics when Options.Lint is set
 	// (nil otherwise). Status == InvalidProgram iff it has errors.
 	Lint *irlint.Result
+	// Soundness reports what the reflection resolution pass could and
+	// could not see through (nil when Options.ResolveReflection is off or
+	// the pass was never reached). A leak report is only as complete as
+	// this report's Unresolved list is empty.
+	Soundness *SoundnessReport
 	// Degraded lists the degradation-ladder rungs applied before this
 	// result was produced (empty for a first-attempt result).
 	Degraded []string

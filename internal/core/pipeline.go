@@ -13,6 +13,7 @@ import (
 	"flowdroid/internal/callgraph"
 	"flowdroid/internal/cfg"
 	"flowdroid/internal/cone"
+	"flowdroid/internal/constprop"
 	"flowdroid/internal/ir"
 	"flowdroid/internal/irlint"
 	"flowdroid/internal/lifecycle"
@@ -33,9 +34,9 @@ type PassStat struct {
 	Hits int `json:"hits"`
 }
 
-// PassStats maps pass names (scene, sourcesink, verify, cone, callbacks,
-// lifecycle, callgraph, icfg, summaries, taint) to their run/hit
-// counters.
+// PassStats maps pass names (scene, sourcesink, verify, constprop, cone,
+// callbacks, lifecycle, callgraph, icfg, summaries, taint) to their
+// run/hit counters.
 type PassStats map[string]PassStat
 
 // TotalRuns sums the Runs of every pass.
@@ -94,6 +95,9 @@ type artifact[T any] struct {
 //	scene      : program identity (built once, refreshed after dummy main)
 //	sourcesink : Options.SourceSinkRules + query fingerprint
 //	verify     : Options.LintEnable/LintDisable + SourceSinkRules + query
+//	constprop  : program identity (runs once iff Options.ResolveReflection;
+//	             the flag is fixed for a pipeline's lifetime — the degrade
+//	             ladder never toggles it — so it needs no key)
 //	cone       : query fingerprint + SourceSinkRules (query mode only)
 //	callbacks  : no configuration (discovery is query-independent)
 //	lifecycle  : Options.Lifecycle including the cone's skip set
@@ -123,6 +127,7 @@ type pipeline struct {
 	rec *metrics.Recorder
 
 	verify artifact[*irlint.Result]
+	refl   artifact[reflArtifact]
 
 	cbs   artifact[*callbacks.Result]
 	cn    artifact[*cone.Cone]
@@ -153,6 +158,14 @@ type cgArtifact struct {
 	ptaProps int
 }
 
+// reflArtifact is the constant-propagation pass product: the classified
+// reflective sites (with the soundness report) plus the materialized
+// reflective call edges every downstream graph consumer folds in.
+type reflArtifact struct {
+	res   *constprop.Result
+	edges map[ir.Stmt][]*ir.Method
+}
+
 // summaryFingerprint digests every configuration input that changes the
 // taint solver's transfer functions or seeds, scoping the persistent
 // summary store's namespace: two runs may only share summaries when they
@@ -174,6 +187,10 @@ func summaryFingerprint(app *apk.App, opts Options, qfp string) string {
 		tc.StringCarriers)
 	fmt.Fprintf(h, "wrapper:%s\n", tc.Wrapper.Fingerprint())
 	fmt.Fprintf(h, "cha:%t\n", opts.UseCHA)
+	// Reflection resolution changes which call edges exist — and hence
+	// which callee facts a method summary encodes — so summaries recorded
+	// with and without it are never interchangeable.
+	fmt.Fprintf(h, "reflect:%t\n", opts.ResolveReflection)
 	fmt.Fprintf(h, "lifecycle:%+v\n", opts.Lifecycle)
 	var layouts []string
 	for name, l := range app.Layouts {
@@ -384,6 +401,47 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 		}
 	}
 
+	// Constprop: interprocedural constant-string propagation plus
+	// reflective-edge materialization. Runs before the cone so resolved
+	// reflective edges participate in the backward closure like ordinary
+	// call edges, and before dummy-main generation so synthetic lifecycle
+	// code is never scanned. The pass is program-global and query-
+	// independent; its artifact needs no configuration key.
+	var reflEdges map[ir.Stmt][]*ir.Method
+	if opts.ResolveReflection {
+		stage = "constprop"
+		ra, err := memo(pl, "constprop", "", &pl.refl, func() (reflArtifact, error) {
+			r := constprop.Analyze(ctx, pl.sc)
+			if r.Truncated {
+				return reflArtifact{res: r}, nil
+			}
+			edges, err := r.Materialize(pl.app.Program)
+			if err != nil {
+				return reflArtifact{}, fmt.Errorf("core: %w", err)
+			}
+			if len(edges) > 0 {
+				// Materialization added the bridges class to the program.
+				pl.sc.Refresh()
+			}
+			return reflArtifact{res: r, edges: edges}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Err() != nil || ra.res.Truncated {
+			pl.refl.built = false // partial facts must not be reused
+			return truncated(), nil
+		}
+		reflEdges = ra.edges
+		res.Soundness = ra.res.Report
+		res.Counters.ReflectionResolved = ra.res.Report.ResolvedSites
+		res.Counters.ReflectionUnresolved = len(ra.res.Report.Unresolved)
+		if pl.rec != nil {
+			pl.rec.Gauge("soundness.reflection.resolved", metrics.Deterministic).Set(int64(ra.res.Report.ResolvedSites))
+			pl.rec.Gauge("soundness.reflection.unresolved", metrics.Deterministic).Set(int64(len(ra.res.Report.Unresolved)))
+		}
+	}
+
 	// Cone: the backward reachability cone of the queried sinks, built
 	// over app code only (before dummy-main generation — the synthetic
 	// lifecycle code never contains sinks, and the cone must not depend
@@ -393,7 +451,7 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 		stage = "cone"
 		cn, _ = memo(pl, "cone", qfp+"\x00"+opts.SourceSinkRules, &pl.cn,
 			func() (*cone.Cone, error) {
-				return cone.Build(ctx, pl.sc, mgr), nil
+				return cone.BuildWithExtra(ctx, pl.sc, mgr, reflEdges), nil
 			})
 		if ctx.Err() != nil {
 			pl.cn.built = false // partial cone must not be reused
@@ -470,9 +528,9 @@ func (pl *pipeline) run(ctx context.Context, opts Options) (res *Result, err err
 	cgKey = fmt.Sprintf("%s@%p", cgKey, entry)
 	cg, _ := memo(pl, "callgraph", cgKey, &pl.graph, func() (cgArtifact, error) {
 		if opts.UseCHA {
-			return cgArtifact{graph: callgraph.BuildCHA(ctx, pl.sc, entry)}, nil
+			return cgArtifact{graph: callgraph.BuildCHAWithExtra(ctx, pl.sc, reflEdges, entry)}, nil
 		}
-		p := pta.Build(ctx, pl.sc, entry)
+		p := pta.BuildWithExtra(ctx, pl.sc, reflEdges, entry)
 		return cgArtifact{graph: p.Graph, ptaProps: p.Propagations}, nil
 	})
 	res.CallGraph = cg.graph

@@ -90,6 +90,12 @@ type Counters struct {
 	// (zero when Options.Lint is off).
 	LintErrors   int
 	LintWarnings int
+	// ReflectionResolved and ReflectionUnresolved count the reflective
+	// call sites the constant-propagation pass turned into real call
+	// edges versus left opaque (both zero with reflection resolution
+	// off).
+	ReflectionResolved   int
+	ReflectionUnresolved int
 	// ConeMethods is the size of the query's sink-reaching cone and
 	// SkippedComponents the number of components left out of dummy-main
 	// modeling because they were entirely outside it (both zero on

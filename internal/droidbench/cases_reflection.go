@@ -1,0 +1,124 @@
+package droidbench
+
+// Reflection cases, in the spirit of DroidBench's later Reflection
+// category: leaks routed through the java.lang.reflect API. They live in
+// the extension registry (Table 1 predates the category) under the
+// "Reflection" category; ReflectionCases returns just them for the
+// on/off equivalence suite.
+
+// ReflectionCases returns the reflection extension benchmarks.
+func ReflectionCases() []Case {
+	var out []Case
+	for _, c := range ExtraCases() {
+		if c.Category == "Reflection" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// reflSink is the reflective call target shared by the cases: reachable
+// only through the bridges the constant-propagation pass materializes.
+const reflSink = `
+class de.ecspride.ReflSink {
+  method leak(msg: java.lang.String): void {
+` + "    android.util.Log.i(\"refl\", msg)\n" + `  }
+}
+`
+
+func init() {
+	registerExtra(Case{
+		Name:          "Reflection1",
+		Category:      "Reflection",
+		ExpectedLeaks: 1,
+		Note: "The identifier is leaked through Class.forName with a literal " +
+			"class name, newInstance, getMethod(\"leak\") and invoke: every " +
+			"name is a string constant, so the constant-propagation pass " +
+			"resolves the chain into ordinary call edges.",
+		Files: mkApp(reflSink+`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    clz = java.lang.Class.forName("de.ecspride.ReflSink")
+    obj = clz.newInstance()
+    mth = clz.getMethod("leak")
+    rr = mth.invoke(obj, imei)
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	registerExtra(Case{
+		Name:          "Reflection2",
+		Category:      "Reflection",
+		ExpectedLeaks: 1,
+		Note: "The class name is assembled through a StringBuilder before " +
+			"reaching Class.forName: resolution requires the pass to track " +
+			"append/toString on builder chains, not just plain literals.",
+		Files: mkApp(reflSink+`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    sb = new java.lang.StringBuilder()
+    sb.append("de.ecspride.Refl")
+    sb.append("Sink")
+    cn = sb.toString()
+    clz = java.lang.Class.forName(cn)
+    obj = clz.newInstance()
+    mth = clz.getMethod("leak")
+    rr = mth.invoke(obj, imei)
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	registerExtra(Case{
+		Name:          "Reflection3",
+		Category:      "Reflection",
+		ExpectedLeaks: 0,
+		Note: "The class name comes from the incoming intent — genuinely " +
+			"dynamic. No constant analysis can resolve the chain, so the " +
+			"would-be leak must NOT be reported; instead the run's soundness " +
+			"report lists the opaque sites.",
+		Files: mkApp(reflSink+`
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    it = this.getIntent()
+    cn = it.getStringExtra("cls")
+    clz = java.lang.Class.forName(cn)
+    obj = clz.newInstance()
+    mth = clz.getMethod("leak")
+    rr = mth.invoke(obj, imei)
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+
+	registerExtra(Case{
+		Name:          "Reflection4",
+		Category:      "Reflection",
+		ExpectedLeaks: 1,
+		Note: "The constant class name is returned from a helper method: " +
+			"resolution requires interprocedural constant propagation " +
+			"through the call and return, not a local scan.",
+		Files: mkApp(reflSink+`
+class de.ecspride.Config {
+  static method sinkClass(): java.lang.String {
+    n = "de.ecspride.ReflSink"
+    return n
+  }
+}
+class de.ecspride.MainActivity extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+`+getIMEI+`
+    cn = de.ecspride.Config.sinkClass()
+    clz = java.lang.Class.forName(cn)
+    obj = clz.newInstance()
+    mth = clz.getMethod("leak")
+    rr = mth.invoke(obj, imei)
+  }
+}
+`, "", "activity:MainActivity"),
+	})
+}

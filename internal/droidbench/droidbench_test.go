@@ -151,6 +151,10 @@ var flowDroidExtraExpected = map[string]int{
 	"Obfuscation1":                1,
 	"SharedPreferencesRoundTrip1": 2,
 	"DeepCallChain1":              1,
+	"Reflection1":                 1,
+	"Reflection2":                 1,
+	"Reflection3":                 0,
+	"Reflection4":                 1,
 }
 
 func TestFlowDroidExtensions(t *testing.T) {

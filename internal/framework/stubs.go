@@ -15,8 +15,24 @@ class java.lang.Object {
 }
 
 class java.lang.Class {
+  static method forName(name: java.lang.String): java.lang.Class;
   method getName(): java.lang.String;
   method newInstance(): java.lang.Object;
+  method getMethod(name: java.lang.String): java.lang.reflect.Method;
+  method getDeclaredMethod(name: java.lang.String): java.lang.reflect.Method;
+  method getClassLoader(): java.lang.ClassLoader;
+}
+
+class java.lang.reflect.Method {
+  method getName(): java.lang.String;
+  method invoke(recv: java.lang.Object): java.lang.Object;
+  method invoke(recv: java.lang.Object, a1: java.lang.Object): java.lang.Object;
+  method invoke(recv: java.lang.Object, a1: java.lang.Object, a2: java.lang.Object): java.lang.Object;
+  method invoke(recv: java.lang.Object, a1: java.lang.Object, a2: java.lang.Object, a3: java.lang.Object): java.lang.Object;
+}
+
+class java.lang.ClassLoader {
+  method loadClass(name: java.lang.String): java.lang.Class;
 }
 
 class java.lang.String {

@@ -61,7 +61,8 @@ func TestDiagnosticRendering(t *testing.T) {
 func TestRegistryListsShippedAnalyzers(t *testing.T) {
 	want := []string{
 		"branch", "defuse", "duplicates", "hierarchy", "invoke",
-		"missingreturn", "registrations", "resolve", "typecheck", "unreachable",
+		"missingreturn", "reflection", "registrations", "resolve",
+		"typecheck", "unreachable",
 	}
 	have := make(map[string]bool)
 	prev := ""

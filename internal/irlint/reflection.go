@@ -1,0 +1,40 @@
+package irlint
+
+import (
+	"context"
+
+	"flowdroid/internal/constprop"
+)
+
+func init() { Register(reflectionAnalyzer) }
+
+// reflectionAnalyzer runs the interprocedural constant-string propagation
+// pass (internal/constprop) and warns at every reflective call site it
+// must leave opaque: a Class.forName whose argument is not a bounded
+// constant set, a constant name naming no class in the program, or a
+// ClassLoader.loadClass that can pull in code the analysis never sees.
+// Each such site is a hole in the call graph — the taint report cannot
+// make claims about flows through it — so the verifier surfaces them
+// where the developer can replace the dynamic name with a constant or
+// accept the documented blind spot.
+var reflectionAnalyzer = &Analyzer{
+	Name: "reflection",
+	Doc:  "reflective call sites the constant-string analysis cannot resolve",
+	Run:  runReflection,
+}
+
+func runReflection(pass *Pass) {
+	res := constprop.Analyze(context.Background(), pass.Prog)
+	if res.Truncated {
+		return
+	}
+	for _, site := range res.Sites {
+		u := site.Unresolved
+		if u == nil {
+			continue
+		}
+		pass.ReportStmt("reflection.unresolved", Warning, site.Stmt,
+			"%s call cannot be resolved (%s); flows through it are invisible to the analysis",
+			u.Call, u.Reason)
+	}
+}

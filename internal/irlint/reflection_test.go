@@ -1,0 +1,81 @@
+package irlint_test
+
+// Tests for the reflection analyzer: an opaque reflective site warns
+// with its reason, and a fully constant-resolvable chain stays clean.
+
+import (
+	"strings"
+	"testing"
+
+	"flowdroid/internal/framework"
+	"flowdroid/internal/ir"
+	"flowdroid/internal/irtext"
+)
+
+// parseWithFramework links the source against the framework stubs so
+// receiver types of Class/Method locals are inferred, which the
+// reflective-API classification depends on.
+func parseWithFramework(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog := framework.NewProgram()
+	if err := irtext.ParseInto(prog, src, "test.ir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Link(); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestReflectionUnresolvedWarns(t *testing.T) {
+	prog := parseWithFramework(t, `
+class app.Main {
+  method run(name: java.lang.String): void {
+    clz = java.lang.Class.forName(name)
+    return
+  }
+}
+`)
+	res := lint(t, prog, "reflection")
+	d := wantDiag(t, res, "reflection.unresolved", 4)
+	if !strings.Contains(d.Message, "non-constant string") {
+		t.Errorf("message lacks reason: %q", d.Message)
+	}
+}
+
+func TestReflectionDynamicLoadingWarns(t *testing.T) {
+	prog := parseWithFramework(t, `
+class app.Main {
+  method run(ldr: java.lang.ClassLoader): void {
+    clz = ldr.loadClass("app.Plugin")
+    return
+  }
+}
+`)
+	res := lint(t, prog, "reflection")
+	d := wantDiag(t, res, "reflection.unresolved", 4)
+	if !strings.Contains(d.Message, "dynamic loading") {
+		t.Errorf("message lacks reason: %q", d.Message)
+	}
+}
+
+func TestReflectionResolvedStaysClean(t *testing.T) {
+	prog := parseWithFramework(t, `
+class app.Target {
+  method leak(s: java.lang.String): void {
+    return
+  }
+}
+
+class app.Main {
+  method run(s: java.lang.String): void {
+    clz = java.lang.Class.forName("app.Target")
+    obj = clz.newInstance()
+    mth = clz.getMethod("leak")
+    r = mth.invoke(obj, s)
+    return
+  }
+}
+`)
+	wantClean(t, lint(t, prog, "reflection"))
+}

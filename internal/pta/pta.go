@@ -129,6 +129,9 @@ type analysis struct {
 	visited map[*ir.Method]bool
 	// bound remembers (site, target) pairs already wired up.
 	bound map[edgeKey]bool
+	// extra holds pre-resolved call edges (reflective bridges) bound at
+	// their sites in addition to the static/dispatched targets.
+	extra map[ir.Stmt][]*ir.Method
 
 	propagations int
 	truncated    bool
@@ -146,8 +149,19 @@ type edgeKey struct {
 // (scene.Scene) reuses its shared resolver; passing *ir.Program builds a
 // private one.
 func Build(ctx context.Context, prog ir.Hierarchy, entries ...*ir.Method) *Result {
+	return BuildWithExtra(ctx, prog, nil, entries...)
+}
+
+// BuildWithExtra is Build with additional resolved call edges — site
+// statement to target method — wired into the constraint system. The
+// constant-propagation pass supplies resolved reflective sites this
+// way: the site's arguments flow positionally into the bridge target's
+// parameters and the bridge's return value flows back to the call
+// result, exactly like a statically resolved callee.
+func BuildWithExtra(ctx context.Context, prog ir.Hierarchy, extra map[ir.Stmt][]*ir.Method, entries ...*ir.Method) *Result {
 	a := &analysis{
 		ctx:     ctx,
+		extra:   extra,
 		prog:    prog,
 		res:     callgraph.ResolverFor(prog),
 		graph:   callgraph.NewGraph(entries...),
@@ -319,6 +333,9 @@ func (a *analysis) objFor(site ir.Stmt, class string, isArray bool) int {
 }
 
 func (a *analysis) visitCall(site ir.Stmt, call *ir.InvokeExpr, result *ir.Local) {
+	for _, t := range a.extra[site] {
+		a.bindCall(site, call, t, result)
+	}
 	if ts := a.res.StaticTargets(call); ts != nil {
 		for _, t := range ts {
 			a.bindCall(site, call, t, result)

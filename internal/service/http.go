@@ -72,6 +72,11 @@ type Report struct {
 		// query's reachability cone; zero (omitted) outside query mode.
 		ConeMethods       int `json:"coneMethods,omitempty"`
 		SkippedComponents int `json:"skippedComponents,omitempty"`
+		// Reflection counters: sites the constant-propagation pass turned
+		// into call edges versus left opaque (omitted when zero or with
+		// Config.DisableReflection).
+		ReflectionResolved   int `json:"reflectionResolved,omitempty"`
+		ReflectionUnresolved int `json:"reflectionUnresolved,omitempty"`
 		// Summary-store counters, all zero (omitted) when the daemon has
 		// no Config.SummaryDir.
 		SummaryHits        int `json:"summaryHits,omitempty"`
@@ -84,7 +89,12 @@ type Report struct {
 	} `json:"counters"`
 	Passes core.PassStats      `json:"passes,omitempty"`
 	Lint   []irlint.Diagnostic `json:"lint,omitempty"`
-	Leaks  []taint.LeakReport  `json:"leaks"`
+	// Soundness is the reflection pass's account of the app's reflective
+	// surface, present only when there is one (the field is omitted for
+	// apps with no reflective sites and for reflection-off runs, keeping
+	// those envelopes byte-identical to each other).
+	Soundness *core.SoundnessReport `json:"soundness,omitempty"`
+	Leaks     []taint.LeakReport    `json:"leaks"`
 }
 
 // ResultReport converts a finished analysis into the wire envelope.
@@ -96,6 +106,9 @@ func ResultReport(res *core.Result) Report {
 	if res.Lint != nil {
 		rep.Lint = res.Lint.Diagnostics
 	}
+	if !res.Soundness.Empty() {
+		rep.Soundness = res.Soundness
+	}
 	rep.Counters.CallGraphEdges = res.Counters.CallGraphEdges
 	rep.Counters.PTAPropagations = res.Counters.PTAPropagations
 	rep.Counters.Propagations = res.Counters.Propagations
@@ -105,6 +118,8 @@ func ResultReport(res *core.Result) Report {
 	rep.Counters.Workers = res.Counters.Workers
 	rep.Counters.ConeMethods = res.Counters.ConeMethods
 	rep.Counters.SkippedComponents = res.Counters.SkippedComponents
+	rep.Counters.ReflectionResolved = res.Counters.ReflectionResolved
+	rep.Counters.ReflectionUnresolved = res.Counters.ReflectionUnresolved
 	rep.Counters.SummaryHits = res.Counters.SummaryHits
 	rep.Counters.SummaryMisses = res.Counters.SummaryMisses
 	rep.Counters.SummaryInvalidated = res.Counters.SummaryInvalidated

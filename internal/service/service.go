@@ -89,6 +89,13 @@ type Config struct {
 	// between daemon runs sharing a SummaryDir invalidates cleanly
 	// instead of replaying artifacts from the other mode.
 	DisableStringCarriers bool
+	// DisableReflection turns off the reflection-resolving constant-
+	// propagation pass for every job (kill switch; see
+	// core.Options.ResolveReflection). Like the carrier flag it is part
+	// of the summary-store config fingerprint, so daemons sharing a
+	// SummaryDir across the toggle invalidate cleanly instead of
+	// replaying summaries recorded against the other call graph.
+	DisableReflection bool
 	// Recorder receives the service and pipeline metrics. Nil runs the
 	// service unobserved (every instrument no-ops).
 	Recorder *metrics.Recorder
@@ -496,6 +503,7 @@ func (s *Server) runJob(j *job) {
 		opts.Taint.APLength = j.req.APLength
 	}
 	opts.Taint.StringCarriers = !s.cfg.DisableStringCarriers
+	opts.ResolveReflection = !s.cfg.DisableReflection
 	opts.SummaryStore = s.store
 
 	res, err := analyze(ctx, j.req.Files, opts)

@@ -449,3 +449,55 @@ func TestServiceCarrierToggleInvalidatesStore(t *testing.T) {
 		t.Fatalf("drain: %v", err)
 	}
 }
+
+// TestServiceReflectionToggleInvalidatesStore mirrors the carrier-toggle
+// test for the reflection flag: core.Options.ResolveReflection changes
+// which call edges exist, so it is part of the summary-store config
+// fingerprint and a reflection-off daemon must not replay summaries a
+// reflection-on daemon recorded into the same store directory. On an app
+// with no reflective sites the two modes' reports are byte-identical
+// (the soundness envelope field is omitted when empty), which is exactly
+// what lets this test compare them.
+func TestServiceReflectionToggleInvalidatesStore(t *testing.T) {
+	app := appgen.GenerateCorpus(appgen.Play, 1, 29)[0]
+	dir := t.TempDir()
+
+	// Round 1: cold, reflection on (the default), populating the store.
+	on := New(Config{QueueSize: 8, Analyses: 1, WorkerBudget: 2, SummaryDir: dir})
+	tsOn := httptest.NewServer(on.Handler(false))
+	want := submitAndWait(t, tsOn, on, app.Files)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := on.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	tsOn.Close()
+
+	// Round 2: reflection off, same store. The fingerprints differ, so
+	// the submission must run fully cold (zero hits) yet report the same
+	// leaks — this app has no reflective sites for the pass to matter on.
+	rec := metrics.New()
+	off := New(Config{QueueSize: 8, Analyses: 1, WorkerBudget: 2, SummaryDir: dir,
+		DisableReflection: true, Recorder: rec})
+	tsOff := httptest.NewServer(off.Handler(false))
+	defer tsOff.Close()
+	if got := submitAndWait(t, tsOff, off, app.Files); !bytes.Equal(got, want) {
+		t.Fatalf("reflection-off report differs from reflection-on:\n%s\nvs\n%s", got, want)
+	}
+	if hits := rec.Snapshot().Deterministic["summary.store.hit"]; hits != 0 {
+		t.Fatalf("reflection-off run replayed %d reflection-on summaries; the fingerprint failed to invalidate", hits)
+	}
+
+	// Round 3: resubmit in the unchanged mode — now the store must serve.
+	if got := submitAndWait(t, tsOff, off, app.Files); !bytes.Equal(got, want) {
+		t.Fatal("warm reflection-off resubmission report differs from the cold run")
+	}
+	if rec.Snapshot().Deterministic["summary.store.hit"] == 0 {
+		t.Fatal("same-mode resubmission never hit the store")
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := off.Shutdown(ctx2); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -142,3 +142,79 @@ class com.example.loc.LocActivity extends android.app.Activity
 }
 `,
 }
+
+// ReflectionApp leaks the device ID through a reflectively invoked
+// method: the class and method names are string constants, so the
+// constant-propagation pass resolves the forName/newInstance/invoke
+// chain into real call edges and the taint analysis sees the flow.
+// With reflection resolution off the invoke site is opaque and the
+// leak disappears.
+var ReflectionApp = map[string]string{
+	"AndroidManifest.xml": `<?xml version="1.0"?>
+<manifest xmlns:android="http://schemas.android.com/apk/res/android"
+          package="com.example.reflect">
+  <application>
+    <activity android:name=".ReflectionApp"/>
+  </application>
+</manifest>`,
+	"classes.ir": `
+class com.example.reflect.Sink {
+  method leak(msg: java.lang.String): void {
+    android.util.Log.i("reflect", msg)
+    return
+  }
+}
+
+class com.example.reflect.ReflectionApp extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    tmRaw = this.getSystemService("phone")
+    local tm: android.telephony.TelephonyManager
+    tm = (android.telephony.TelephonyManager) tmRaw
+    imei = tm.getDeviceId()
+    clz = java.lang.Class.forName("com.example.reflect.Sink")
+    obj = clz.newInstance()
+    mth = clz.getMethod("leak")
+    r = mth.invoke(obj, imei)
+    return
+  }
+}
+`,
+}
+
+// DynamicReflectionApp routes the same flow through a reflective call
+// whose class name comes from the incoming intent: no constant-string
+// analysis can resolve it, so the run must report zero leaks but a
+// non-empty soundness report naming the opaque sites.
+var DynamicReflectionApp = map[string]string{
+	"AndroidManifest.xml": `<?xml version="1.0"?>
+<manifest xmlns:android="http://schemas.android.com/apk/res/android"
+          package="com.example.dynreflect">
+  <application>
+    <activity android:name=".DynamicApp"/>
+  </application>
+</manifest>`,
+	"classes.ir": `
+class com.example.dynreflect.Sink {
+  method leak(msg: java.lang.String): void {
+    android.util.Log.i("reflect", msg)
+    return
+  }
+}
+
+class com.example.dynreflect.DynamicApp extends android.app.Activity {
+  method onCreate(b: android.os.Bundle): void {
+    tmRaw = this.getSystemService("phone")
+    local tm: android.telephony.TelephonyManager
+    tm = (android.telephony.TelephonyManager) tmRaw
+    imei = tm.getDeviceId()
+    it = this.getIntent()
+    name = it.getStringExtra("cls")
+    clz = java.lang.Class.forName(name)
+    obj = clz.newInstance()
+    mth = clz.getMethod("leak")
+    r = mth.invoke(obj, imei)
+    return
+  }
+}
+`,
+}

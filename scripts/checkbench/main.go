@@ -10,8 +10,9 @@
 //	BenchmarkSmokeMetrics                     → observability-overhead report
 //	BenchmarkQueryTaint                       → demand-driven query savings report
 //	BenchmarkIncrementalTaint                 → warm re-analysis (summary store) report
+//	BenchmarkReflectionTaint                  → reflection-resolution recovery report
 //
-// Usage: go run ./scripts/checkbench BENCH_taint.json [BENCH_strings.json BENCH_metrics.json BENCH_query.json BENCH_incr.json ...]
+// Usage: go run ./scripts/checkbench BENCH_taint.json [BENCH_strings.json BENCH_metrics.json BENCH_query.json BENCH_incr.json BENCH_reflect.json ...]
 package main
 
 import (
@@ -112,6 +113,30 @@ type incrReport struct {
 	Note             string  `json:"note"`
 }
 
+type reflectMode struct {
+	Reflection      bool    `json:"reflection"`
+	WallMS          float64 `json:"wall_ms"`
+	Leaks           int     `json:"leaks"`
+	ResolvedSites   int     `json:"resolved_sites"`
+	UnresolvedSites int     `json:"unresolved_sites"`
+}
+
+type reflectReport struct {
+	Bench           string      `json:"bench"`
+	Profile         string      `json:"profile"`
+	Apps            int         `json:"apps"`
+	GOMAXPROCS      int         `json:"gomaxprocs"`
+	NumCPU          int         `json:"num_cpu"`
+	InjectedLeaks   int         `json:"injected_leaks"`
+	ReflectiveLeaks int         `json:"reflective_leaks"`
+	DynamicChains   int         `json:"dynamic_chains"`
+	On              reflectMode `json:"on"`
+	Off             reflectMode `json:"off"`
+	RecoveredLeaks  int         `json:"recovered_leaks"`
+	OffUnchanged    bool        `json:"off_reports_unchanged"`
+	Note            string      `json:"note"`
+}
+
 type metricsReport struct {
 	Bench             string  `json:"bench"`
 	Profile           string  `json:"profile"`
@@ -172,6 +197,8 @@ func check(path string) {
 		checkQuery(path, data)
 	case "BenchmarkIncrementalTaint":
 		checkIncr(path, data)
+	case "BenchmarkReflectionTaint":
+		checkReflect(path, data)
 	default:
 		fail("%s: unknown bench %q", path, kind.Bench)
 	}
@@ -376,6 +403,63 @@ func checkIncr(path string, data []byte) {
 	}
 	fmt.Printf("checkbench: %s OK (reuse %.1f%%, %d hits, %d invalidated, reports identical)\n",
 		path, 100*r.ReuseRate, r.Warm.SummaryHits, r.Warm.Invalidated)
+}
+
+func checkReflect(path string, data []byte) {
+	var r reflectReport
+	strict(path, data, &r)
+	if r.Profile == "" {
+		fail("%s: profile missing", path)
+	}
+	if r.Apps <= 0 || r.GOMAXPROCS <= 0 || r.NumCPU <= 0 {
+		fail("%s: apps/gomaxprocs/num_cpu must be positive (got %d/%d/%d)", path, r.Apps, r.GOMAXPROCS, r.NumCPU)
+	}
+	if !r.On.Reflection || r.Off.Reflection {
+		fail("%s: mode flags inverted (on.reflection=%v, off.reflection=%v)", path, r.On.Reflection, r.Off.Reflection)
+	}
+	if r.On.WallMS <= 0 || r.Off.WallMS <= 0 {
+		fail("%s: wall times must be positive (got %v/%v)", path, r.On.WallMS, r.Off.WallMS)
+	}
+	// The pass's reason to exist: the corpus must contain reflective
+	// leaks and on-mode must recover every one of them.
+	if r.ReflectiveLeaks <= 0 {
+		fail("%s: corpus injected no reflective leaks — the bench stopped exercising resolution", path)
+	}
+	if r.On.Leaks != r.InjectedLeaks {
+		fail("%s: reflection-on found %d leaks, injected %d", path, r.On.Leaks, r.InjectedLeaks)
+	}
+	if r.Off.Leaks != r.InjectedLeaks-r.ReflectiveLeaks {
+		fail("%s: reflection-off found %d leaks, want exactly the %d non-reflective ones",
+			path, r.Off.Leaks, r.InjectedLeaks-r.ReflectiveLeaks)
+	}
+	if r.RecoveredLeaks != r.ReflectiveLeaks {
+		fail("%s: recovered_leaks (%d) != reflective_leaks (%d)", path, r.RecoveredLeaks, r.ReflectiveLeaks)
+	}
+	if r.On.ResolvedSites <= 0 {
+		fail("%s: reflection-on resolved no sites", path)
+	}
+	// The soundness contract: genuinely dynamic chains must be present
+	// and accounted for, not silently dropped.
+	if r.DynamicChains <= 0 {
+		fail("%s: corpus has no dynamic chains — the soundness-report path went unexercised", path)
+	}
+	if r.On.UnresolvedSites <= 0 {
+		fail("%s: dynamic chains present but no unresolved sites reported", path)
+	}
+	// Off-mode must be the pre-reflection analyzer exactly: no counters,
+	// and byte-identical reports wherever there is no reflective surface.
+	if r.Off.ResolvedSites != 0 || r.Off.UnresolvedSites != 0 {
+		fail("%s: reflection-off reports resolution counters (%d/%d), want zero",
+			path, r.Off.ResolvedSites, r.Off.UnresolvedSites)
+	}
+	if !r.OffUnchanged {
+		fail("%s: reflection-free apps did not report byte-identically across modes", path)
+	}
+	if r.Note == "" {
+		fail("%s: note missing", path)
+	}
+	fmt.Printf("checkbench: %s OK (recovered %d/%d leaks, %d sites resolved, %d left to the soundness report)\n",
+		path, r.RecoveredLeaks, r.InjectedLeaks, r.On.ResolvedSites, r.On.UnresolvedSites)
 }
 
 func checkMetrics(path string, data []byte) {

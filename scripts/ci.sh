@@ -20,11 +20,11 @@ go test -race ./...
 echo "==> go test -race ./internal/taint/... (parallel taint solver)"
 go test -race ./internal/taint/...
 
-echo "==> bench smoke (one-shot, compile + run sanity; emits BENCH_taint.json, BENCH_strings.json, BENCH_metrics.json, BENCH_query.json and BENCH_incr.json)"
-go test -bench 'Smoke|QueryTaint|IncrementalTaint' -benchtime=1x -run '^$' .
+echo "==> bench smoke (one-shot, compile + run sanity; emits BENCH_taint.json, BENCH_strings.json, BENCH_metrics.json, BENCH_query.json, BENCH_incr.json and BENCH_reflect.json)"
+go test -bench 'Smoke|QueryTaint|IncrementalTaint|ReflectionTaint' -benchtime=1x -run '^$' .
 
-echo "==> checkbench (BENCH_taint.json + BENCH_strings.json + BENCH_metrics.json + BENCH_query.json + BENCH_incr.json schemas, allocs/op ratchet)"
-go run ./scripts/checkbench BENCH_taint.json BENCH_strings.json BENCH_metrics.json BENCH_query.json BENCH_incr.json
+echo "==> checkbench (BENCH_taint.json + BENCH_strings.json + BENCH_metrics.json + BENCH_query.json + BENCH_incr.json + BENCH_reflect.json schemas, allocs/op ratchet)"
+go run ./scripts/checkbench BENCH_taint.json BENCH_strings.json BENCH_metrics.json BENCH_query.json BENCH_incr.json BENCH_reflect.json
 
 echo "==> summary store smoke (round-trip + deliberately corrupted entries degrade to misses)"
 go test -run 'TestWarmRunMatchesColdByteForByte|TestCorrupt' ./internal/summarystore/
